@@ -1,0 +1,134 @@
+(* Bechamel benchmarks: one Test.make per experiment table (E1..E8, reduced
+   workloads — the full tables come from bin/experiments.exe), plus
+   micro-benchmarks of the substrate operations the simulator's throughput
+   depends on. *)
+
+open Bechamel
+open Toolkit
+
+(* Run one complete small simulation: n processes, rotating star, given
+   horizon; returns the message count so the work cannot be optimized out. *)
+let sim_run ~variant ~n ~horizon_ms () =
+  let t = (n - 1) / 2 in
+  let config = Omega.Config.default ~n ~t variant in
+  let params =
+    Scenarios.Scenario.default_params ~n ~t ~beta:config.Omega.Config.beta
+  in
+  let scenario =
+    Scenarios.Scenario.create params
+      (Scenarios.Scenario.Rotating_star { center = n - 2 })
+      ~seed:42L
+  in
+  let result =
+    Harness.Run.run ~check:false
+      ~horizon:(Sim.Time.of_ms horizon_ms)
+      ~config ~scenario ~seed:7L ()
+  in
+  result.Harness.Run.messages_sent
+
+(* Silence the tables while timing the experiment functions. *)
+let muted f () =
+  let dev_null = open_out "/dev/null" in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 (Unix.descr_of_out_channel dev_null) Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      close_out dev_null)
+    f
+
+let experiment_tests =
+  List.map
+    (fun (id, _doc, f) ->
+      Test.make ~name:("table:" ^ id)
+        (Staged.stage (muted (fun () -> f ~quick:true))))
+    Experiments.Suite.all
+
+let micro_tests =
+  [
+    Test.make ~name:"micro:engine-10k-events"
+      (Staged.stage (fun () ->
+           let engine = Sim.Engine.create ~seed:1L () in
+           for i = 1 to 10_000 do
+             ignore (Sim.Engine.schedule_after engine (Sim.Time.of_us i) ignore)
+           done;
+           Sim.Engine.run_until engine (Sim.Time.of_sec 1)));
+    Test.make ~name:"micro:pqueue-push-pop-1k"
+      (Staged.stage (fun () ->
+           let q = Dstruct.Pqueue.create ~compare:Int.compare in
+           for i = 1_000 downto 1 do
+             Dstruct.Pqueue.push q i
+           done;
+           while not (Dstruct.Pqueue.is_empty q) do
+             ignore (Dstruct.Pqueue.pop q)
+           done));
+    Test.make ~name:"micro:rng-100k"
+      (Staged.stage (fun () ->
+           let rng = Dstruct.Rng.create 7L in
+           let acc = ref 0 in
+           for _ = 1 to 100_000 do
+             acc := !acc + Dstruct.Rng.int rng 1000
+           done;
+           ignore !acc));
+    Test.make ~name:"micro:sim-1s-n4-fig3"
+      (Staged.stage (fun () ->
+           ignore (sim_run ~variant:Omega.Config.Fig3 ~n:4 ~horizon_ms:1000 ())));
+    Test.make ~name:"micro:sim-1s-n8-fig1"
+      (Staged.stage (fun () ->
+           ignore (sim_run ~variant:Omega.Config.Fig1 ~n:8 ~horizon_ms:1000 ())));
+  ]
+
+let benchmark ~cfg tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  List.map
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let estimates = Analyze.all ols Instance.monotonic_clock results in
+      (Test.name test, estimates))
+    tests
+
+let micro_cfg =
+  Benchmark.cfg ~limit:50 ~stabilize:false ~quota:(Time.second 2.0) ()
+
+(* Each macro "run" is an entire (reduced) experiment: several simulations
+   adding up to seconds of wall time — a couple of runs per table suffices. *)
+let macro_cfg =
+  Benchmark.cfg ~limit:2 ~stabilize:false ~quota:(Time.second 0.1) ()
+
+let report results =
+  Printf.printf "%-28s %14s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 44 '-');
+  List.iter
+    (fun (name, estimates) ->
+      Hashtbl.iter
+        (fun _key ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+              let pretty =
+                if est >= 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+                else if est >= 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+                else if est >= 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+                else Printf.sprintf "%.0f ns" est
+              in
+              Printf.printf "%-28s %14s\n" name pretty
+          | Some _ | None -> Printf.printf "%-28s %14s\n" name "?")
+        estimates)
+    results;
+  flush stdout
+
+let () =
+  print_endline "== micro benchmarks (substrate + simulator throughput) ==";
+  report (benchmark ~cfg:micro_cfg micro_tests);
+  print_endline "";
+  print_endline
+    "== macro benchmarks: one Test.make per experiment table (reduced size) ==";
+  report (benchmark ~cfg:macro_cfg experiment_tests);
+  print_endline "";
+  print_endline
+    "Full experiment tables: dune exec bin/experiments.exe (see EXPERIMENTS.md)."

@@ -1,0 +1,55 @@
+(* Command-line driver for the experiment suite (EXPERIMENTS.md).
+
+   Usage:
+     experiments               run every experiment (full size)
+     experiments --quick       run every experiment (reduced size)
+     experiments e2 e4         run selected experiments
+     experiments --list        list experiments *)
+
+let list_term =
+  Cmdliner.Arg.(value & flag & info [ "list" ] ~doc:"List experiments and exit.")
+
+let quick_term =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"Run reduced-size versions (shorter horizons, fewer points).")
+
+let ids_term =
+  Cmdliner.Arg.(
+    value & pos_all string []
+    & info [] ~docv:"EXPERIMENT"
+        ~doc:"Experiment ids to run (e1..e8). Default: all.")
+
+let run list quick ids =
+  if list then begin
+    List.iter
+      (fun (id, doc, _) -> Printf.printf "%-4s %s\n" id doc)
+      Experiments.Suite.all;
+    `Ok ()
+  end
+  else begin
+    let selected =
+      match ids with
+      | [] -> Experiments.Suite.all
+      | ids ->
+          List.filter (fun (id, _, _) -> List.mem id ids) Experiments.Suite.all
+    in
+    match (selected, ids) with
+    | [], _ :: _ ->
+        `Error (false, "unknown experiment id; try --list")
+    | selected, _ ->
+        List.iter (fun (_, _, f) -> f ~quick) selected;
+        `Ok ()
+  end
+
+let cmd =
+  let doc =
+    "Reproduce the evaluation of 'From an intermittent rotating star to a \
+     leader' (Fernandez & Raynal)."
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "experiments" ~doc)
+    Cmdliner.Term.(ret (const run $ list_term $ quick_term $ ids_term))
+
+let () = exit (Cmdliner.Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/custom_oracle.ml: Dstruct Format List Net Omega Printf Sim String

@@ -1,0 +1,1 @@
+examples/flaky_datacenter.ml: Format List Net Omega Scenarios Sim

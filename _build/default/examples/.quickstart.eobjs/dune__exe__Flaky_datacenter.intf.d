@@ -1,0 +1,1 @@
+examples/flaky_datacenter.mli:

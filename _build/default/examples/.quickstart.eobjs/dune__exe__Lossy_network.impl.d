@@ -1,0 +1,1 @@
+examples/lossy_network.ml: Array Dstruct Format Fun List Net Omega Printf Sim String

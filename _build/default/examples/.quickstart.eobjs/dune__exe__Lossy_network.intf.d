@@ -1,0 +1,1 @@
+examples/lossy_network.mli:

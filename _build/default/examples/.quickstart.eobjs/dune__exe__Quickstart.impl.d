@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Net Omega Printf Scenarios Sim String

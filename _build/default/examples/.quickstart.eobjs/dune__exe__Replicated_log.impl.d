@@ -1,0 +1,1 @@
+examples/replicated_log.ml: Array Consensus Format List Net Omega Scenarios Sim

@@ -1,0 +1,1 @@
+lib/baselines/heartbeat.ml: Array Dstruct List Net Sim

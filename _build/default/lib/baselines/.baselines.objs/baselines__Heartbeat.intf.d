@@ -1,0 +1,1 @@
+lib/baselines/heartbeat.mli: Net Sim

@@ -1,0 +1,1 @@
+lib/baselines/registry.ml: Heartbeat List Net Omega Scenarios Sim

@@ -1,0 +1,1 @@
+lib/baselines/registry.mli: Scenarios Sim

@@ -1,0 +1,43 @@
+(** Uniform driver interface over every leader algorithm in the repository,
+    for head-to-head comparison under every assumption regime (experiment
+    E4).
+
+    Each algorithm instance builds its own network (with the scenario's delay
+    oracle applied to its own message type) on a shared engine. *)
+
+type pid = int
+
+type instance = {
+  start : unit -> unit;
+  crash_at : pid -> Sim.Time.t -> unit;
+  agreed_leader : unit -> pid option;
+      (** all correct processes output one correct leader? *)
+  min_round : unit -> int;
+      (** slowest correct process's round/epoch — the stability clock *)
+}
+
+type algo = {
+  name : string;
+  describe : string;
+  make : Sim.Engine.t -> Scenarios.Scenario.t -> instance;
+}
+
+(** The paper's three algorithms. *)
+val fig1 : algo
+
+val fig2 : algo
+val fig3 : algo
+
+(** Single-mechanism baselines (DESIGN.md §5): pure timeout detector
+    (t-source family) and pure order detector (message pattern, MMR03). *)
+val timer_only : algo
+
+val count_only : algo
+
+(** Classic per-link heartbeat detector (no suspicion exchange). *)
+val heartbeat : algo
+
+(** All of the above, in comparison order. *)
+val all : algo list
+
+val by_name : string -> algo option

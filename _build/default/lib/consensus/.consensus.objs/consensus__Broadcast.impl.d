@@ -1,0 +1,1 @@
+lib/consensus/broadcast.ml: Dstruct Hashtbl List Message Net Node Option Sim

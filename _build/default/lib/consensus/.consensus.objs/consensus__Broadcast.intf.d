@@ -1,0 +1,1 @@
+lib/consensus/broadcast.mli: Net Sim

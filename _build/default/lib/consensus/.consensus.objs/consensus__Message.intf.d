@@ -1,0 +1,1 @@
+lib/consensus/message.mli: Format

@@ -1,0 +1,1 @@
+lib/consensus/node.ml: Dstruct Message Net Option Sim

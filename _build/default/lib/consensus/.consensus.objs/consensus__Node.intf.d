@@ -1,0 +1,1 @@
+lib/consensus/node.mli: Message Net Sim

@@ -1,0 +1,1 @@
+lib/consensus/single.ml: Array List Message Net Node Option Sim

@@ -1,0 +1,1 @@
+lib/consensus/single.mli: Message Net Node Sim

@@ -1,0 +1,31 @@
+type pid = int
+
+type 'v t =
+  | Prepare of { ballot : int }
+  | Promise of { ballot : int; accepted : (int * 'v) option }
+  | Accept of { ballot : int; value : 'v }
+  | Accepted of { ballot : int; value : 'v }
+  | Nack of { ballot : int; promised : int }
+  | Decide of { value : 'v }
+
+let ballot_of = function
+  | Prepare { ballot }
+  | Promise { ballot; _ }
+  | Accept { ballot; _ }
+  | Accepted { ballot; _ }
+  | Nack { ballot; _ } -> ballot
+  | Decide _ -> -1
+
+let pp pp_v ppf = function
+  | Prepare { ballot } -> Format.fprintf ppf "PREPARE(%d)" ballot
+  | Promise { ballot; accepted = None } ->
+      Format.fprintf ppf "PROMISE(%d, none)" ballot
+  | Promise { ballot; accepted = Some (b, v) } ->
+      Format.fprintf ppf "PROMISE(%d, %d:%a)" ballot b pp_v v
+  | Accept { ballot; value } ->
+      Format.fprintf ppf "ACCEPT(%d, %a)" ballot pp_v value
+  | Accepted { ballot; value } ->
+      Format.fprintf ppf "ACCEPTED(%d, %a)" ballot pp_v value
+  | Nack { ballot; promised } ->
+      Format.fprintf ppf "NACK(%d, promised=%d)" ballot promised
+  | Decide { value } -> Format.fprintf ppf "DECIDE(%a)" pp_v value

@@ -1,0 +1,23 @@
+(** Messages of the Ω-based indulgent consensus (ballot protocol).
+
+    Ballots are globally unique and totally ordered:
+    [ballot = attempt * n + proposer_id]. *)
+
+type pid = int
+
+type 'v t =
+  | Prepare of { ballot : int }
+      (** phase 1a: a self-believed leader claims the ballot *)
+  | Promise of { ballot : int; accepted : (int * 'v) option }
+      (** phase 1b: acceptor joins; reports its latest accepted pair *)
+  | Accept of { ballot : int; value : 'v }
+      (** phase 2a: proposer asks acceptance of the safe value *)
+  | Accepted of { ballot : int; value : 'v }
+      (** phase 2b: acceptor accepted (sent back to the proposer) *)
+  | Nack of { ballot : int; promised : int }
+      (** the acceptor has promised a higher ballot *)
+  | Decide of { value : 'v }
+      (** decision propagation (each process relays it once) *)
+
+val ballot_of : 'v t -> int
+val pp : (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v t -> unit

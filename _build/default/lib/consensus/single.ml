@@ -1,0 +1,43 @@
+type pid = int
+
+type 'v t = { nodes : 'v Node.t array; net : 'v Message.t Net.Network.t }
+
+let create net ~oracle ~retry_every ~crash_bound =
+  let n = Net.Network.n net in
+  let nodes =
+    Array.init n (fun me ->
+        Node.create
+          (Node.network_transport net ~me)
+          ~me ~leader_oracle:(oracle me) ~retry_every ~crash_bound)
+  in
+  Array.iteri
+    (fun me node ->
+      Net.Network.set_handler net me (fun ~src msg -> Node.handle node ~src msg))
+    nodes;
+  { nodes; net }
+
+let start t = Array.iter Node.start t.nodes
+let propose t p v = Node.propose t.nodes.(p) v
+let node t p = t.nodes.(p)
+
+let decisions t =
+  List.map
+    (fun p -> (p, Node.decision t.nodes.(p)))
+    (Net.Network.correct t.net)
+
+let uniform_decision t =
+  match decisions t with
+  | [] -> None
+  | (_, first) :: rest ->
+      if
+        Option.is_some first
+        && List.for_all (fun (_, d) -> d = first) rest
+      then first
+      else None
+
+let last_decision_time t =
+  let correct = Net.Network.correct t.net in
+  let times = List.filter_map (fun p -> Node.decided_at t.nodes.(p)) correct in
+  if List.length times = List.length correct && times <> [] then
+    Some (List.fold_left Sim.Time.max Sim.Time.zero times)
+  else None

@@ -1,0 +1,30 @@
+(** Convenience wiring of one consensus instance per process over a
+    dedicated network — used by tests, examples and experiment E6. *)
+
+type pid = int
+
+type 'v t
+
+(** [create net ~oracle ~retry_every ~crash_bound] builds one node per
+    process; [oracle p] is process [p]'s leader closure (typically
+    [fun () -> Omega.Node.leader omega_p]). *)
+val create :
+  'v Message.t Net.Network.t ->
+  oracle:(pid -> unit -> pid) ->
+  retry_every:Sim.Time.t ->
+  crash_bound:int ->
+  'v t
+
+val start : 'v t -> unit
+val propose : 'v t -> pid -> 'v -> unit
+val node : 'v t -> pid -> 'v Node.t
+
+(** Decisions of all non-crashed processes. *)
+val decisions : 'v t -> (pid * 'v option) list
+
+(** True when every non-crashed process has decided the same value. *)
+val uniform_decision : 'v t -> 'v option
+
+(** Latest local decision time among correct processes (the consensus
+    latency), if all have decided. *)
+val last_decision_time : 'v t -> Sim.Time.t option

@@ -1,0 +1,1 @@
+lib/dstruct/bitset.ml: Bytes Char Format List Printf

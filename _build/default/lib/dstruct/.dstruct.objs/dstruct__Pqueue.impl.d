@@ -1,0 +1,1 @@
+lib/dstruct/pqueue.ml: Array List

@@ -1,0 +1,1 @@
+lib/dstruct/rng.ml: Array Int64 List

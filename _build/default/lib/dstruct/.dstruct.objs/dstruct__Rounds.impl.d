@@ -1,0 +1,1 @@
+lib/dstruct/rounds.ml: Hashtbl List Printf

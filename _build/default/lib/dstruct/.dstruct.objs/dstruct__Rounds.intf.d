@@ -1,0 +1,1 @@
+lib/dstruct/rounds.mli:

@@ -1,0 +1,1 @@
+lib/dstruct/stats.ml: Array Float Format Stdlib

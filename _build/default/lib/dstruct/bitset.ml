@@ -1,0 +1,79 @@
+type t = { bits : Bytes.t; capacity : int; mutable cardinal : int }
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { bits = Bytes.make ((capacity + 7) / 8) '\000'; capacity; cardinal = 0 }
+
+let capacity t = t.capacity
+let cardinal t = t.cardinal
+
+let check t i ~op =
+  if i < 0 || i >= t.capacity then
+    invalid_arg
+      (Printf.sprintf "Bitset.%s: %d out of range [0,%d)" op i t.capacity)
+
+let mem t i =
+  check t i ~op:"mem";
+  Char.code (Bytes.get t.bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let add t i =
+  check t i ~op:"add";
+  let byte = Char.code (Bytes.get t.bits (i / 8)) in
+  let mask = 1 lsl (i mod 8) in
+  if byte land mask = 0 then begin
+    Bytes.set t.bits (i / 8) (Char.chr (byte lor mask));
+    t.cardinal <- t.cardinal + 1
+  end
+
+let remove t i =
+  check t i ~op:"remove";
+  let byte = Char.code (Bytes.get t.bits (i / 8)) in
+  let mask = 1 lsl (i mod 8) in
+  if byte land mask <> 0 then begin
+    Bytes.set t.bits (i / 8) (Char.chr (byte land lnot mask));
+    t.cardinal <- t.cardinal - 1
+  end
+
+let is_empty t = t.cardinal = 0
+
+let clear t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.cardinal <- 0
+
+let copy t =
+  { bits = Bytes.copy t.bits; capacity = t.capacity; cardinal = t.cardinal }
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    if mem t i then f i
+  done
+
+let complement t =
+  let c = create t.capacity in
+  for i = 0 to t.capacity - 1 do
+    if not (mem t i) then add c i
+  done;
+  c
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.capacity - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc
+
+let of_list ~capacity members =
+  let t = create capacity in
+  List.iter (add t) members;
+  t
+
+let equal a b =
+  a.capacity = b.capacity && a.cardinal = b.cardinal
+  && Bytes.equal a.bits b.bits
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (to_list t)

@@ -1,0 +1,37 @@
+(** Fixed-capacity set of small non-negative integers (process ids).
+
+    Used for [rec_from] sets and [suspects] fields of SUSPICION messages:
+    dense, O(1) membership, cheap cardinality, value-style copies. *)
+
+type t
+
+(** [create capacity] is the empty set over [0 .. capacity-1]. *)
+val create : int -> t
+
+val capacity : t -> int
+val cardinal : t -> int
+val mem : t -> int -> bool
+
+(** [add t i] inserts [i]; no-op if already present. Raises on out-of-range. *)
+val add : t -> int -> unit
+
+(** [remove t i] deletes [i]; no-op if absent. Raises on out-of-range. *)
+val remove : t -> int -> unit
+
+val is_empty : t -> bool
+
+(** [clear t] removes every member. *)
+val clear : t -> unit
+
+val copy : t -> t
+
+(** [complement t] is the set of ids in [0 .. capacity-1] not in [t]. *)
+val complement : t -> t
+
+(** Ascending list of members. *)
+val to_list : t -> int list
+
+val of_list : capacity:int -> int list -> t
+val iter : (int -> unit) -> t -> unit
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

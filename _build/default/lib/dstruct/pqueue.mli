@@ -1,0 +1,31 @@
+(** Resizable binary min-heap.
+
+    Elements are ordered by a total order supplied at creation time. Ties are
+    broken by insertion order (FIFO), which the discrete-event engine relies
+    on for deterministic scheduling of simultaneous events. *)
+
+type 'a t
+
+(** [create ~compare] is an empty heap ordered by [compare]. *)
+val create : compare:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push q x] inserts [x]. O(log n). *)
+val push : 'a t -> 'a -> unit
+
+(** [peek q] is the minimum element, without removing it. *)
+val peek : 'a t -> 'a option
+
+(** [pop q] removes and returns the minimum element. *)
+val pop : 'a t -> 'a option
+
+(** [pop_exn q] is [pop q] but raises [Invalid_argument] on an empty heap. *)
+val pop_exn : 'a t -> 'a
+
+val clear : 'a t -> unit
+
+(** [to_sorted_list q] drains a copy of the heap in ascending order, leaving
+    [q] unchanged. Intended for tests and debugging. *)
+val to_sorted_list : 'a t -> 'a list

@@ -1,0 +1,42 @@
+type 'a t = { table : (int, 'a) Hashtbl.t; mutable floor : int }
+
+let create () = { table = Hashtbl.create 64; floor = 0 }
+let floor t = t.floor
+let cardinal t = Hashtbl.length t.table
+
+let check_live t rn ~op =
+  if rn < t.floor then
+    invalid_arg
+      (Printf.sprintf "Rounds.%s: round %d below floor %d" op rn t.floor)
+
+let find t rn = if rn < t.floor then None else Hashtbl.find_opt t.table rn
+
+let find_or_add t rn ~default =
+  check_live t rn ~op:"find_or_add";
+  match Hashtbl.find_opt t.table rn with
+  | Some v -> v
+  | None ->
+      let v = default () in
+      Hashtbl.add t.table rn v;
+      v
+
+let set t rn v =
+  check_live t rn ~op:"set";
+  Hashtbl.replace t.table rn v
+
+let prune_below t bound =
+  if bound > t.floor then begin
+    (* Collect first: removing during [iter] is unspecified for Hashtbl. *)
+    let dead = ref [] in
+    Hashtbl.iter (fun rn _ -> if rn < bound then dead := rn :: !dead) t.table;
+    List.iter (Hashtbl.remove t.table) !dead;
+    t.floor <- bound
+  end
+
+let iter t f = Hashtbl.iter f t.table
+
+let max_round t =
+  Hashtbl.fold
+    (fun rn _ acc ->
+      match acc with Some m when m >= rn -> acc | _ -> Some rn)
+    t.table None

@@ -1,0 +1,41 @@
+(** Round-indexed sliding store.
+
+    The algorithms of the paper index state by round number ([rec_from.(rn)],
+    [suspicions.(rn).(k)]) for an unbounded range of rounds. Only a bounded
+    suffix of rounds is ever read again (the window of line [*] in Figure 2),
+    so this store keeps a hash table of live rounds plus a [floor]: all rounds
+    below the floor have been discarded and behave as absent.
+
+    Lookups below the floor return [None] — callers must choose their prune
+    bound so that semantics are preserved (see DESIGN.md §2). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Smallest round that may still hold an entry. Initially [0]. *)
+val floor : 'a t -> int
+
+(** Number of live entries. *)
+val cardinal : 'a t -> int
+
+(** [find t rn] is the entry for round [rn], if any. *)
+val find : 'a t -> int -> 'a option
+
+(** [find_or_add t rn ~default] returns the entry for [rn], creating it with
+    [default ()] if absent. Raises [Invalid_argument] if [rn < floor t]:
+    resurrecting a pruned round would silently corrupt the algorithm. *)
+val find_or_add : 'a t -> int -> default:(unit -> 'a) -> 'a
+
+(** [set t rn v] stores [v] for round [rn]. Raises below the floor. *)
+val set : 'a t -> int -> 'a -> unit
+
+(** [prune_below t bound] discards every round [< bound] and raises the floor
+    to [max (floor t) bound]. *)
+val prune_below : 'a t -> int -> unit
+
+(** [iter t f] applies [f rn v] to every live entry, in unspecified order. *)
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+
+(** Largest live round, if any entry exists. *)
+val max_round : 'a t -> int option

@@ -1,0 +1,77 @@
+type t = {
+  mutable samples : float array;
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;  (* sum of squared deviations, for Welford *)
+  mutable min : float;
+  mutable max : float;
+  mutable sorted : float array option;  (* cache, invalidated by add *)
+}
+
+let create () =
+  {
+    samples = [||];
+    n = 0;
+    mean = 0.;
+    m2 = 0.;
+    min = infinity;
+    max = neg_infinity;
+    sorted = None;
+  }
+
+let add t x =
+  if t.n = Array.length t.samples then begin
+    let capacity = Stdlib.max 16 (2 * Array.length t.samples) in
+    let bigger = Array.make capacity 0. in
+    Array.blit t.samples 0 bigger 0 t.n;
+    t.samples <- bigger
+  end;
+  t.samples.(t.n) <- x;
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x;
+  t.sorted <- None
+
+let count t = t.n
+let is_empty t = t.n = 0
+let mean t = t.mean
+
+let stddev t =
+  if t.n < 2 then 0. else sqrt (t.m2 /. float_of_int (t.n - 1))
+
+let min t = t.min
+let max t = t.max
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+      let a = Array.sub t.samples 0 t.n in
+      Array.sort Float.compare a;
+      t.sorted <- Some a;
+      a
+
+let percentile t p =
+  if t.n = 0 then invalid_arg "Stats.percentile: empty series";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of [0,100]";
+  let a = sorted t in
+  let rank = p /. 100. *. float_of_int (t.n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then a.(lo)
+  else begin
+    let w = rank -. float_of_int lo in
+    ((1. -. w) *. a.(lo)) +. (w *. a.(hi))
+  end
+
+let median t = percentile t 50.
+
+let summary ppf t =
+  if t.n = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf
+      "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p99=%.2f max=%.2f" t.n t.mean
+      (stddev t) t.min (median t) (percentile t 99.) t.max

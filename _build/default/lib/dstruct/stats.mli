@@ -1,0 +1,29 @@
+(** Online sample statistics for experiment harnesses.
+
+    Keeps all samples (experiments are small: thousands of points) so exact
+    percentiles are available, plus Welford running mean/variance so summary
+    queries are O(1). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val is_empty : t -> bool
+val mean : t -> float
+
+(** Sample (unbiased) standard deviation; [0.] with fewer than two samples. *)
+val stddev : t -> float
+
+val min : t -> float
+val max : t -> float
+
+(** [percentile t p] with [p] in [0,100], by linear interpolation between
+    closest ranks. Raises [Invalid_argument] on an empty series or [p] out of
+    range. *)
+val percentile : t -> float -> float
+
+val median : t -> float
+
+(** [summary ppf t] prints "n=… mean=… sd=… min=… p50=… p99=… max=…". *)
+val summary : Format.formatter -> t -> unit

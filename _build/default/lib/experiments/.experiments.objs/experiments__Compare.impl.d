@@ -1,0 +1,1 @@
+lib/experiments/compare.ml: Baselines Float Harness List Scenarios Sim

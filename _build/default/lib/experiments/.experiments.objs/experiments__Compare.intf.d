@@ -1,0 +1,1 @@
+lib/experiments/compare.mli: Baselines Scenarios Sim

@@ -1,0 +1,1 @@
+lib/experiments/suite.ml: Array Baselines Compare Consensus Float Format Fun Harness Int Int64 List Net Omega Option Printf Scenarios Sim

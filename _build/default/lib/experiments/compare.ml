@@ -1,0 +1,59 @@
+type outcome = {
+  stabilized_ms : float;
+  final_leader : int option;
+  elected_center : bool;
+}
+
+type sample = { time : Sim.Time.t; round : int; agreed : int option }
+
+let run (algo : Baselines.Registry.algo) ~scenario ~seed ~horizon ~crashes =
+  let engine = Sim.Engine.create ~seed () in
+  let instance = algo.Baselines.Registry.make engine scenario in
+  List.iter
+    (fun (p, time) -> instance.Baselines.Registry.crash_at p time)
+    crashes;
+  let samples = ref [] in
+  let sample_every = Sim.Time.of_ms 100 in
+  let rec sampler () =
+    samples :=
+      {
+        time = Sim.Engine.now engine;
+        round = instance.Baselines.Registry.min_round ();
+        agreed = instance.Baselines.Registry.agreed_leader ();
+      }
+      :: !samples;
+    if Sim.Time.(Sim.Engine.now engine < horizon) then
+      ignore (Sim.Engine.schedule_after engine sample_every sampler)
+  in
+  instance.Baselines.Registry.start ();
+  ignore (Sim.Engine.schedule_after engine sample_every sampler);
+  Sim.Engine.run_until engine horizon;
+  let verdict =
+    Harness.Stability.judge ~horizon
+      ~min_window:(Sim.Time.of_us (Sim.Time.to_us horizon / 5))
+      (List.rev_map
+         (fun s ->
+           {
+             Harness.Stability.time = s.time;
+             round = s.round;
+             agreed = s.agreed;
+           })
+         !samples)
+  in
+  let stabilized = verdict.Harness.Stability.stabilized_at in
+  let final_leader = verdict.Harness.Stability.final_leader in
+  let last_center =
+    (* The center that A protects at the end of the run (failover switches). *)
+    Scenarios.Scenario.center_at scenario max_int
+  in
+  {
+    stabilized_ms =
+      (match stabilized with
+      | Some time -> Sim.Time.to_ms_float time
+      | None -> Float.nan);
+    final_leader;
+    elected_center =
+      (match (stabilized, final_leader, last_center) with
+      | Some _, Some l, Some c -> l = c
+      | _ -> false);
+  }

@@ -1,0 +1,16 @@
+(** Head-to-head runner: drive any {!Baselines.Registry.algo} under a
+    scenario and measure round-based stabilization (experiment E4). *)
+
+type outcome = {
+  stabilized_ms : float;  (** [nan] if the run never stabilized *)
+  final_leader : int option;  (** agreed leader at the horizon *)
+  elected_center : bool;  (** final leader = the scenario's (last) center *)
+}
+
+val run :
+  Baselines.Registry.algo ->
+  scenario:Scenarios.Scenario.t ->
+  seed:int64 ->
+  horizon:Sim.Time.t ->
+  crashes:(int * Sim.Time.t) list ->
+  outcome

@@ -1,0 +1,1 @@
+lib/harness/run.ml: Float Format List Net Omega Option Scenarios Sim Stability

@@ -1,0 +1,1 @@
+lib/harness/run.mli: Format Omega Scenarios Sim

@@ -1,0 +1,1 @@
+lib/harness/stability.ml: List Sim

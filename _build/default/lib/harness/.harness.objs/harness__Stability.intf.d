@@ -1,0 +1,1 @@
+lib/harness/stability.mli: Sim

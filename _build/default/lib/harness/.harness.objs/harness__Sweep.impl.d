@@ -1,0 +1,1 @@
+lib/harness/sweep.ml: Dstruct List Option Printf Run Scenarios

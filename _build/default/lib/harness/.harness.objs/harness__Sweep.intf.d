@@ -1,0 +1,1 @@
+lib/harness/sweep.mli: Dstruct Omega Scenarios Sim

@@ -1,0 +1,1 @@
+lib/harness/table.ml: Array Float List Printf String

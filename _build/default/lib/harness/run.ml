@@ -1,0 +1,184 @@
+type pid = int
+
+type sample = {
+  time : Sim.Time.t;
+  round : int;  (* slowest correct process's receiving round *)
+  leaders : (pid * pid) list;
+  agreed : pid option;
+}
+
+type result = {
+  stabilized_at : Sim.Time.t option;
+  final_leader : pid option;
+  samples : sample list;
+  messages_sent : int;
+  messages_delivered : int;
+  alive_bytes : int;
+  suspicion_bytes : int;
+  max_susp_level : int;
+  max_timeout : Sim.Time.t;
+  lattice_violations : int;
+  max_round_state : int;
+  min_sending_round : int;
+  checker : Scenarios.Checker.report option;
+  horizon : Sim.Time.t;
+}
+
+(* The largest round whose every non-victim message is guaranteed delivered
+   by [horizon] (Scenario.arrival_bound is monotone in the round number). *)
+let checkable_round scenario horizon =
+  let fits rn =
+    Sim.Time.(Scenarios.Scenario.arrival_bound scenario rn <= horizon)
+  in
+  if not (fits 1) then 0
+  else begin
+    (* Exponential probe, then binary search for the last fitting round. *)
+    let rec grow hi = if fits hi then grow (2 * hi) else hi in
+    let rec bisect lo hi =
+      (* invariant: fits lo, not (fits hi) *)
+      if hi - lo <= 1 then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if fits mid then bisect mid hi else bisect lo mid
+      end
+    in
+    let hi = grow 2 in
+    max 0 (bisect 1 hi - 2)
+  end
+
+let run ?(horizon = Sim.Time.of_sec 30) ?(sample_every = Sim.Time.of_ms 100)
+    ?min_stable ?(crashes = []) ?(check = true) ~config ~scenario ~seed () =
+  let min_stable =
+    match min_stable with
+    | Some w -> w
+    | None -> Sim.Time.of_us (Sim.Time.to_us horizon / 5)
+  in
+  let engine = Sim.Engine.create ~seed () in
+  let oracle = Scenarios.Scenario.oracle scenario ~round_of:Scenarios.Scenario.round_of_omega in
+  let net = Net.Network.create engine ~n:config.Omega.Config.n ~oracle in
+  let checker =
+    if check && Option.is_some (Scenarios.Scenario.center scenario) then begin
+      let c = Scenarios.Checker.create scenario ~round_of:Scenarios.Scenario.round_of_omega in
+      Some c
+    end
+    else None
+  in
+  let alive_bytes = ref 0 and suspicion_bytes = ref 0 in
+  let count_bytes = function
+    | Net.Network.Sent { msg; _ } -> (
+        match msg with
+        | Omega.Message.Alive _ ->
+            alive_bytes := !alive_bytes + Omega.Message.wire_size msg
+        | Omega.Message.Suspicion _ ->
+            suspicion_bytes := !suspicion_bytes + Omega.Message.wire_size msg)
+    | Net.Network.Delivered _ | Net.Network.Dropped _ -> ()
+  in
+  Net.Network.set_tracer net (fun ev ->
+      count_bytes ev;
+      match checker with Some c -> Scenarios.Checker.tracer c ev | None -> ());
+  let cluster = Omega.Cluster.create config net in
+  List.iter (fun (p, time) -> Omega.Cluster.crash_at cluster p time) crashes;
+  let samples = ref [] in
+  let lattice_violations = ref 0 in
+  let max_round_state = ref 0 in
+  let observe_nodes () =
+    List.iter
+      (fun p ->
+        let node = Omega.Cluster.node cluster p in
+        if not (Omega.Node.lattice_invariant_holds node) then
+          incr lattice_violations;
+        let cardinal = Omega.Node.round_state_cardinal node in
+        if cardinal > !max_round_state then max_round_state := cardinal)
+      (Net.Network.correct net)
+  in
+  let fig3 = Omega.Config.has_bounded_condition config.Omega.Config.variant in
+  let min_receiving_round () =
+    List.fold_left
+      (fun acc p ->
+        min acc (Omega.Node.receiving_round (Omega.Cluster.node cluster p)))
+      max_int
+      (Net.Network.correct net)
+  in
+  let rec sampler () =
+    samples :=
+      {
+        time = Sim.Engine.now engine;
+        round = min_receiving_round ();
+        leaders = Omega.Cluster.leaders cluster;
+        agreed = Omega.Cluster.agreed_leader cluster;
+      }
+      :: !samples;
+    if fig3 then observe_nodes () else ignore (observe_nodes ());
+    if Sim.Time.(Sim.Engine.now engine < horizon) then
+      ignore (Sim.Engine.schedule_after engine sample_every sampler)
+  in
+  Omega.Cluster.start cluster;
+  ignore (Sim.Engine.schedule_after engine sample_every sampler);
+  Sim.Engine.run_until engine horizon;
+  let samples = List.rev !samples in
+  let verdict =
+    Stability.judge ~horizon ~min_window:min_stable
+      (List.map
+         (fun s ->
+           { Stability.time = s.time; round = s.round; agreed = s.agreed })
+         samples)
+  in
+  let stabilized_at = verdict.Stability.stabilized_at in
+  let final_leader = verdict.Stability.final_leader in
+  let correct = Net.Network.correct net in
+  let max_susp_level =
+    List.fold_left
+      (fun acc p ->
+        max acc (Omega.Node.max_susp_level_seen (Omega.Cluster.node cluster p)))
+      0 correct
+  in
+  let max_timeout =
+    List.fold_left
+      (fun acc p ->
+        Sim.Time.max acc
+          (Omega.Node.max_timeout_armed (Omega.Cluster.node cluster p)))
+      Sim.Time.zero correct
+  in
+  let min_sending_round =
+    List.fold_left
+      (fun acc p ->
+        min acc (Omega.Node.sending_round (Omega.Cluster.node cluster p)))
+      max_int correct
+  in
+  let checker_report =
+    Option.map
+      (fun c ->
+        Scenarios.Checker.verify c
+          ~upto_round:(min (checkable_round scenario horizon) min_sending_round)
+          ~crashed:(Net.Network.is_crashed net))
+      checker
+  in
+  {
+    stabilized_at;
+    final_leader;
+    samples;
+    messages_sent = Net.Network.sent_count net;
+    messages_delivered = Net.Network.delivered_count net;
+    alive_bytes = !alive_bytes;
+    suspicion_bytes = !suspicion_bytes;
+    max_susp_level;
+    max_timeout;
+    lattice_violations = !lattice_violations;
+    max_round_state = !max_round_state;
+    min_sending_round;
+    checker = checker_report;
+    horizon;
+  }
+
+let stabilization_ms result =
+  match result.stabilized_at with
+  | Some t -> Sim.Time.to_ms_float t
+  | None -> Float.nan
+
+let pp_summary ppf r =
+  Format.fprintf ppf "leader=%s stabilized=%s msgs=%d max_susp=%d max_to=%a"
+    (match r.final_leader with Some l -> string_of_int l | None -> "-")
+    (match r.stabilized_at with
+    | Some t -> Format.asprintf "%a" Sim.Time.pp t
+    | None -> "never")
+    r.messages_sent r.max_susp_level Sim.Time.pp r.max_timeout

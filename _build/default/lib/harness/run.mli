@@ -1,0 +1,60 @@
+(** Single-run experiment driver: engine + network + scenario + cluster,
+    with leader sampling, stabilization detection and assumption checking. *)
+
+type pid = int
+
+(** One leader-oracle sample. *)
+type sample = {
+  time : Sim.Time.t;
+  round : int;  (** slowest correct process's receiving round *)
+  leaders : (pid * pid) list;  (** non-crashed process -> its leader () *)
+  agreed : pid option;  (** all agree on one correct leader? *)
+}
+
+type result = {
+  stabilized_at : Sim.Time.t option;
+      (** start of the maximal suffix of samples with one constant, correct,
+          agreed leader reaching the horizon, provided the suffix spans at
+          least [min_stable]; [None] if the run ends in anarchy or the
+          suffix is too short to rule out a coincidental lull *)
+  final_leader : pid option;  (** agreed leader at the horizon, if any *)
+  samples : sample list;
+  messages_sent : int;
+  messages_delivered : int;
+  alive_bytes : int;  (** total wire bytes of ALIVE messages *)
+  suspicion_bytes : int;
+  max_susp_level : int;  (** max over correct nodes, end of run *)
+  max_timeout : Sim.Time.t;  (** largest timeout any correct node armed *)
+  lattice_violations : int;
+      (** samples at which some correct node broke Lemma 8's
+          [max - min <= 1] (only meaningful for Fig3 variants) *)
+  max_round_state : int;
+      (** peak live round-indexed entries on any node (memory boundedness) *)
+  min_sending_round : int;  (** slowest correct process's final s_rn *)
+  checker : Scenarios.Checker.report option;
+      (** assumption-compliance report, when [~check:true] *)
+  horizon : Sim.Time.t;
+}
+
+(** [run ~config ~scenario ~seed ()] executes one simulation.
+
+    [crashes] schedules process failures. [horizon] defaults to 30 sim-s;
+    [sample_every] to 100 sim-ms. With [check:true] (default), a
+    {!Checker} is attached and verified over the prefix of rounds whose
+    messages are guaranteed delivered by the horizon. *)
+val run :
+  ?horizon:Sim.Time.t ->
+  ?sample_every:Sim.Time.t ->
+  ?min_stable:Sim.Time.t ->
+  ?crashes:(pid * Sim.Time.t) list ->
+  ?check:bool ->
+  config:Omega.Config.t ->
+  scenario:Scenarios.Scenario.t ->
+  seed:int64 ->
+  unit ->
+  result
+
+(** Stabilization latency [stabilized_at] as float ms, or [nan]. *)
+val stabilization_ms : result -> float
+
+val pp_summary : Format.formatter -> result -> unit

@@ -1,0 +1,25 @@
+type sample = { time : Sim.Time.t; round : int; agreed : int option }
+
+type verdict = {
+  stabilized_at : Sim.Time.t option;
+  final_leader : int option;
+}
+
+let judge ~horizon ~min_window ?(min_rounds = 40) samples =
+  match List.rev samples with
+  | [] -> { stabilized_at = None; final_leader = None }
+  | last :: _ as rev -> (
+      match last.agreed with
+      | None -> { stabilized_at = None; final_leader = None }
+      | Some leader ->
+          let rec walk start = function
+            | s :: rest when s.agreed = Some leader -> walk s rest
+            | _ -> start
+          in
+          let start = walk last rev in
+          let round_quota = max min_rounds (last.round / 3) in
+          if
+            last.round - start.round >= round_quota
+            && Sim.Time.(Sim.Time.sub horizon start.time >= min_window)
+          then { stabilized_at = Some start.time; final_leader = Some leader }
+          else { stabilized_at = None; final_leader = Some leader })

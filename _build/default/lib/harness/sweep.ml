@@ -1,0 +1,57 @@
+type aggregate = {
+  runs : int;
+  stabilized : int;
+  stabilization_ms : Dstruct.Stats.t;
+  elected_center : int;
+  messages : Dstruct.Stats.t;
+  max_susp_level : Dstruct.Stats.t;
+  violations : int;
+}
+
+let run ?horizon ?crashes ?check ~seeds ~config ~scenario_of () =
+  let agg =
+    {
+      runs = 0;
+      stabilized = 0;
+      stabilization_ms = Dstruct.Stats.create ();
+      elected_center = 0;
+      messages = Dstruct.Stats.create ();
+      max_susp_level = Dstruct.Stats.create ();
+      violations = 0;
+    }
+  in
+  List.fold_left
+    (fun agg seed ->
+      let scenario = scenario_of seed in
+      let result = Run.run ?horizon ?crashes ?check ~config ~scenario ~seed () in
+      let stabilized = Option.is_some result.Run.stabilized_at in
+      if stabilized then
+        Dstruct.Stats.add agg.stabilization_ms (Run.stabilization_ms result);
+      Dstruct.Stats.add agg.messages (float_of_int result.Run.messages_sent);
+      Dstruct.Stats.add agg.max_susp_level
+        (float_of_int result.Run.max_susp_level);
+      let center = Scenarios.Scenario.center_at scenario max_int in
+      {
+        agg with
+        runs = agg.runs + 1;
+        stabilized = (agg.stabilized + if stabilized then 1 else 0);
+        elected_center =
+          (agg.elected_center
+          + if stabilized && result.Run.final_leader = center then 1 else 0);
+        violations =
+          (agg.violations
+          +
+          match result.Run.checker with
+          | Some report -> List.length report.Scenarios.Checker.violations
+          | None -> 0);
+      })
+    agg seeds
+
+let stabilized_cell agg = Printf.sprintf "%d/%d" agg.stabilized agg.runs
+
+let latency_cell agg =
+  if Dstruct.Stats.is_empty agg.stabilization_ms then "-"
+  else
+    Printf.sprintf "%.0f±%.0fms"
+      (Dstruct.Stats.mean agg.stabilization_ms)
+      (Dstruct.Stats.stddev agg.stabilization_ms)

@@ -1,0 +1,31 @@
+(** Multi-seed replication: run the same configuration under several seeds
+    and aggregate the outcomes, so experiment tables can report means and
+    spreads instead of single draws. *)
+
+type aggregate = {
+  runs : int;
+  stabilized : int;  (** how many runs stabilized *)
+  stabilization_ms : Dstruct.Stats.t;  (** over the stabilized runs *)
+  elected_center : int;  (** runs whose final leader was the (last) center *)
+  messages : Dstruct.Stats.t;
+  max_susp_level : Dstruct.Stats.t;
+  violations : int;  (** total checker violations across runs *)
+}
+
+(** [run ~seeds ~config ~scenario_of ...] replicates {!Run.run}. Both the
+    engine seed and the scenario seed vary: [scenario_of seed] must build a
+    fresh scenario (plans are stateful). *)
+val run :
+  ?horizon:Sim.Time.t ->
+  ?crashes:(int * Sim.Time.t) list ->
+  ?check:bool ->
+  seeds:int64 list ->
+  config:Omega.Config.t ->
+  scenario_of:(int64 -> Scenarios.Scenario.t) ->
+  unit ->
+  aggregate
+
+(** "k/n ok, mean=… sd=…" cells for tables. *)
+val stabilized_cell : aggregate -> string
+
+val latency_cell : aggregate -> string

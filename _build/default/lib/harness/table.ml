@@ -1,0 +1,41 @@
+let widths header rows =
+  let all = header :: rows in
+  let columns = List.length header in
+  let w = Array.make columns 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < columns && String.length cell > w.(i) then
+            w.(i) <- String.length cell)
+        row)
+    all;
+  w
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let print_row w row =
+  let cells = List.mapi (fun i cell -> pad w.(i) cell) row in
+  print_string "| ";
+  print_string (String.concat " | " cells);
+  print_endline " |"
+
+let rule w =
+  let dashes = Array.to_list (Array.map (fun n -> String.make n '-') w) in
+  print_string "+-";
+  print_string (String.concat "-+-" dashes);
+  print_endline "-+"
+
+let print ~title ~header rows =
+  print_newline ();
+  print_endline ("== " ^ title ^ " ==");
+  let w = widths header rows in
+  rule w;
+  print_row w header;
+  rule w;
+  List.iter (print_row w) rows;
+  rule w
+
+let ms v = if Float.is_nan v then "-" else Printf.sprintf "%.1fms" v
+let yesno b = if b then "yes" else "no"
+let intc = string_of_int

@@ -1,0 +1,11 @@
+(** Plain-text table rendering for experiment output. *)
+
+(** [print ~title ~header rows] renders an aligned ASCII table to stdout. *)
+val print : title:string -> header:string list -> string list list -> unit
+
+(** Cell helpers. *)
+val ms : float -> string
+(** "123.4ms", or "-" for nan (never stabilized). *)
+
+val yesno : bool -> string
+val intc : int -> string

@@ -1,0 +1,1 @@
+lib/net/lossy.ml: Array Dstruct Network

@@ -1,0 +1,1 @@
+lib/net/lossy.mli: Dstruct Network

@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Printf Sim

@@ -1,0 +1,1 @@
+lib/net/network.mli: Sim

@@ -1,0 +1,1 @@
+lib/net/retransmit.ml: Array Dstruct List Network Queue Sim

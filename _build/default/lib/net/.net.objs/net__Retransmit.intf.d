@@ -1,0 +1,1 @@
+lib/net/retransmit.mli: Network Sim

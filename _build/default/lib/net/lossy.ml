@@ -1,0 +1,14 @@
+let wrap ~loss ~burst ~rng ~n oracle =
+  if loss < 0. || loss >= 1. then invalid_arg "Lossy.wrap: loss must be in [0,1)";
+  if burst < 1 then invalid_arg "Lossy.wrap: burst must be >= 1";
+  let consecutive = Array.make (n * n) 0 in
+  fun ~now ~seq ~src ~dst msg ->
+    let link = (src * n) + dst in
+    if consecutive.(link) < burst && Dstruct.Rng.chance rng loss then begin
+      consecutive.(link) <- consecutive.(link) + 1;
+      Network.Drop
+    end
+    else begin
+      consecutive.(link) <- 0;
+      oracle ~now ~seq ~src ~dst msg
+    end

@@ -1,0 +1,20 @@
+(** Fair-lossy link behaviour, as an oracle combinator.
+
+    The paper's base model assumes reliable links but notes (§1.3, footnote
+    2) that fair-lossy links suffice given acknowledgment + piggybacking —
+    the construction implemented by {!Retransmit}. A fair-lossy link may
+    drop messages but delivers infinitely many of an infinite sequence;
+    here fairness is deterministic: at most [burst] consecutive losses per
+    directed link, with each message independently lost with probability
+    [loss] otherwise. *)
+
+(** [wrap ~loss ~burst ~rng oracle] drops messages (before consulting
+    [oracle]) with probability [loss], but never more than [burst] in a row
+    on one directed link. [loss] in [0,1); [burst >= 1]. *)
+val wrap :
+  loss:float ->
+  burst:int ->
+  rng:Dstruct.Rng.t ->
+  n:int ->
+  'm Network.delay_oracle ->
+  'm Network.delay_oracle

@@ -1,0 +1,118 @@
+type pid = int
+
+type verdict = Deliver_after of Sim.Time.t | Drop
+
+type 'm delay_oracle =
+  now:Sim.Time.t -> seq:int -> src:pid -> dst:pid -> 'm -> verdict
+
+type 'm trace_event =
+  | Sent of { time : Sim.Time.t; seq : int; src : pid; dst : pid; msg : 'm }
+  | Delivered of {
+      time : Sim.Time.t;
+      sent_at : Sim.Time.t;
+      seq : int;
+      src : pid;
+      dst : pid;
+      msg : 'm;
+    }
+  | Dropped of { time : Sim.Time.t; seq : int; src : pid; dst : pid; msg : 'm }
+
+type 'm t = {
+  engine : Sim.Engine.t;
+  n : int;
+  oracle : 'm delay_oracle;
+  handlers : (src:pid -> 'm -> unit) option array;
+  crashed : bool array;
+  mutable seq : int;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable tracer : ('m trace_event -> unit) option;
+}
+
+let create engine ~n ~oracle =
+  if n <= 0 then invalid_arg "Network.create: n must be positive";
+  {
+    engine;
+    n;
+    oracle;
+    handlers = Array.make n None;
+    crashed = Array.make n false;
+    seq = 0;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    tracer = None;
+  }
+
+let n t = t.n
+let engine t = t.engine
+
+let check_pid t i ~op =
+  if i < 0 || i >= t.n then
+    invalid_arg (Printf.sprintf "Network.%s: pid %d out of range" op i)
+
+let set_handler t i f =
+  check_pid t i ~op:"set_handler";
+  t.handlers.(i) <- Some f
+
+let trace t ev = match t.tracer with Some f -> f ev | None -> ()
+
+let deliver t ~sent_at ~seq ~src ~dst msg () =
+  (* A message to a crashed process is silently consumed: the paper treats
+     the link to a crashed receiver as trivially timely. *)
+  if not t.crashed.(dst) then begin
+    t.delivered <- t.delivered + 1;
+    trace t
+      (Delivered
+         { time = Sim.Engine.now t.engine; sent_at; seq; src; dst; msg });
+    match t.handlers.(dst) with
+    | Some f -> f ~src msg
+    | None -> ()
+  end
+
+let send t ~src ~dst msg =
+  check_pid t src ~op:"send";
+  check_pid t dst ~op:"send";
+  if not t.crashed.(src) then begin
+    let now = Sim.Engine.now t.engine in
+    let seq = t.seq in
+    t.seq <- seq + 1;
+    t.sent <- t.sent + 1;
+    trace t (Sent { time = now; seq; src; dst; msg });
+    match t.oracle ~now ~seq ~src ~dst msg with
+    | Drop ->
+        t.dropped <- t.dropped + 1;
+        trace t (Dropped { time = now; seq; src; dst; msg })
+    | Deliver_after delay ->
+        if Sim.Time.(delay < Sim.Time.zero) then
+          invalid_arg "Network.send: oracle returned negative delay";
+        ignore
+          (Sim.Engine.schedule_after t.engine delay
+             (deliver t ~sent_at:now ~seq ~src ~dst msg))
+  end
+
+let broadcast t ~src msg =
+  for dst = 0 to t.n - 1 do
+    if dst <> src then send t ~src ~dst msg
+  done
+
+let crash t i =
+  check_pid t i ~op:"crash";
+  t.crashed.(i) <- true
+
+let is_crashed t i =
+  check_pid t i ~op:"is_crashed";
+  t.crashed.(i)
+
+let correct t =
+  let rec collect i acc =
+    if i < 0 then acc
+    else collect (i - 1) (if t.crashed.(i) then acc else i :: acc)
+  in
+  collect (t.n - 1) []
+
+let sent_count t = t.sent
+let delivered_count t = t.delivered
+let dropped_count t = t.dropped
+let set_tracer t f = t.tracer <- Some f

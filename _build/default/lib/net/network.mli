@@ -1,0 +1,74 @@
+(** Simulated message-passing network.
+
+    Matches the paper's model (§2.1): every ordered pair of processes is
+    connected by a directed link; links are reliable (no creation, alteration
+    or loss) and non-FIFO, with no bound on transfer delays. Delays come from
+    a {!delay_oracle}, which is where scenario generators inject timeliness,
+    winning order, or chaos. An oracle may also return [`Drop]: the paper's
+    base model never drops, but lossy variants are exercised by tests of the
+    fair-lossy extension discussed in §1.2/§3 of the paper.
+
+    Crash faults: a crashed process neither sends nor receives from the crash
+    time on (its handler is never invoked again), which is exactly premature
+    halting. *)
+
+type pid = int
+
+type verdict =
+  | Deliver_after of Sim.Time.t  (** transfer delay for this message *)
+  | Drop  (** lose the message (extension; not used by the base model) *)
+
+(** The oracle sees the send time, the link and the message, plus a
+    per-message sequence number (total order of sends) for tie-breaking. *)
+type 'm delay_oracle =
+  now:Sim.Time.t -> seq:int -> src:pid -> dst:pid -> 'm -> verdict
+
+(** Delivery trace record, consumed by the scenario checker. *)
+type 'm trace_event =
+  | Sent of { time : Sim.Time.t; seq : int; src : pid; dst : pid; msg : 'm }
+  | Delivered of {
+      time : Sim.Time.t;
+      sent_at : Sim.Time.t;
+      seq : int;
+      src : pid;
+      dst : pid;
+      msg : 'm;
+    }
+  | Dropped of { time : Sim.Time.t; seq : int; src : pid; dst : pid; msg : 'm }
+
+type 'm t
+
+(** [create engine ~n ~oracle] is a network for processes [0 .. n-1]. *)
+val create : Sim.Engine.t -> n:int -> oracle:'m delay_oracle -> 'm t
+
+val n : 'm t -> int
+val engine : 'm t -> Sim.Engine.t
+
+(** [set_handler t i f] installs the receive handler of process [i]. *)
+val set_handler : 'm t -> pid -> (src:pid -> 'm -> unit) -> unit
+
+(** [send t ~src ~dst m] sends [m] on link [src -> dst]. No-op if [src] has
+    crashed. Self-sends are delivered through the oracle like any other. *)
+val send : 'm t -> src:pid -> dst:pid -> 'm -> unit
+
+(** [broadcast t ~src m] sends [m] to every process except [src] (the
+    algorithms in the paper send "to each j <> i"). *)
+val broadcast : 'm t -> src:pid -> 'm -> unit
+
+(** [crash t i] halts process [i] immediately and permanently. *)
+val crash : 'm t -> pid -> unit
+
+val is_crashed : 'm t -> pid -> bool
+
+(** Ids of processes that have not crashed. *)
+val correct : 'm t -> pid list
+
+(** Observability for the experiment harness. *)
+val sent_count : 'm t -> int
+
+val delivered_count : 'm t -> int
+val dropped_count : 'm t -> int
+
+(** [set_tracer t f] registers a trace callback ([f] replaces any previous
+    tracer). *)
+val set_tracer : 'm t -> ('m trace_event -> unit) -> unit

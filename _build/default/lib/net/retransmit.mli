@@ -1,0 +1,52 @@
+(** Reliable channels over fair-lossy links — the construction of the
+    paper's footnote 2: "a message is piggybacked on the next messages until
+    it has been acknowledged".
+
+    Per directed link, the sender numbers messages and keeps them in an
+    unacknowledged queue; every wire envelope carries the whole queue (the
+    piggyback) plus a cumulative acknowledgment of the reverse direction.
+    A periodic retransmission task re-sends non-empty queues, so any fair-
+    lossy link (infinitely many deliveries) yields exactly-once, in-order
+    delivery of every payload between non-crashed processes.
+
+    The layer owns an internal envelope-typed {!Network} built from the
+    (typically {!Lossy.wrap}ped) oracle, and exposes the same send/handler
+    surface as {!Network}, so transport-generic protocols (e.g.
+    {!Consensus.Node}) run over it unchanged. *)
+
+type pid = int
+
+(** Wire envelope (exposed for tests and size accounting). *)
+type 'm envelope = {
+  first_seq : int;  (** sequence number of the first queued payload *)
+  payloads : 'm list;  (** the sender's whole unacknowledged queue *)
+  ack : int;  (** cumulative ack: all reverse-direction seq < ack received *)
+}
+
+type 'm t
+
+(** [create engine ~n ~oracle ~resend_every] builds the layer and its
+    internal network. *)
+val create :
+  Sim.Engine.t ->
+  n:int ->
+  oracle:'m envelope Network.delay_oracle ->
+  resend_every:Sim.Time.t ->
+  'm t
+
+(** Starts the per-process retransmission tasks. *)
+val start : 'm t -> unit
+
+val send : 'm t -> src:pid -> dst:pid -> 'm -> unit
+val set_handler : 'm t -> pid -> (src:pid -> 'm -> unit) -> unit
+val crash : 'm t -> pid -> unit
+val is_crashed : 'm t -> pid -> bool
+
+(** Envelopes put on the wire (including retransmissions). *)
+val wire_sends : 'm t -> int
+
+(** Payloads delivered to handlers (each exactly once). *)
+val delivered : 'm t -> int
+
+(** Current total backlog of unacknowledged payloads (boundedness probe). *)
+val backlog : 'm t -> int

@@ -1,0 +1,1 @@
+lib/omega/cluster.ml: Array List Message Net Node Sim

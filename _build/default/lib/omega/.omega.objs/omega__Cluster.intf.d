@@ -1,0 +1,1 @@
+lib/omega/cluster.mli: Config Message Net Node Sim

@@ -1,0 +1,1 @@
+lib/omega/config.mli: Sim

@@ -1,0 +1,1 @@
+lib/omega/message.ml: Array Format List

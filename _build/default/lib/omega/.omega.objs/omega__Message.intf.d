@@ -1,0 +1,1 @@
+lib/omega/message.mli: Format

@@ -1,0 +1,1 @@
+lib/omega/node.ml: Array Config Dstruct List Message Net Sim

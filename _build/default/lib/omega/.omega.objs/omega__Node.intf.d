@@ -1,0 +1,1 @@
+lib/omega/node.mli: Config Message Net Sim

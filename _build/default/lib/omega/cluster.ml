@@ -1,0 +1,38 @@
+type pid = int
+
+type t = {
+  nodes : Node.t array;
+  net : Message.t Net.Network.t;
+  engine : Sim.Engine.t;
+}
+
+let create cfg net =
+  let n = Net.Network.n net in
+  let nodes = Array.init n (fun me -> Node.create cfg net ~me) in
+  { nodes; net; engine = Net.Network.engine net }
+
+let start t = Array.iter Node.start t.nodes
+let node t i = t.nodes.(i)
+let net t = t.net
+let engine t = t.engine
+let n t = Array.length t.nodes
+
+let crash_at t p time =
+  ignore
+    (Sim.Engine.schedule_at t.engine time (fun () ->
+         Net.Network.crash t.net p))
+
+let leaders t =
+  List.map
+    (fun p -> (p, Node.leader t.nodes.(p)))
+    (Net.Network.correct t.net)
+
+let agreed_leader t =
+  match leaders t with
+  | [] -> None
+  | (_, l) :: rest ->
+      if
+        List.for_all (fun (_, l') -> l' = l) rest
+        && not (Net.Network.is_crashed t.net l)
+      then Some l
+      else None

@@ -1,0 +1,25 @@
+(** Convenience wiring of [n] {!Node}s over one network — what examples,
+    tests and the harness instantiate. *)
+
+type pid = int
+
+type t
+
+(** [create cfg net] builds one node per process id of [net]. *)
+val create : Config.t -> Message.t Net.Network.t -> t
+
+val start : t -> unit
+val node : t -> pid -> Node.t
+val net : t -> Message.t Net.Network.t
+val engine : t -> Sim.Engine.t
+val n : t -> int
+
+(** [crash_at t p time] schedules a crash of process [p]. *)
+val crash_at : t -> pid -> Sim.Time.t -> unit
+
+(** Current [leader ()] output of every non-crashed process. *)
+val leaders : t -> (pid * pid) list
+
+(** [Some l] iff every non-crashed process currently outputs the same leader
+    [l] and [l] has not crashed — the "good period" condition of §1.1. *)
+val agreed_leader : t -> pid option

@@ -1,0 +1,62 @@
+type variant =
+  | Fig1
+  | Fig2
+  | Fig3
+  | Fig3_fg of { f : int -> int; g : int -> Sim.Time.t }
+
+let variant_name = function
+  | Fig1 -> "fig1"
+  | Fig2 -> "fig2"
+  | Fig3 -> "fig3"
+  | Fig3_fg _ -> "fig3_fg"
+
+let has_window_condition = function
+  | Fig1 -> false
+  | Fig2 | Fig3 | Fig3_fg _ -> true
+
+let has_bounded_condition = function
+  | Fig1 | Fig2 -> false
+  | Fig3 | Fig3_fg _ -> true
+
+let f_of = function Fig1 | Fig2 | Fig3 -> fun _ -> 0 | Fig3_fg { f; _ } -> f
+
+let g_of = function
+  | Fig1 | Fig2 | Fig3 -> fun _ -> Sim.Time.zero
+  | Fig3_fg { g; _ } -> g
+
+type closure_rule = Conjunction | Timer_only | Count_only
+
+type t = {
+  n : int;
+  alpha : int;
+  beta : Sim.Time.t;
+  send_jitter : float;
+  timeout_unit : Sim.Time.t;
+  initial_timeout : Sim.Time.t;
+  variant : variant;
+  closure : closure_rule;
+  prune_margin : int;
+}
+
+let default ~n ~t variant =
+  {
+    n;
+    alpha = n - t;
+    beta = Sim.Time.of_ms 10;
+    send_jitter = 0.2;
+    timeout_unit = Sim.Time.of_us 500;
+    initial_timeout = Sim.Time.of_ms 20;
+    variant;
+    closure = Conjunction;
+    prune_margin = 128;
+  }
+
+let validate t =
+  if t.n < 2 then invalid_arg "Config: n must be at least 2";
+  if t.alpha < 1 || t.alpha > t.n then
+    invalid_arg "Config: alpha must be in [1, n]";
+  if Sim.Time.(t.beta <= Sim.Time.zero) then
+    invalid_arg "Config: beta must be positive";
+  if t.send_jitter < 0. || t.send_jitter >= 1. then
+    invalid_arg "Config: send_jitter must be in [0, 1)";
+  if t.prune_margin < 1 then invalid_arg "Config: prune_margin must be >= 1"

@@ -1,0 +1,72 @@
+(** Static configuration of a leader-algorithm node. *)
+
+(** Which of the paper's algorithms to run. *)
+type variant =
+  | Fig1
+      (** Figure 1: correct in [AS[A']] (eventual rotating t-star on {e every}
+          round from some point on). *)
+  | Fig2
+      (** Figure 2: adds the window condition (line [*]); correct in [AS[A]]
+          (intermittent rotating t-star). *)
+  | Fig3
+      (** Figure 3: adds the boundedness condition (line [**]); correct in
+          [AS[A]] and keeps every variable except round numbers bounded. *)
+  | Fig3_fg of { f : int -> int; g : int -> Sim.Time.t }
+      (** Section 7: the [A_{f,g}] generalization of Figure 3. [f] widens the
+          window-condition interval for round [rn] by [f rn]; [g rn] is added
+          to the timeout armed for receiving round [rn]. Both functions are
+          known to the processes, as the paper requires. *)
+
+val variant_name : variant -> string
+
+(** When does a receiving round close (line 8)? The paper's algorithms use
+    the conjunction; the single-sided rules are the baseline detectors the
+    paper's assumption decomposes into (§3 "particular system models"):
+    timer-only is the mechanism of the (moving) t-source family [ADFT04,
+    HMSZ06], count-only the time-free message-pattern mechanism [MMR03]. *)
+type closure_rule =
+  | Conjunction  (** timer expired AND >= alpha ALIVEs received (the paper) *)
+  | Timer_only  (** timer expired (pure timeout detector) *)
+  | Count_only  (** >= alpha ALIVEs received (pure order detector) *)
+
+(** Does the variant include Figure 2's line [*]? *)
+val has_window_condition : variant -> bool
+
+(** Does the variant include Figure 3's line [**]? *)
+val has_bounded_condition : variant -> bool
+
+(** Window widening [f] (0 for Figures 1-3). *)
+val f_of : variant -> int -> int
+
+(** Timeout inflation [g] (0 for Figures 1-3). *)
+val g_of : variant -> int -> Sim.Time.t
+
+type t = {
+  n : int;  (** number of processes *)
+  alpha : int;
+      (** quorum [n - t]: ALIVE count to close a round, SUSPICION count to
+          raise a level. The paper notes (footnote 5) [t] is never used
+          directly — any lower bound on the number of correct processes
+          works. *)
+  beta : Sim.Time.t;
+      (** max period between two ALIVE broadcasts of one process *)
+  send_jitter : float;
+      (** fraction of [beta]: actual period drawn uniformly from
+          [[beta*(1-jitter), beta]] — "repeat regularly" only bounds the gap *)
+  timeout_unit : Sim.Time.t;
+      (** scale factor turning the dimensionless [max susp_level] of line 11
+          into a duration (DESIGN.md §2) *)
+  initial_timeout : Sim.Time.t;  (** timer value armed at init *)
+  variant : variant;
+  closure : closure_rule;
+  prune_margin : int;
+      (** extra rounds of [suspicions]/[rec_from] history retained beyond
+          what any rule can read, so late messages still find their round *)
+}
+
+(** [default ~n ~t variant] is a sound configuration: [alpha = n - t],
+    [beta] = 10ms, 20% jitter, [timeout_unit] = 500µs, [initial_timeout] =
+    20ms, margin 128. *)
+val default : n:int -> t:int -> variant -> t
+
+val validate : t -> unit

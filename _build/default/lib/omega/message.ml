@@ -1,0 +1,26 @@
+type pid = int
+
+type t =
+  | Alive of { rn : int; susp_level : int array }
+  | Suspicion of { rn : int; suspects : pid list }
+
+let round = function Alive { rn; _ } -> rn | Suspicion { rn; _ } -> rn
+let is_alive = function Alive _ -> true | Suspicion _ -> false
+
+let wire_size = function
+  | Alive { susp_level; _ } -> 1 + 4 + (4 * Array.length susp_level)
+  | Suspicion { suspects; _ } -> 1 + 4 + 4 + (4 * List.length suspects)
+
+let pp ppf = function
+  | Alive { rn; susp_level } ->
+      Format.fprintf ppf "ALIVE(%d, [%a])" rn
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+           Format.pp_print_int)
+        (Array.to_list susp_level)
+  | Suspicion { rn; suspects } ->
+      Format.fprintf ppf "SUSPICION(%d, {%a})" rn
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        suspects

@@ -1,0 +1,27 @@
+(** Messages of the leader algorithms (Figures 1-3 of the paper).
+
+    Only two message kinds exist. The assumption [A] constrains ALIVE
+    messages exclusively; SUSPICION messages are entirely asynchronous.
+    Except for the round number, every field has a finite domain — the
+    property §6 of the paper establishes and experiment E5 measures. *)
+
+type pid = int
+
+type t =
+  | Alive of { rn : int; susp_level : int array }
+      (** Heartbeat of sending round [rn], gossiping the sender's whole
+          suspicion-level array (line 3). *)
+  | Suspicion of { rn : int; suspects : pid list }
+      (** "These processes never completed receiving round [rn] for me"
+          (line 10). *)
+
+(** Round number carried by a message. *)
+val round : t -> int
+
+val is_alive : t -> bool
+
+(** Serialized size in bytes under a simple binary encoding (4-byte ints,
+    1-byte tag); used by experiment E5 for cost accounting. *)
+val wire_size : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,288 @@
+type pid = int
+
+(* How a node reaches its peers; decoupled from {!Net.Network} so the
+   algorithm also runs over the fair-lossy + retransmission stack
+   (footnote 2 of the paper). *)
+type transport = {
+  engine : Sim.Engine.t;
+  n : int;
+  send : dst:pid -> Message.t -> unit;
+  halted : unit -> bool;
+}
+
+(* Per-round suspicion state: the count per suspected process (line 15) and
+   whether line 17 already ran for this (round, process) pair — the paper
+   increments at most once per pair, but the conditions must be re-evaluated
+   on every later SUSPICION arrival because the window (line [*]) can become
+   true only after older rounds' counts complete. *)
+type suspicion_entry = { counts : int array; credited : bool array }
+
+type t = {
+  cfg : Config.t;
+  tr : transport;
+  engine : Sim.Engine.t;
+  rng : Dstruct.Rng.t;
+  me : pid;
+  mutable s_rn : int;  (* current sending round *)
+  mutable r_rn : int;  (* current receiving round *)
+  susp_level : int array;
+  rec_from : Dstruct.Bitset.t Dstruct.Rounds.t;
+  suspicions : suspicion_entry Dstruct.Rounds.t;
+  mutable timer : Sim.Timer.t option;  (* set at [create], before [start] *)
+  (* observers *)
+  mutable current_timeout : Sim.Time.t;
+  mutable max_timeout_armed : Sim.Time.t;
+  mutable max_susp_seen : int;
+  mutable local_increments : int;
+}
+
+let me t = t.me
+let config t = t.cfg
+
+let timer_exn t =
+  match t.timer with Some timer -> timer | None -> assert false
+
+(* A crashed process executes no step at all: its pending timer and send
+   events become no-ops. *)
+let halted t = t.tr.halted ()
+
+let note_level t level = if level > t.max_susp_seen then t.max_susp_seen <- level
+
+let max_susp t = Array.fold_left max t.susp_level.(0) t.susp_level
+let min_susp t = Array.fold_left min t.susp_level.(0) t.susp_level
+
+(* Line 11 (+ Section 7's [+ g(r_rn + 1)]), scaled to a duration as per
+   DESIGN.md §2. *)
+let arm_timer t =
+  let g = Config.g_of t.cfg.Config.variant in
+  let duration =
+    Sim.Time.add
+      (Sim.Time.add t.cfg.Config.initial_timeout
+         (Sim.Time.of_us (Sim.Time.to_us t.cfg.Config.timeout_unit * max_susp t)))
+      (g (t.r_rn + 1))
+  in
+  t.current_timeout <- duration;
+  if Sim.Time.(duration > t.max_timeout_armed) then
+    t.max_timeout_armed <- duration;
+  Sim.Timer.set (timer_exn t) duration
+
+let fresh_rec_from t () =
+  let s = Dstruct.Bitset.create t.cfg.Config.n in
+  Dstruct.Bitset.add s t.me;
+  s
+
+let fresh_suspicions t () =
+  {
+    counts = Array.make t.cfg.Config.n 0;
+    credited = Array.make t.cfg.Config.n false;
+  }
+
+(* Lines 9-12, fired once the conjunction of line 8 holds. *)
+let rec try_close_round t =
+  if not (halted t) then begin
+    let received =
+      Dstruct.Rounds.find_or_add t.rec_from t.r_rn ~default:(fresh_rec_from t)
+    in
+    let expired = Sim.Timer.has_expired (timer_exn t) in
+    let quorum = Dstruct.Bitset.cardinal received >= t.cfg.Config.alpha in
+    let ready =
+      match t.cfg.Config.closure with
+      | Config.Conjunction -> expired && quorum
+      | Config.Timer_only -> expired
+      | Config.Count_only -> quorum
+    in
+    if ready then begin
+      let suspects =
+        Dstruct.Bitset.to_list (Dstruct.Bitset.complement received)
+      in
+      (* Line 10 sends to every process, itself included (no [j <> i]). *)
+      let msg = Message.Suspicion { rn = t.r_rn; suspects } in
+      for dst = 0 to t.cfg.Config.n - 1 do
+        t.tr.send ~dst msg
+      done;
+      t.r_rn <- t.r_rn + 1;
+      arm_timer t;
+      prune t;
+      (* The next round may already satisfy line 8 if the timeout was zero
+         and enough future-round ALIVEs were buffered. *)
+      try_close_round t
+    end
+  end
+
+(* Discard rounds no rule can read again (DESIGN.md §2): [rec_from] below the
+   current receiving round, [suspicions] below the deepest window any future
+   line [*] check can reach, with a safety margin for processes whose
+   receiving round lags ours. *)
+and prune t =
+  Dstruct.Rounds.prune_below t.rec_from t.r_rn;
+  let f = Config.f_of t.cfg.Config.variant in
+  let reach = max_susp t + f t.r_rn + t.cfg.Config.prune_margin in
+  Dstruct.Rounds.prune_below t.suspicions (t.r_rn - reach)
+
+(* Lines 4-7. *)
+let on_alive t ~src rn sl =
+  for k = 0 to t.cfg.Config.n - 1 do
+    if sl.(k) > t.susp_level.(k) then begin
+      t.susp_level.(k) <- sl.(k);
+      note_level t sl.(k)
+    end
+  done;
+  if rn >= t.r_rn then begin
+    let received =
+      Dstruct.Rounds.find_or_add t.rec_from rn ~default:(fresh_rec_from t)
+    in
+    Dstruct.Bitset.add received src
+  end;
+  (* The line-8 conjunction may have just become true (timer expired first,
+     the [alpha]-th ALIVE arrived now). *)
+  try_close_round t
+
+(* Line [*] of Figures 2-3, widened by [f] for the A_{f,g} variant:
+   every round in [[rn - susp_level.(k) - f rn, rn]] must already have
+   [alpha] suspicions against [k]. Rounds below 1 don't exist; rounds below
+   the prune floor count as unsatisfied (they can only be reached when the
+   margin is exceeded, which delays — never falsifies — an increment). *)
+let window_satisfied t rn k =
+  let f = Config.f_of t.cfg.Config.variant in
+  let lo = max 1 (rn - t.susp_level.(k) - f rn) in
+  let floor = Dstruct.Rounds.floor t.suspicions in
+  if lo < floor then false
+  else begin
+    let rec check x =
+      if x > rn then true
+      else
+        match Dstruct.Rounds.find t.suspicions x with
+        | Some entry when entry.counts.(k) >= t.cfg.Config.alpha -> check (x + 1)
+        | Some _ | None -> false
+    in
+    check lo
+  end
+
+(* Lines 13-18. *)
+let on_suspicion t rn suspects =
+  if rn >= Dstruct.Rounds.floor t.suspicions then begin
+    let entry =
+      Dstruct.Rounds.find_or_add t.suspicions rn
+        ~default:(fresh_suspicions t)
+    in
+    let variant = t.cfg.Config.variant in
+    List.iter
+      (fun k ->
+        entry.counts.(k) <- entry.counts.(k) + 1;
+        let quorum =
+          entry.counts.(k) >= t.cfg.Config.alpha && not entry.credited.(k)
+        in
+        let window =
+          (not (Config.has_window_condition variant))
+          || window_satisfied t rn k
+        in
+        let bounded =
+          (not (Config.has_bounded_condition variant))
+          || t.susp_level.(k) = min_susp t
+        in
+        if quorum && window && bounded then begin
+          entry.credited.(k) <- true;
+          t.susp_level.(k) <- t.susp_level.(k) + 1;
+          t.local_increments <- t.local_increments + 1;
+          note_level t t.susp_level.(k)
+        end)
+      suspects
+  end
+
+let on_message t ~src msg =
+  if not (halted t) then
+    match msg with
+    | Message.Alive { rn; susp_level } -> on_alive t ~src rn susp_level
+    | Message.Suspicion { rn; suspects } -> on_suspicion t rn suspects
+
+(* Lines 1-3 (task T1): consecutive broadcasts at most [beta] apart. *)
+let rec sending_task t () =
+  if not (halted t) then begin
+    t.s_rn <- t.s_rn + 1;
+    let msg =
+      Message.Alive { rn = t.s_rn; susp_level = Array.copy t.susp_level }
+    in
+    for dst = 0 to t.cfg.Config.n - 1 do
+      (* Line 3: every j <> i. *)
+      if dst <> t.me then t.tr.send ~dst msg
+    done;
+    let beta_us = Sim.Time.to_us t.cfg.Config.beta in
+    let low =
+      int_of_float (float_of_int beta_us *. (1. -. t.cfg.Config.send_jitter))
+    in
+    let period = Dstruct.Rng.int_in t.rng (max 1 low) beta_us in
+    ignore
+      (Sim.Engine.schedule_after t.engine (Sim.Time.of_us period)
+         (sending_task t))
+  end
+
+let create_with_transport cfg (tr : transport) ~me =
+  Config.validate cfg;
+  if tr.n <> cfg.Config.n then
+    invalid_arg "Node.create: transport size differs from config";
+  let engine = tr.engine in
+  let t =
+    {
+      cfg;
+      tr;
+      engine;
+      rng = Dstruct.Rng.split (Sim.Engine.rng engine);
+      me;
+      s_rn = 0;
+      r_rn = 1;
+      susp_level = Array.make cfg.Config.n 0;
+      rec_from = Dstruct.Rounds.create ();
+      suspicions = Dstruct.Rounds.create ();
+      timer = None;
+      current_timeout = cfg.Config.initial_timeout;
+      max_timeout_armed = cfg.Config.initial_timeout;
+      max_susp_seen = 0;
+      local_increments = 0;
+    }
+  in
+  t.timer <- Some (Sim.Timer.create engine ~on_expire:(fun () -> try_close_round t));
+  t
+
+let handle t ~src msg = on_message t ~src msg
+
+let network_transport net ~me =
+  {
+    engine = Net.Network.engine net;
+    n = Net.Network.n net;
+    send = (fun ~dst msg -> Net.Network.send net ~src:me ~dst msg);
+    halted = (fun () -> Net.Network.is_crashed net me);
+  }
+
+let create cfg net ~me =
+  let t = create_with_transport cfg (network_transport net ~me) ~me in
+  Net.Network.set_handler net me (fun ~src msg -> on_message t ~src msg);
+  t
+
+let start t =
+  Sim.Timer.set (timer_exn t) t.cfg.Config.initial_timeout;
+  (* Processes start their sending tasks at unrelated instants (§3: no
+     relation between send times of different processes). *)
+  let offset = Dstruct.Rng.int t.rng (max 1 (Sim.Time.to_us t.cfg.Config.beta)) in
+  ignore
+    (Sim.Engine.schedule_after t.engine (Sim.Time.of_us offset)
+       (sending_task t))
+
+(* Lines 19-21: lexicographic minimum of (susp_level.(j), j). *)
+let leader t =
+  let best = ref 0 in
+  for j = 1 to t.cfg.Config.n - 1 do
+    if t.susp_level.(j) < t.susp_level.(!best) then best := j
+  done;
+  !best
+
+let susp_level t = Array.copy t.susp_level
+let sending_round t = t.s_rn
+let receiving_round t = t.r_rn
+let current_timeout t = t.current_timeout
+let max_timeout_armed t = t.max_timeout_armed
+let max_susp_level_seen t = t.max_susp_seen
+let local_increments t = t.local_increments
+let lattice_invariant_holds t = max_susp t - min_susp t <= 1
+
+let round_state_cardinal t =
+  Dstruct.Rounds.cardinal t.rec_from + Dstruct.Rounds.cardinal t.suspicions

@@ -1,0 +1,98 @@
+(** One process of the leader algorithm (Figures 1, 2, 3 and the [A_{f,g}]
+    variant of §7), driven by the discrete-event engine.
+
+    Line-by-line mapping to Figure 3 of the paper (the supersets Figure 1 and
+    Figure 2 are obtained by disabling the [*] / [**] conditions through
+    {!Config.variant}):
+
+    - init: [rec_from.(rn) = {i}] for every rn (the round store's default),
+      [suspicions.(rn).(j) = 0], [s_rn = 0], [r_rn = 1], timer armed.
+    - lines 1-3 (task T1): every at-most-[beta] units, [s_rn <- s_rn + 1] and
+      broadcast [ALIVE (s_rn, susp_level)] to every other process.
+    - lines 4-7: on [ALIVE (rn, sl)], merge [sl] into [susp_level] by
+      pointwise max; if [rn >= r_rn], add the sender to [rec_from.(rn)].
+    - lines 8-12: when the timer has expired {e and} [|rec_from.(r_rn)| >=
+      alpha]: broadcast [SUSPICION (r_rn, Pi \ rec_from.(r_rn))] to every
+      process (itself included — line 10 has no [j <> i] filter, unlike
+      line 3), re-arm the timer from [max_j susp_level.(j)], and move to
+      receiving round [r_rn + 1].
+    - lines 13-18: on [SUSPICION (rn, suspects)], for each [k] in [suspects]
+      increment [suspicions.(rn).(k)]; raise [susp_level.(k)] by one iff
+      [suspicions.(rn).(k) >= alpha] {e and} (line [*], Figures 2-3) every
+      [x] in [[rn - susp_level.(k) - f rn, rn]] already reached [alpha]
+      {e and} (line [**], Figure 3) [susp_level.(k)] is currently minimal.
+    - lines 19-21: [leader ()] is the lexicographically least
+      [(susp_level.(j), j)].
+
+    Unbounded round-indexed state is pruned once out of reach; see
+    DESIGN.md §2 and {!Dstruct.Rounds}. *)
+
+type pid = int
+
+(** How the node reaches its peers. Decoupled from {!Net.Network} so the
+    algorithm also runs over the fair-lossy + retransmission stack of the
+    paper's footnote 2 ({!Net.Retransmit}). *)
+type transport = {
+  engine : Sim.Engine.t;
+  n : int;
+  send : dst:pid -> Message.t -> unit;
+  halted : unit -> bool;  (** has this process crashed? *)
+}
+
+type t
+
+(** [create cfg net ~me] allocates the node and registers its receive handler
+    on [net]. Call {!start} to begin the sending task and arm the timer. *)
+val create : Config.t -> Message.t Net.Network.t -> me:pid -> t
+
+(** [create_with_transport cfg tr ~me] is {!create} over an arbitrary
+    transport; the caller must route incoming messages to {!handle}. *)
+val create_with_transport : Config.t -> transport -> me:pid -> t
+
+(** The direct transport {!create} uses. *)
+val network_transport : Message.t Net.Network.t -> me:pid -> transport
+
+(** Deliver an incoming message (only needed with
+    {!create_with_transport}). *)
+val handle : t -> src:pid -> Message.t -> unit
+
+(** Schedules the first ALIVE broadcast and arms the initial timer. *)
+val start : t -> unit
+
+(** Line 19-21: the current leader estimate. *)
+val leader : t -> pid
+
+val me : t -> pid
+val config : t -> Config.t
+
+(** {2 Introspection (observers used by tests and experiments)} *)
+
+(** Copy of the suspicion-level array. *)
+val susp_level : t -> int array
+
+(** Current sending round. *)
+val sending_round : t -> int
+
+(** Current receiving round. *)
+val receiving_round : t -> int
+
+(** Duration the timer was last armed with (initially
+    [cfg.initial_timeout]). *)
+val current_timeout : t -> Sim.Time.t
+
+(** Largest timeout armed so far. *)
+val max_timeout_armed : t -> Sim.Time.t
+
+(** Largest value ever held by any [susp_level] entry. *)
+val max_susp_level_seen : t -> int
+
+(** Number of times line 17 executed ([susp_level] increments other than
+    gossip merges). *)
+val local_increments : t -> int
+
+(** Lemma 8 invariant for Figure 3: [max susp_level - min susp_level <= 1].
+    Always true for Fig3/Fig3_fg; meaningless (often false) for Fig1/Fig2. *)
+val lattice_invariant_holds : t -> bool
+
+(** Live entries in the round-indexed stores (bounded iff pruning works). *)
+val round_state_cardinal : t -> int

@@ -1,0 +1,1 @@
+lib/scenarios/checker.ml: Format Hashtbl List Net Option Printf Scenario Sim

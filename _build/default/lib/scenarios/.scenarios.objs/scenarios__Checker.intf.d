@@ -1,0 +1,1 @@
+lib/scenarios/checker.mli: Format Net Scenario

@@ -1,0 +1,1 @@
+lib/scenarios/scenario.ml: Array Dstruct Fun Hashtbl List Net Omega Option Printf Sim

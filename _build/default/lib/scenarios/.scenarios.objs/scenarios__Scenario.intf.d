@@ -1,0 +1,1 @@
+lib/scenarios/scenario.mli: Net Omega Sim

@@ -1,0 +1,141 @@
+type pid = int
+
+type violation = { rn : int; q : pid; detail : string }
+
+type report = {
+  rounds_checked : int;
+  points_checked : int;
+  points_timely : int;
+  points_winning : int;
+  points_crashed : int;
+  points_skipped : int;
+  violations : violation list;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "rounds=%d points=%d timely=%d winning=%d crashed=%d skipped=%d \
+     violations=%d"
+    r.rounds_checked r.points_checked r.points_timely r.points_winning
+    r.points_crashed r.points_skipped (List.length r.violations)
+
+type arrival = { src : pid; sent_at : Sim.Time.t; received_at : Sim.Time.t }
+
+type 'm t = {
+  scenario : Scenario.t;
+  round_of : 'm -> int option;
+  (* (dst, rn) -> arrivals in delivery order (stored reversed). *)
+  arrivals : (pid * int, arrival list ref) Hashtbl.t;
+}
+
+let create scenario ~round_of =
+  { scenario; round_of; arrivals = Hashtbl.create 1024 }
+
+let tracer t = function
+  | Net.Network.Delivered { time; sent_at; src; dst; msg; _ } -> (
+      match t.round_of msg with
+      | None -> ()
+      | Some rn ->
+          let key = (dst, rn) in
+          let cell =
+            match Hashtbl.find_opt t.arrivals key with
+            | Some cell -> cell
+            | None ->
+                let cell = ref [] in
+                Hashtbl.add t.arrivals key cell;
+                cell
+          in
+          cell := { src; sent_at; received_at = time } :: !cell)
+  | Net.Network.Sent _ | Net.Network.Dropped _ -> ()
+
+(* Position (1-based) of the center's ALIVE(rn) among the messages [q]
+   received, and its transfer delay. *)
+let center_arrival t ~q ~rn ~center =
+  match Hashtbl.find_opt t.arrivals (q, rn) with
+  | None -> `No_arrivals
+  | Some cell ->
+      let in_order = List.rev !cell in
+      let rec scan pos = function
+        | [] -> `Missing (List.length in_order)
+        | a :: rest ->
+            if a.src = center then
+              `Found (pos, Sim.Time.sub a.received_at a.sent_at)
+            else scan (pos + 1) rest
+      in
+      scan 1 in_order
+
+let verify t ~upto_round ~crashed =
+  let p = Scenario.params t.scenario in
+  let winning_rank = p.Scenario.n - p.Scenario.t in
+  let rounds_checked = ref 0 in
+  let points_checked = ref 0 in
+  let timely = ref 0 in
+  let winning = ref 0 in
+  let crashed_ok = ref 0 in
+  let skipped = ref 0 in
+  let violations = ref [] in
+  (match Scenario.center t.scenario with
+  | None -> ()
+  | Some _ ->
+      for rn = p.Scenario.rn0 to upto_round do
+        let center = Option.get (Scenario.center_at t.scenario rn) in
+        if Scenario.in_s t.scenario rn then begin
+          incr rounds_checked;
+          List.iter
+            (fun (q, _mode) ->
+              incr points_checked;
+              if crashed q then incr crashed_ok
+              else begin
+                let delta_bound =
+                  Sim.Time.add p.Scenario.delta
+                    (Scenario.g_function t.scenario rn)
+                in
+                match center_arrival t ~q ~rn ~center with
+                | `Found (pos, delay) ->
+                    if Sim.Time.(delay <= delta_bound) then incr timely
+                    else if pos <= winning_rank then incr winning
+                    else
+                      violations :=
+                        {
+                          rn;
+                          q;
+                          detail =
+                            Format.asprintf
+                              "neither timely (delay %a > %a) nor winning \
+                               (rank %d > %d)"
+                              Sim.Time.pp delay Sim.Time.pp delta_bound pos
+                              winning_rank;
+                        }
+                        :: !violations
+                | `No_arrivals -> incr skipped
+                | `Missing received ->
+                    (* The center's message has not arrived by the horizon.
+                       If q has already received enough other ALIVEs, the
+                       center can no longer be winning: violation. Otherwise
+                       the round is still in flight: skip. *)
+                    if received >= winning_rank then
+                      violations :=
+                        {
+                          rn;
+                          q;
+                          detail =
+                            Printf.sprintf
+                              "center ALIVE not delivered, %d others already \
+                               arrived"
+                              received;
+                        }
+                        :: !violations
+                    else incr skipped
+              end)
+            (Scenario.q_set t.scenario rn)
+        end
+      done);
+  {
+    rounds_checked = !rounds_checked;
+    points_checked = !points_checked;
+    points_timely = !timely;
+    points_winning = !winning;
+    points_crashed = !crashed_ok;
+    points_skipped = !skipped;
+    violations = List.rev !violations;
+  }

@@ -1,0 +1,44 @@
+(** Trace checker: verifies that a finished run actually satisfied the
+    assumption the scenario promised.
+
+    Register {!tracer} on the network before the run; afterwards {!verify}
+    replays the witness: for every round [s ∈ S] up to a horizon and every
+    point [q ∈ Q(s)], property A2 must hold — [q] crashed, or the center's
+    ALIVE(s) was received by [q] within [δ + g s] of its sending, or among
+    the first [n − t] ALIVE(s) messages [q] received.
+
+    This closes the loop on experiment honesty: E1/E2/E7's "the assumption
+    held" is a checked fact about the trace, not a property we hope the
+    delay oracle implements. *)
+
+type pid = int
+
+type violation = {
+  rn : int;
+  q : pid;
+  detail : string;  (** human-readable reason A2 failed at (rn, q) *)
+}
+
+type report = {
+  rounds_checked : int;  (** rounds of S in the verified window *)
+  points_checked : int;  (** (rn, q) pairs examined *)
+  points_timely : int;  (** satisfied via A2(2) *)
+  points_winning : int;  (** satisfied via A2(3) but not A2(2) *)
+  points_crashed : int;  (** satisfied via A2(1) *)
+  points_skipped : int;  (** not judgeable (round incomplete at horizon) *)
+  violations : violation list;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+type 'm t
+
+val create : Scenario.t -> round_of:('m -> int option) -> 'm t
+
+(** Feed to {!Net.Network.set_tracer}. *)
+val tracer : 'm t -> 'm Net.Network.trace_event -> unit
+
+(** [verify t ~upto_round ~crashed] checks every [s ∈ S] with
+    [rn0 <= s <= upto_round]. [crashed q] must say whether [q] crashed
+    during the run. *)
+val verify : 'm t -> upto_round:int -> crashed:(pid -> bool) -> report

@@ -1,0 +1,1 @@
+lib/sim/timer.ml: Engine Option

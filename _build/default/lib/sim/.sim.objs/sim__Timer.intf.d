@@ -1,0 +1,1 @@
+lib/sim/timer.mli: Engine Time

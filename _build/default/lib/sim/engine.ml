@@ -1,0 +1,91 @@
+type handle = { mutable cancelled : bool }
+
+type event = { time : Time.t; action : unit -> unit; h : handle }
+
+type t = {
+  queue : event Dstruct.Pqueue.t;
+  rng : Dstruct.Rng.t;
+  mutable now : Time.t;
+  mutable executed : int;
+  mutable live : int;  (* scheduled and not cancelled *)
+}
+
+let compare_event (a : event) (b : event) = Time.compare a.time b.time
+
+let create ~seed () =
+  {
+    queue = Dstruct.Pqueue.create ~compare:compare_event;
+    rng = Dstruct.Rng.create seed;
+    now = Time.zero;
+    executed = 0;
+    live = 0;
+  }
+
+let now t = t.now
+let rng t = t.rng
+
+let schedule_at t time action =
+  if Time.(time < t.now) then
+    invalid_arg
+      (Format.asprintf "Engine.schedule_at: %a is before now (%a)" Time.pp
+         time Time.pp t.now);
+  let h = { cancelled = false } in
+  Dstruct.Pqueue.push t.queue { time; action; h };
+  t.live <- t.live + 1;
+  h
+
+let schedule_after t delay action =
+  schedule_at t (Time.add t.now delay) action
+
+let cancel h = h.cancelled <- true
+let is_cancelled h = h.cancelled
+
+let pending t =
+  (* [live] over-counts by the cancelled-but-still-queued events, so count
+     precisely; the queue is small in practice and this is a debug query. *)
+  ignore t.live;
+  List.length
+    (List.filter
+       (fun e -> not e.h.cancelled)
+       (Dstruct.Pqueue.to_sorted_list t.queue))
+
+let executed t = t.executed
+
+let step t =
+  match Dstruct.Pqueue.pop t.queue with
+  | None -> false
+  | Some e ->
+      t.live <- t.live - 1;
+      if not e.h.cancelled then begin
+        assert (Time.(e.time >= t.now));
+        t.now <- e.time;
+        t.executed <- t.executed + 1;
+        e.action ()
+      end;
+      true
+
+let run_until t limit =
+  let rec loop () =
+    match Dstruct.Pqueue.peek t.queue with
+    | Some e when Time.(e.time <= limit) ->
+        ignore (step t);
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  t.now <- Time.max t.now limit
+
+let run_until_idle ?limit t =
+  let rec loop () =
+    match Dstruct.Pqueue.peek t.queue with
+    | None -> `Idle
+    | Some e -> (
+        match limit with
+        | Some l when Time.(e.time > l) ->
+            t.now <- Time.max t.now l;
+            `Limit
+        | Some _ | None ->
+            ignore (step t);
+            loop ())
+  in
+  loop ()

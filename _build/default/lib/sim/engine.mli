@@ -1,0 +1,49 @@
+(** Deterministic discrete-event engine.
+
+    Events are closures scheduled at virtual times. Events with equal times
+    fire in scheduling order (FIFO), so a run is a pure function of the seed
+    and the program — the property every test and experiment relies on.
+
+    The engine deliberately has no notion of processes or messages; those
+    live in {!Net} and above. *)
+
+type t
+
+(** A cancellable reference to a scheduled event. *)
+type handle
+
+(** [create ~seed ()] is a fresh engine at time [Time.zero]. *)
+val create : seed:int64 -> unit -> t
+
+(** Current virtual time. *)
+val now : t -> Time.t
+
+(** Root PRNG of this engine; use {!Rng.split} to derive sub-streams. *)
+val rng : t -> Dstruct.Rng.t
+
+(** [schedule_at t time f] runs [f ()] when the clock reaches [time].
+    Raises [Invalid_argument] if [time] is in the past. *)
+val schedule_at : t -> Time.t -> (unit -> unit) -> handle
+
+(** [schedule_after t delay f] is [schedule_at t (now t + delay)]. *)
+val schedule_after : t -> Time.t -> (unit -> unit) -> handle
+
+(** [cancel h] prevents the event from firing. Idempotent; no effect if the
+    event already fired. *)
+val cancel : handle -> unit
+
+val is_cancelled : handle -> bool
+
+(** Number of scheduled (non-cancelled) future events. *)
+val pending : t -> int
+
+(** Total events executed so far. *)
+val executed : t -> int
+
+(** [run_until t limit] executes every event with time [<= limit] and then
+    advances the clock to [limit]. *)
+val run_until : t -> Time.t -> unit
+
+(** [run_until_idle ?limit t] executes events until none remain, or the next
+    event lies beyond [limit]. Returns the reason it stopped. *)
+val run_until_idle : ?limit:Time.t -> t -> [ `Idle | `Limit ]

@@ -1,0 +1,25 @@
+(** Virtual time for the discrete-event simulator.
+
+    Time is an integer number of microseconds. The paper's global clock is a
+    fictional device used only in specifications; here it is the simulator
+    clock, still invisible to the simulated processes (they may only measure
+    intervals with local timers, as the model requires). *)
+
+type t = int
+
+val zero : t
+val of_us : int -> t
+val of_ms : int -> t
+val of_sec : int -> t
+val to_us : t -> int
+val to_ms_float : t -> float
+val add : t -> t -> t
+val sub : t -> t -> t
+val compare : t -> t -> int
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val max : t -> t -> t
+val min : t -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+type t = {
+  engine : Engine.t;
+  on_expire : unit -> unit;
+  mutable handle : Engine.handle option;
+  mutable expired : bool;
+}
+
+let create engine ~on_expire = { engine; on_expire; handle = None; expired = false }
+
+let disarm t =
+  match t.handle with
+  | Some h ->
+      Engine.cancel h;
+      t.handle <- None
+  | None -> ()
+
+let set t duration =
+  disarm t;
+  t.expired <- false;
+  let fire () =
+    t.handle <- None;
+    t.expired <- true;
+    t.on_expire ()
+  in
+  t.handle <- Some (Engine.schedule_after t.engine duration fire)
+
+let cancel t = disarm t
+
+let is_armed t = Option.is_some t.handle
+let has_expired t = t.expired

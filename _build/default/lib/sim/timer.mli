@@ -1,0 +1,24 @@
+(** Restartable one-shot timer, the "local clock that can accurately measure
+    time intervals" of the paper's process model.
+
+    A timer is either unarmed, armed (will call [on_expire] at a future
+    time), or expired (fired and not re-armed). The leader algorithms test
+    "timer has expired" as a persistent condition, which [has_expired]
+    models. *)
+
+type t
+
+val create : Engine.t -> on_expire:(unit -> unit) -> t
+
+(** [set t d] (re)arms the timer to fire after duration [d], cancelling any
+    previous arming and clearing the expired flag. [d] may be zero, in which
+    case the timer fires as a separate immediate event. *)
+val set : t -> Time.t -> unit
+
+(** [cancel t] disarms without marking expired. *)
+val cancel : t -> unit
+
+val is_armed : t -> bool
+
+(** True from the moment the timer fires until the next [set]. *)
+val has_expired : t -> bool

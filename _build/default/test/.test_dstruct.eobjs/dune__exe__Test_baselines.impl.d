@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines List Net Scenarios Sim

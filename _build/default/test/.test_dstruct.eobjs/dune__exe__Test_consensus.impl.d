@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Consensus Dstruct Int Int64 List Net QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_dstruct.ml: Alcotest Dstruct Float Gen Int Int64 List Map QCheck QCheck_alcotest Set

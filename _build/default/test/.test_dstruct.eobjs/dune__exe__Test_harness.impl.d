@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Float Harness List Omega Option Scenarios Sim

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Consensus Harness List Net Omega Scenarios Sim

@@ -1,0 +1,1 @@
+test/test_lossy.ml: Alcotest Array Consensus Dstruct Fun List Net Omega Sim

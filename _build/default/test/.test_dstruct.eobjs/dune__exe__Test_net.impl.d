@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Gen List Net QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_omega.ml: Alcotest Array Fun Gen List Net Omega QCheck QCheck_alcotest Sim

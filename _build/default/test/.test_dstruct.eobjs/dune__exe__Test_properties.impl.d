@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Consensus Dstruct Gen Harness Int Int64 List Net Omega QCheck QCheck_alcotest Scenarios Sim

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Fun Harness Int64 List Net Omega QCheck QCheck_alcotest Scenarios Sim String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Format Gen List QCheck QCheck_alcotest Sim

@@ -1,0 +1,254 @@
+(* Tests for the fair-lossy link model and the footnote-2 reliability
+   construction (ack + piggyback retransmission), including consensus
+   running over fair-lossy links through the transport-generic node. *)
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+let us = Sim.Time.of_us
+let ms = Sim.Time.of_ms
+
+let flat d ~now:_ ~seq:_ ~src:_ ~dst:_ _ = Net.Network.Deliver_after (us d)
+
+(* ------------------------------------------------------------- Lossy *)
+
+let test_lossy_drops_and_delivers () =
+  let engine = Sim.Engine.create ~seed:1L () in
+  let rng = Dstruct.Rng.create 5L in
+  let oracle = Net.Lossy.wrap ~loss:0.5 ~burst:10 ~rng ~n:2 (flat 10) in
+  let net = Net.Network.create engine ~n:2 ~oracle in
+  let received = ref 0 in
+  Net.Network.set_handler net 1 (fun ~src:_ _ -> incr received);
+  for i = 1 to 1000 do
+    Net.Network.send net ~src:0 ~dst:1 i
+  done;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1);
+  check bool_t "some dropped" true (!received < 1000);
+  check bool_t "many delivered" true (!received > 300);
+  check int_t "counters consistent" 1000
+    (Net.Network.delivered_count net + Net.Network.dropped_count net)
+
+let test_lossy_burst_bound () =
+  (* With loss = 0.95 and burst = 3, at least every 4th message on a link
+     gets through. *)
+  let engine = Sim.Engine.create ~seed:1L () in
+  let rng = Dstruct.Rng.create 5L in
+  let oracle = Net.Lossy.wrap ~loss:0.95 ~burst:3 ~rng ~n:2 (flat 10) in
+  let net = Net.Network.create engine ~n:2 ~oracle in
+  let received = ref 0 in
+  Net.Network.set_handler net 1 (fun ~src:_ _ -> incr received);
+  for i = 1 to 400 do
+    Net.Network.send net ~src:0 ~dst:1 i
+  done;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1);
+  check bool_t "fairness floor" true (!received >= 100)
+
+let test_lossy_validation () =
+  let rng = Dstruct.Rng.create 1L in
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check bool_t "loss = 1 rejected" true
+    (bad (fun () -> Net.Lossy.wrap ~loss:1.0 ~burst:1 ~rng ~n:2 (flat 1)));
+  check bool_t "burst = 0 rejected" true
+    (bad (fun () -> Net.Lossy.wrap ~loss:0.1 ~burst:0 ~rng ~n:2 (flat 1)))
+
+(* --------------------------------------------------------- Retransmit *)
+
+let make_reliable ?(n = 3) ?(loss = 0.5) ?(seed = 3L) () =
+  let engine = Sim.Engine.create ~seed () in
+  let rng = Dstruct.Rng.split (Sim.Engine.rng engine) in
+  let oracle = Net.Lossy.wrap ~loss ~burst:20 ~rng ~n (flat 500) in
+  let layer = Net.Retransmit.create engine ~n ~oracle ~resend_every:(ms 5) in
+  Net.Retransmit.start layer;
+  (engine, layer)
+
+let test_retransmit_exactly_once_in_order () =
+  let engine, layer = make_reliable () in
+  let received = ref [] in
+  Net.Retransmit.set_handler layer 1 (fun ~src m ->
+      if src = 0 then received := m :: !received);
+  for i = 1 to 200 do
+    Net.Retransmit.send layer ~src:0 ~dst:1 i
+  done;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 10);
+  check (Alcotest.list int_t) "every payload exactly once, in order"
+    (List.init 200 (fun i -> i + 1))
+    (List.rev !received);
+  check int_t "queues drained" 0 (Net.Retransmit.backlog layer)
+
+let test_retransmit_bidirectional () =
+  let engine, layer = make_reliable () in
+  let got = Array.make 3 0 in
+  for p = 0 to 2 do
+    Net.Retransmit.set_handler layer p (fun ~src:_ _ -> got.(p) <- got.(p) + 1)
+  done;
+  for i = 1 to 50 do
+    Net.Retransmit.send layer ~src:0 ~dst:1 i;
+    Net.Retransmit.send layer ~src:1 ~dst:0 (100 + i);
+    Net.Retransmit.send layer ~src:2 ~dst:0 (200 + i)
+  done;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 10);
+  check int_t "p0 received both flows" 100 got.(0);
+  check int_t "p1 received" 50 got.(1)
+
+let test_retransmit_heavy_loss () =
+  let engine, layer = make_reliable ~loss:0.9 () in
+  let received = ref 0 in
+  Net.Retransmit.set_handler layer 2 (fun ~src:_ _ -> incr received);
+  for i = 1 to 50 do
+    Net.Retransmit.send layer ~src:0 ~dst:2 i
+  done;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 30);
+  check int_t "all delivered despite 90% loss" 50 !received;
+  (* The piggyback batches the whole queue per envelope, so one surviving
+     envelope can deliver everything: overhead stays modest even at 90%
+     loss, but some extra wire traffic (acks + resends) must exist. *)
+  check bool_t "needed retransmissions" true
+    (Net.Retransmit.wire_sends layer > 55)
+
+let test_retransmit_crash_halts () =
+  let engine, layer = make_reliable () in
+  let received = ref 0 in
+  Net.Retransmit.set_handler layer 1 (fun ~src:_ _ -> incr received);
+  Net.Retransmit.crash layer 0;
+  Net.Retransmit.send layer ~src:0 ~dst:1 7;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 2);
+  check int_t "crashed process sends nothing" 0 !received
+
+let test_retransmit_no_loss_low_overhead () =
+  (* Without loss, the layer should not retransmit much: acked payloads
+     leave the queues promptly. *)
+  let engine = Sim.Engine.create ~seed:3L () in
+  let layer =
+    Net.Retransmit.create engine ~n:2 ~oracle:(flat 100) ~resend_every:(ms 5)
+  in
+  Net.Retransmit.start layer;
+  Net.Retransmit.set_handler layer 1 (fun ~src:_ _ -> ());
+  for i = 1 to 100 do
+    Net.Retransmit.send layer ~src:0 ~dst:1 i
+  done;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 5);
+  check int_t "delivered" 100 (Net.Retransmit.delivered layer);
+  (* 100 data sends + acks + a few retransmissions while acks are in
+     flight. *)
+  check bool_t "bounded overhead" true (Net.Retransmit.wire_sends layer < 450)
+
+(* ---------------------------- omega over fair-lossy links (footnote 2) *)
+
+let test_omega_over_lossy_links () =
+  (* The paper's base model assumes reliable links and notes that fair-lossy
+     links + acknowledgment/piggybacking suffice. Run Figure 3 over exactly
+     that stack: 40% loss, retransmission layer, otherwise timely delays.
+     With every link recovered-timely, the minimum id must be elected, and a
+     crashed process must be suspected. *)
+  let n = 4 and t = 1 in
+  let engine = Sim.Engine.create ~seed:31L () in
+  let rng = Dstruct.Rng.split (Sim.Engine.rng engine) in
+  let base ~now:_ ~seq:_ ~src:_ ~dst:_ _ =
+    Net.Network.Deliver_after (us 400)
+  in
+  let oracle = Net.Lossy.wrap ~loss:0.4 ~burst:10 ~rng ~n base in
+  let layer = Net.Retransmit.create engine ~n ~oracle ~resend_every:(ms 4) in
+  Net.Retransmit.start layer;
+  let config = Omega.Config.default ~n ~t Omega.Config.Fig3 in
+  let crashed = Array.make n false in
+  let nodes =
+    Array.init n (fun me ->
+        let transport =
+          {
+            Omega.Node.engine;
+            n;
+            send =
+              (fun ~dst m ->
+                if not crashed.(me) then
+                  Net.Retransmit.send layer ~src:me ~dst m);
+            halted = (fun () -> crashed.(me));
+          }
+        in
+        Omega.Node.create_with_transport config transport ~me)
+  in
+  Array.iteri
+    (fun me node ->
+      Net.Retransmit.set_handler layer me (fun ~src m ->
+          Omega.Node.handle node ~src m))
+    nodes;
+  Array.iter Omega.Node.start nodes;
+  ignore
+    (Sim.Engine.schedule_at engine (Sim.Time.of_sec 2) (fun () ->
+         crashed.(3) <- true;
+         Net.Retransmit.crash layer 3));
+  Sim.Engine.run_until engine (Sim.Time.of_sec 8);
+  let leaders =
+    List.map (fun p -> Omega.Node.leader nodes.(p)) [ 0; 1; 2 ]
+  in
+  check (Alcotest.list int_t) "all correct elect min id over lossy links"
+    [ 0; 0; 0 ] leaders;
+  check bool_t "crashed process suspected" true
+    ((Omega.Node.susp_level nodes.(0)).(3) >= 1)
+
+(* -------------------------------- consensus over fair-lossy links *)
+
+let test_consensus_over_lossy_links () =
+  let n = 5 and t = 2 in
+  let engine = Sim.Engine.create ~seed:21L () in
+  let rng = Dstruct.Rng.split (Sim.Engine.rng engine) in
+  let oracle = Net.Lossy.wrap ~loss:0.4 ~burst:10 ~rng ~n (flat 800) in
+  let layer = Net.Retransmit.create engine ~n ~oracle ~resend_every:(ms 10) in
+  Net.Retransmit.start layer;
+  let nodes =
+    Array.init n (fun me ->
+        let transport =
+          {
+            Consensus.Node.engine;
+            n;
+            send = (fun ~dst m -> Net.Retransmit.send layer ~src:me ~dst m);
+            halted = (fun () -> Net.Retransmit.is_crashed layer me);
+          }
+        in
+        Consensus.Node.create transport ~me
+          ~leader_oracle:(fun () -> 1)
+          ~retry_every:(ms 50) ~crash_bound:t)
+  in
+  Array.iteri
+    (fun me node ->
+      Net.Retransmit.set_handler layer me (fun ~src m ->
+          Consensus.Node.handle node ~src m))
+    nodes;
+  Array.iter Consensus.Node.start nodes;
+  Array.iteri (fun i node -> Consensus.Node.propose node (70 + i)) nodes;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 20);
+  let decisions =
+    Array.to_list (Array.map Consensus.Node.decision nodes)
+    |> List.filter_map Fun.id
+  in
+  check int_t "everyone decided" n (List.length decisions);
+  check bool_t "agreement" true
+    (match decisions with [] -> false | v :: r -> List.for_all (( = ) v) r)
+
+let () =
+  Alcotest.run "lossy"
+    [
+      ( "lossy-links",
+        [
+          Alcotest.test_case "drops and delivers" `Quick
+            test_lossy_drops_and_delivers;
+          Alcotest.test_case "burst bound" `Quick test_lossy_burst_bound;
+          Alcotest.test_case "validation" `Quick test_lossy_validation;
+        ] );
+      ( "retransmit",
+        [
+          Alcotest.test_case "exactly once, in order" `Quick
+            test_retransmit_exactly_once_in_order;
+          Alcotest.test_case "bidirectional" `Quick test_retransmit_bidirectional;
+          Alcotest.test_case "heavy loss" `Quick test_retransmit_heavy_loss;
+          Alcotest.test_case "crash halts" `Quick test_retransmit_crash_halts;
+          Alcotest.test_case "low overhead without loss" `Quick
+            test_retransmit_no_loss_low_overhead;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "omega over fair-lossy links" `Quick
+            test_omega_over_lossy_links;
+          Alcotest.test_case "consensus over fair-lossy links" `Quick
+            test_consensus_over_lossy_links;
+        ] );
+    ]

@@ -1,0 +1,227 @@
+(* Tests for the discrete-event engine: virtual time, event ordering,
+   cancellation, timers, determinism. *)
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+let us = Sim.Time.of_us
+
+(* ---------------------------------------------------------------- Time *)
+
+let test_time_arithmetic () =
+  check int_t "ms" 2_000 (Sim.Time.to_us (Sim.Time.of_ms 2));
+  check int_t "sec" 3_000_000 (Sim.Time.to_us (Sim.Time.of_sec 3));
+  check int_t "add" 5 (Sim.Time.add (us 2) (us 3));
+  check int_t "sub" 4 (Sim.Time.sub (us 7) (us 3));
+  check bool_t "lt" true Sim.Time.(us 1 < us 2);
+  check bool_t "ge" true Sim.Time.(us 2 >= us 2);
+  check int_t "max" 9 (Sim.Time.max (us 9) (us 4));
+  check int_t "min" 4 (Sim.Time.min (us 9) (us 4));
+  check (Alcotest.float 1e-9) "to_ms_float" 1.5
+    (Sim.Time.to_ms_float (us 1_500))
+
+let test_time_pp () =
+  let render t = Format.asprintf "%a" Sim.Time.pp t in
+  check Alcotest.string "us" "123us" (render (us 123));
+  check Alcotest.string "ms" "5ms" (render (Sim.Time.of_ms 5));
+  check Alcotest.string "s" "2s" (render (Sim.Time.of_sec 2))
+
+(* -------------------------------------------------------------- Engine *)
+
+let test_engine_ordering () =
+  let engine = Sim.Engine.create ~seed:1L () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Sim.Engine.schedule_at engine (us 30) (note "c"));
+  ignore (Sim.Engine.schedule_at engine (us 10) (note "a"));
+  ignore (Sim.Engine.schedule_at engine (us 20) (note "b"));
+  Sim.Engine.run_until engine (us 100);
+  check (Alcotest.list Alcotest.string) "time order" [ "a"; "b"; "c" ]
+    (List.rev !log);
+  check int_t "clock at limit" 100 (Sim.Engine.now engine);
+  check int_t "executed" 3 (Sim.Engine.executed engine)
+
+let test_engine_fifo_same_time () =
+  let engine = Sim.Engine.create ~seed:1L () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore
+      (Sim.Engine.schedule_at engine (us 10) (fun () -> log := i :: !log))
+  done;
+  Sim.Engine.run_until engine (us 10);
+  check (Alcotest.list int_t) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_cancel () =
+  let engine = Sim.Engine.create ~seed:1L () in
+  let fired = ref false in
+  let h = Sim.Engine.schedule_at engine (us 10) (fun () -> fired := true) in
+  check bool_t "not cancelled yet" false (Sim.Engine.is_cancelled h);
+  Sim.Engine.cancel h;
+  check bool_t "cancelled" true (Sim.Engine.is_cancelled h);
+  Sim.Engine.run_until engine (us 100);
+  check bool_t "cancelled event did not fire" false !fired;
+  check int_t "executed none" 0 (Sim.Engine.executed engine)
+
+let test_engine_schedule_in_past_raises () =
+  let engine = Sim.Engine.create ~seed:1L () in
+  ignore (Sim.Engine.schedule_at engine (us 50) ignore);
+  Sim.Engine.run_until engine (us 100);
+  let raised =
+    try
+      ignore (Sim.Engine.schedule_at engine (us 10) ignore);
+      false
+    with Invalid_argument _ -> true
+  in
+  check bool_t "past scheduling rejected" true raised
+
+let test_engine_nested_scheduling () =
+  (* An event scheduling another event at the same instant runs it in the
+     same run_until call. *)
+  let engine = Sim.Engine.create ~seed:1L () in
+  let log = ref [] in
+  ignore
+    (Sim.Engine.schedule_at engine (us 10) (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Sim.Engine.schedule_after engine (us 0) (fun () ->
+                log := "inner" :: !log))));
+  Sim.Engine.run_until engine (us 10);
+  check (Alcotest.list Alcotest.string) "nested" [ "outer"; "inner" ]
+    (List.rev !log)
+
+let test_engine_run_until_idle () =
+  let engine = Sim.Engine.create ~seed:1L () in
+  let count = ref 0 in
+  let rec chain n () =
+    incr count;
+    if n > 0 then ignore (Sim.Engine.schedule_after engine (us 5) (chain (n - 1)))
+  in
+  ignore (Sim.Engine.schedule_at engine (us 1) (chain 9));
+  check Alcotest.string "idle" "idle"
+    (match Sim.Engine.run_until_idle engine with
+    | `Idle -> "idle"
+    | `Limit -> "limit");
+  check int_t "all ran" 10 !count;
+  (* With a limit lower than the next event. *)
+  ignore (Sim.Engine.schedule_after engine (us 100) ignore);
+  check Alcotest.string "limit" "limit"
+    (match Sim.Engine.run_until_idle ~limit:(Sim.Engine.now engine) engine with
+    | `Idle -> "idle"
+    | `Limit -> "limit")
+
+let test_engine_pending () =
+  let engine = Sim.Engine.create ~seed:1L () in
+  let h1 = Sim.Engine.schedule_at engine (us 10) ignore in
+  ignore (Sim.Engine.schedule_at engine (us 20) ignore);
+  check int_t "two pending" 2 (Sim.Engine.pending engine);
+  Sim.Engine.cancel h1;
+  check int_t "one pending after cancel" 1 (Sim.Engine.pending engine)
+
+let prop_engine_deterministic =
+  QCheck.Test.make ~name:"engine runs are reproducible" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 30) (int_bound 1000))
+    (fun delays ->
+      let trace seed =
+        let engine = Sim.Engine.create ~seed () in
+        let log = ref [] in
+        List.iteri
+          (fun i d ->
+            ignore
+              (Sim.Engine.schedule_at engine (us d) (fun () ->
+                   log := (i, Sim.Engine.now engine) :: !log)))
+          delays;
+        Sim.Engine.run_until engine (us 2000);
+        !log
+      in
+      trace 5L = trace 5L)
+
+(* --------------------------------------------------------------- Timer *)
+
+let test_timer_fires () =
+  let engine = Sim.Engine.create ~seed:1L () in
+  let fired = ref 0 in
+  let timer = Sim.Timer.create engine ~on_expire:(fun () -> incr fired) in
+  check bool_t "initially unexpired" false (Sim.Timer.has_expired timer);
+  Sim.Timer.set timer (us 10);
+  check bool_t "armed" true (Sim.Timer.is_armed timer);
+  Sim.Engine.run_until engine (us 10);
+  check int_t "fired once" 1 !fired;
+  check bool_t "expired flag" true (Sim.Timer.has_expired timer);
+  check bool_t "no longer armed" false (Sim.Timer.is_armed timer)
+
+let test_timer_reset_cancels_previous () =
+  let engine = Sim.Engine.create ~seed:1L () in
+  let fired = ref 0 in
+  let timer = Sim.Timer.create engine ~on_expire:(fun () -> incr fired) in
+  Sim.Timer.set timer (us 10);
+  Sim.Engine.run_until engine (us 5);
+  Sim.Timer.set timer (us 10);
+  (* old deadline at t=10 must not fire *)
+  Sim.Engine.run_until engine (us 12);
+  check int_t "not fired yet" 0 !fired;
+  Sim.Engine.run_until engine (us 15);
+  check int_t "fired at new deadline" 1 !fired
+
+let test_timer_set_clears_expired () =
+  let engine = Sim.Engine.create ~seed:1L () in
+  let timer = Sim.Timer.create engine ~on_expire:ignore in
+  Sim.Timer.set timer (us 5);
+  Sim.Engine.run_until engine (us 5);
+  check bool_t "expired" true (Sim.Timer.has_expired timer);
+  Sim.Timer.set timer (us 5);
+  check bool_t "re-arming clears expired" false (Sim.Timer.has_expired timer)
+
+let test_timer_cancel () =
+  let engine = Sim.Engine.create ~seed:1L () in
+  let fired = ref 0 in
+  let timer = Sim.Timer.create engine ~on_expire:(fun () -> incr fired) in
+  Sim.Timer.set timer (us 10);
+  Sim.Timer.cancel timer;
+  Sim.Engine.run_until engine (us 20);
+  check int_t "cancelled timer silent" 0 !fired;
+  check bool_t "not expired" false (Sim.Timer.has_expired timer)
+
+let test_timer_zero_duration () =
+  let engine = Sim.Engine.create ~seed:1L () in
+  let fired = ref 0 in
+  let timer = Sim.Timer.create engine ~on_expire:(fun () -> incr fired) in
+  Sim.Timer.set timer (us 0);
+  check int_t "not fired synchronously" 0 !fired;
+  Sim.Engine.run_until engine (us 0);
+  check int_t "fired as event" 1 !fired
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_time_arithmetic;
+          Alcotest.test_case "pp" `Quick test_time_pp;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "fifo same time" `Quick test_engine_fifo_same_time;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "past raises" `Quick
+            test_engine_schedule_in_past_raises;
+          Alcotest.test_case "nested scheduling" `Quick
+            test_engine_nested_scheduling;
+          Alcotest.test_case "run_until_idle" `Quick test_engine_run_until_idle;
+          Alcotest.test_case "pending" `Quick test_engine_pending;
+          qtest prop_engine_deterministic;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "fires" `Quick test_timer_fires;
+          Alcotest.test_case "reset cancels previous" `Quick
+            test_timer_reset_cancels_previous;
+          Alcotest.test_case "set clears expired" `Quick
+            test_timer_set_clears_expired;
+          Alcotest.test_case "cancel" `Quick test_timer_cancel;
+          Alcotest.test_case "zero duration" `Quick test_timer_zero_duration;
+        ] );
+    ]
