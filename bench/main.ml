@@ -1,7 +1,11 @@
 (* Bechamel benchmarks: one Test.make per experiment table (E1..E8, reduced
    workloads — the full tables come from bin/experiments.exe), plus
    micro-benchmarks of the substrate operations the simulator's throughput
-   depends on. *)
+   depends on.
+
+   [--json PATH] additionally dumps every estimate (ns/run and minor words
+   allocated/run) as machine-readable JSON, so successive PRs can diff
+   performance (see BENCH_pr1.json for the first snapshot). *)
 
 open Bechamel
 open Toolkit
@@ -44,7 +48,8 @@ let experiment_tests =
   List.map
     (fun (id, _doc, f) ->
       Test.make ~name:("table:" ^ id)
-        (Staged.stage (muted (fun () -> f ~quick:true))))
+        (Staged.stage
+           (muted (fun () -> f ~pool:Parallel.Pool.sequential ~quick:true))))
     Experiments.Suite.all
 
 let micro_tests =
@@ -56,6 +61,23 @@ let micro_tests =
              ignore (Sim.Engine.schedule_after engine (Sim.Time.of_us i) ignore)
            done;
            Sim.Engine.run_until engine (Sim.Time.of_sec 1)));
+    Test.make ~name:"micro:engine-pending-1k"
+      (Staged.stage (fun () ->
+           (* [pending] amid a half-cancelled queue: O(1) counter reads,
+              previously a sort of the whole queue per call. *)
+           let engine = Sim.Engine.create ~seed:1L () in
+           let handles =
+             Array.init 1_000 (fun i ->
+                 Sim.Engine.schedule_after engine (Sim.Time.of_us (i + 1)) ignore)
+           in
+           Array.iteri
+             (fun i h -> if i mod 2 = 0 then Sim.Engine.cancel h)
+             handles;
+           let acc = ref 0 in
+           for _ = 1 to 1_000 do
+             acc := !acc + Sim.Engine.pending engine
+           done;
+           ignore !acc));
     Test.make ~name:"micro:pqueue-push-pop-1k"
       (Staged.stage (fun () ->
            let q = Dstruct.Pqueue.create ~compare:Int.compare in
@@ -81,16 +103,33 @@ let micro_tests =
            ignore (sim_run ~variant:Omega.Config.Fig1 ~n:8 ~horizon_ms:1000 ())));
   ]
 
+(* One result row: the OLS estimate per measure, keyed by the measure's
+   label ("monotonic-clock" in ns/run, "minor-allocated" in words/run). *)
+type row = { name : string; estimates : (string * float option) list }
+
 let benchmark ~cfg tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let instances = Instance.[ monotonic_clock ] in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
   List.map
     (fun test ->
-      let results = Benchmark.all cfg instances test in
-      let estimates = Analyze.all ols Instance.monotonic_clock results in
-      (Test.name test, estimates))
+      let raw = Benchmark.all cfg instances test in
+      let estimates =
+        List.map
+          (fun instance ->
+            let per_name = Analyze.all ols instance raw in
+            let est = ref None in
+            Hashtbl.iter
+              (fun _key o ->
+                match Analyze.OLS.estimates o with
+                | Some [ e ] -> est := Some e
+                | Some _ | None -> ())
+              per_name;
+            (Measure.label instance, !est))
+          instances
+      in
+      { name = Test.name test; estimates })
     tests
 
 let micro_cfg =
@@ -101,34 +140,93 @@ let micro_cfg =
 let macro_cfg =
   Benchmark.cfg ~limit:2 ~stabilize:false ~quota:(Time.second 0.1) ()
 
-let report results =
-  Printf.printf "%-28s %14s\n" "benchmark" "time/run";
-  Printf.printf "%s\n" (String.make 44 '-');
+let pretty_ns est =
+  if est >= 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+  else if est >= 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+  else if est >= 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+  else Printf.sprintf "%.0f ns" est
+
+let pretty_words est =
+  if est >= 1e6 then Printf.sprintf "%.2f Mw" (est /. 1e6)
+  else if est >= 1e3 then Printf.sprintf "%.1f kw" (est /. 1e3)
+  else Printf.sprintf "%.0f w" est
+
+let report rows =
+  Printf.printf "%-28s %14s %14s\n" "benchmark" "time/run" "minor/run";
+  Printf.printf "%s\n" (String.make 59 '-');
   List.iter
-    (fun (name, estimates) ->
-      Hashtbl.iter
-        (fun _key ols ->
-          match Analyze.OLS.estimates ols with
-          | Some [ est ] ->
-              let pretty =
-                if est >= 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
-                else if est >= 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
-                else if est >= 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
-                else Printf.sprintf "%.0f ns" est
-              in
-              Printf.printf "%-28s %14s\n" name pretty
-          | Some _ | None -> Printf.printf "%-28s %14s\n" name "?")
-        estimates)
-    results;
+    (fun { name; estimates } ->
+      let cell pretty label =
+        match List.assoc_opt label estimates with
+        | Some (Some est) -> pretty est
+        | Some None | None -> "?"
+      in
+      Printf.printf "%-28s %14s %14s\n" name
+        (cell pretty_ns "monotonic-clock")
+        (cell pretty_words "minor-allocated"))
+    rows;
   flush stdout
+
+(* Minimal JSON writer — the values are benchmark names (plain ASCII) and
+   floats, so only the basic string escapes matter. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_dump path rows =
+  let oc = open_out path in
+  output_string oc "{\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun i { name; estimates } ->
+      output_string oc (Printf.sprintf "    {\"name\": \"%s\"" (json_escape name));
+      List.iter
+        (fun (label, est) ->
+          match est with
+          | Some est ->
+              output_string oc
+                (Printf.sprintf ", \"%s\": %.3f" (json_escape label) est)
+          | None ->
+              output_string oc
+                (Printf.sprintf ", \"%s\": null" (json_escape label)))
+        estimates;
+      output_string oc
+        (if i = List.length rows - 1 then "}\n" else "},\n"))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nWrote %d estimates to %s\n" (List.length rows) path
+
+let json_path () =
+  let rec scan i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--json" && i + 1 < Array.length Sys.argv then
+      Some Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 1
 
 let () =
   print_endline "== micro benchmarks (substrate + simulator throughput) ==";
-  report (benchmark ~cfg:micro_cfg micro_tests);
+  let micro = benchmark ~cfg:micro_cfg micro_tests in
+  report micro;
   print_endline "";
   print_endline
     "== macro benchmarks: one Test.make per experiment table (reduced size) ==";
-  report (benchmark ~cfg:macro_cfg experiment_tests);
+  let macro = benchmark ~cfg:macro_cfg experiment_tests in
+  report macro;
+  (match json_path () with
+  | Some path -> json_dump path (micro @ macro)
+  | None -> ());
   print_endline "";
   print_endline
     "Full experiment tables: dune exec bin/experiments.exe (see EXPERIMENTS.md)."

@@ -3,6 +3,7 @@
    Usage:
      experiments               run every experiment (full size)
      experiments --quick       run every experiment (reduced size)
+     experiments --jobs 4      fan runs out over 4 domains (same output)
      experiments e2 e4         run selected experiments
      experiments --list        list experiments *)
 
@@ -15,19 +16,30 @@ let quick_term =
     & info [ "quick" ]
         ~doc:"Run reduced-size versions (shorter horizons, fewer points).")
 
+let jobs_term =
+  Cmdliner.Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run simulations on $(docv) domains (default: the recommended \
+           domain count of this machine). Tables are byte-identical for \
+           every N; $(docv)=1 is the plain sequential path.")
+
 let ids_term =
   Cmdliner.Arg.(
     value & pos_all string []
     & info [] ~docv:"EXPERIMENT"
         ~doc:"Experiment ids to run (e1..e8). Default: all.")
 
-let run list quick ids =
+let run list quick jobs ids =
   if list then begin
     List.iter
       (fun (id, doc, _) -> Printf.printf "%-4s %s\n" id doc)
       Experiments.Suite.all;
     `Ok ()
   end
+  else if jobs < 1 then `Error (false, "--jobs must be >= 1")
   else begin
     let selected =
       match ids with
@@ -39,7 +51,8 @@ let run list quick ids =
     | [], _ :: _ ->
         `Error (false, "unknown experiment id; try --list")
     | selected, _ ->
-        List.iter (fun (_, _, f) -> f ~quick) selected;
+        Parallel.Pool.with_pool ~jobs (fun pool ->
+            List.iter (fun (_, _, f) -> f ~pool ~quick) selected);
         `Ok ()
   end
 
@@ -50,6 +63,7 @@ let cmd =
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "experiments" ~doc)
-    Cmdliner.Term.(ret (const run $ list_term $ quick_term $ ids_term))
+    Cmdliner.Term.(
+      ret (const run $ list_term $ quick_term $ jobs_term $ ids_term))
 
 let () = exit (Cmdliner.Cmd.eval cmd)

@@ -71,10 +71,11 @@ let pop q =
     if q.size > 0 then begin
       q.data.(0) <- q.data.(q.size);
       q.tickets.(0) <- q.tickets.(q.size);
-      sift_down q 0
+      sift_down q 0;
+      (* Release the vacated slot's reference so the GC can reclaim popped
+         elements; [data.(0)] is live, so aliasing it leaks nothing. *)
+      q.data.(q.size) <- q.data.(0)
     end;
-    (* Release the reference so the GC can reclaim the element. *)
-    q.data.(q.size) <- top;
     Some top
   end
 

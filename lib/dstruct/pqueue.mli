@@ -18,7 +18,14 @@ val push : 'a t -> 'a -> unit
 (** [peek q] is the minimum element, without removing it. *)
 val peek : 'a t -> 'a option
 
-(** [pop q] removes and returns the minimum element. *)
+(** [pop q] removes and returns the minimum element.
+
+    Regression note: an earlier version wrote the popped element back into
+    the vacated backing slot, keeping every popped element GC-reachable
+    until its slot was reused by a later [push]. The slot is now aliased to
+    a live element instead. The single remaining exception is the pop that
+    empties the heap: its element stays referenced by [data.(0)] until the
+    next [push] — an O(1) bound, unlike the old O(capacity) one. *)
 val pop : 'a t -> 'a option
 
 (** [pop_exn q] is [pop q] but raises [Invalid_argument] on an empty heap. *)

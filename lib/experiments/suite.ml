@@ -23,43 +23,52 @@ let leader_cell result =
 
 let stab_cell result = Table.ms (Run.stabilization_ms result)
 
+(* Evaluate one thunk per table row (or cell) on the pool, keeping order.
+   Every thunk owns its entire simulation stack — engine, RNG streams,
+   event queue — so fanning them across domains cannot perturb results,
+   and rendering happens only after the join, so stdout order (hence the
+   byte-identity of the tables) is independent of the pool size. *)
+let on pool thunks = Array.to_list (Parallel.Pool.run pool (Array.of_list thunks))
+
 (* ------------------------------------------------------------------ E1 *)
 
-let e1 ~quick =
+let e1 ~pool ~quick =
   let ns = if quick then [ 4; 8 ] else [ 4; 8; 16; 32 ] in
   let variants =
     [ Omega.Config.Fig1; Omega.Config.Fig2; Omega.Config.Fig3 ]
   in
   let rows =
-    List.concat_map
-      (fun n ->
-        let t = (n - 1) / 2 in
-        let center = n - 2 in
-        (* The adversary victimizes the n-1 non-center processes in rotation;
-           a full cycle (hence convergence) scales with n. *)
-        let horizon = if quick then sec 12 else sec (30 + (4 * n)) in
-        let crashes =
-          List.init (max 1 (t / 2)) (fun i -> (i, sec (3 * (i + 1))))
-        in
-        List.map
-          (fun variant ->
-            let result =
-              Run.run ~horizon ~crashes ~config:(config ~n ~t variant)
-                ~scenario:(scenario ~n ~t (Scenario.Rotating_star { center }))
-                ~seed:7L ()
-            in
-            [
-              Table.intc n;
-              Table.intc t;
-              Omega.Config.variant_name variant;
-              stab_cell result;
-              leader_cell result;
-              Table.yesno (result.Run.final_leader = Some center);
-              Table.intc result.Run.messages_sent;
-              Table.intc (violations result);
-            ])
-          variants)
-      ns
+    on pool
+    @@ List.concat_map
+         (fun n ->
+           let t = (n - 1) / 2 in
+           let center = n - 2 in
+           (* The adversary victimizes the n-1 non-center processes in
+              rotation; a full cycle (hence convergence) scales with n. *)
+           let horizon = if quick then sec 12 else sec (30 + (4 * n)) in
+           let crashes =
+             List.init (max 1 (t / 2)) (fun i -> (i, sec (3 * (i + 1))))
+           in
+           List.map
+             (fun variant () ->
+               let result =
+                 Run.run ~horizon ~crashes ~config:(config ~n ~t variant)
+                   ~scenario:
+                     (scenario ~n ~t (Scenario.Rotating_star { center }))
+                   ~seed:7L ()
+               in
+               [
+                 Table.intc n;
+                 Table.intc t;
+                 Omega.Config.variant_name variant;
+                 stab_cell result;
+                 leader_cell result;
+                 Table.yesno (result.Run.final_leader = Some center);
+                 Table.intc result.Run.messages_sent;
+                 Table.intc (violations result);
+               ])
+             variants)
+         ns
   in
   Table.print
     ~title:
@@ -70,40 +79,41 @@ let e1 ~quick =
 
 (* ------------------------------------------------------------------ E2 *)
 
-let e2 ~quick =
+let e2 ~pool ~quick =
   let n = 8 and t = 3 and center = 6 in
   let ds = if quick then [ 2; 4 ] else [ 2; 4; 8; 16 ] in
   let crashes = [ (0, sec 5) ] in
   let rows =
-    List.concat_map
-      (fun d ->
-        List.map
-          (fun variant ->
-            let horizon =
-              match variant with
-              | Omega.Config.Fig3 ->
-                  if quick then ms (20_000 + (d * d * 250))
-                  else ms (30_000 + (d * d * 800))
-              | _ -> if quick then sec 20 else sec 60
-            in
-            let result =
-              Run.run ~horizon ~crashes ~config:(config ~n ~t variant)
-                ~scenario:
-                  (scenario ~n ~t (Scenario.Intermittent_star { center; d }))
-                ~seed:7L ()
-            in
-            [
-              Table.intc d;
-              Omega.Config.variant_name variant;
-              Format.asprintf "%a" Sim.Time.pp horizon;
-              stab_cell result;
-              leader_cell result;
-              Table.yesno (result.Run.final_leader = Some center);
-              Table.intc result.Run.max_susp_level;
-              Table.intc (violations result);
-            ])
-          [ Omega.Config.Fig1; Omega.Config.Fig2; Omega.Config.Fig3 ])
-      ds
+    on pool
+    @@ List.concat_map
+         (fun d ->
+           List.map
+             (fun variant () ->
+               let horizon =
+                 match variant with
+                 | Omega.Config.Fig3 ->
+                     if quick then ms (20_000 + (d * d * 250))
+                     else ms (30_000 + (d * d * 800))
+                 | _ -> if quick then sec 20 else sec 60
+               in
+               let result =
+                 Run.run ~horizon ~crashes ~config:(config ~n ~t variant)
+                   ~scenario:
+                     (scenario ~n ~t (Scenario.Intermittent_star { center; d }))
+                   ~seed:7L ()
+               in
+               [
+                 Table.intc d;
+                 Omega.Config.variant_name variant;
+                 Format.asprintf "%a" Sim.Time.pp horizon;
+                 stab_cell result;
+                 leader_cell result;
+                 Table.yesno (result.Run.final_leader = Some center);
+                 Table.intc result.Run.max_susp_level;
+                 Table.intc (violations result);
+               ])
+             [ Omega.Config.Fig1; Omega.Config.Fig2; Omega.Config.Fig3 ])
+         ds
   in
   Table.print
     ~title:
@@ -115,7 +125,7 @@ let e2 ~quick =
 
 (* ------------------------------------------------------------------ E3 *)
 
-let e3 ~quick =
+let e3 ~pool ~quick =
   let n = 8 and t = 3 and center = 6 in
   let horizon = if quick then sec 20 else sec 90 in
   let crashes = [ (0, sec 5) ] in
@@ -128,22 +138,23 @@ let e3 ~quick =
     ]
   in
   let rows =
-    List.map
-      (fun (variant, regime) ->
-        let result =
-          Run.run ~horizon ~crashes ~config:(config ~n ~t variant)
-            ~scenario:(scenario ~n ~t regime) ~seed:7L ()
-        in
-        [
-          Omega.Config.variant_name variant;
-          Scenario.regime_name regime;
-          Table.intc result.Run.max_susp_level;
-          Format.asprintf "%a" Sim.Time.pp result.Run.max_timeout;
-          Table.intc result.Run.lattice_violations;
-          Table.intc result.Run.max_round_state;
-          stab_cell result;
-        ])
-      cases
+    on pool
+    @@ List.map
+         (fun (variant, regime) () ->
+           let result =
+             Run.run ~horizon ~crashes ~config:(config ~n ~t variant)
+               ~scenario:(scenario ~n ~t regime) ~seed:7L ()
+           in
+           [
+             Omega.Config.variant_name variant;
+             Scenario.regime_name regime;
+             Table.intc result.Run.max_susp_level;
+             Format.asprintf "%a" Sim.Time.pp result.Run.max_timeout;
+             Table.intc result.Run.lattice_violations;
+             Table.intc result.Run.max_round_state;
+             stab_cell result;
+           ])
+         cases
   in
   Table.print
     ~title:
@@ -158,7 +169,7 @@ let e3 ~quick =
 
 (* ------------------------------------------------------------------ E4 *)
 
-let e4 ~quick =
+let e4 ~pool ~quick =
   let n = 8 and t = 3 and center = 6 in
   let horizon = if quick then sec 12 else sec 45 in
   let crashes = [ (0, sec 10) ] in
@@ -175,12 +186,14 @@ let e4 ~quick =
     ]
   in
   let algos = Baselines.Registry.all in
-  let rows =
-    List.map
-      (fun regime ->
-        Scenario.regime_name regime
-        :: List.map
-             (fun algo ->
+  (* One thunk per (regime, algo) cell — the finest-grained table, so the
+     pool can overlap all |regimes| x |algos| simulations. *)
+  let cells =
+    on pool
+    @@ List.concat_map
+         (fun regime ->
+           List.map
+             (fun algo () ->
                let outcome =
                  Compare.run algo
                    ~scenario:(scenario ~n ~t regime)
@@ -192,7 +205,20 @@ let e4 ~quick =
                    (outcome.Compare.stabilized_ms /. 1000.)
                    (if outcome.Compare.elected_center then "*" else ""))
              algos)
-      regimes
+         regimes
+  in
+  let width = List.length algos in
+  let rec chunk = function
+    | [] -> []
+    | cells ->
+        let row = List.filteri (fun i _ -> i < width) cells in
+        let rest = List.filteri (fun i _ -> i >= width) cells in
+        row :: chunk rest
+  in
+  let rows =
+    List.map2
+      (fun regime cells -> Scenario.regime_name regime :: cells)
+      regimes (chunk cells)
   in
   Table.print
     ~title:
@@ -204,46 +230,48 @@ let e4 ~quick =
 
 (* ------------------------------------------------------------------ E5 *)
 
-let e5 ~quick =
+let e5 ~pool ~quick =
   let ns = if quick then [ 4; 8 ] else [ 4; 8; 16; 32 ] in
   let horizon = if quick then sec 10 else sec 20 in
   let rows =
-    List.concat_map
-      (fun n ->
-        let t = (n - 1) / 2 in
-        let center = n - 2 in
-        List.map
-          (fun (label, crashes) ->
-            let result =
-              Run.run ~horizon ~crashes
-                ~config:(config ~n ~t Omega.Config.Fig3)
-                ~scenario:(scenario ~n ~t (Scenario.Rotating_star { center }))
-                ~seed:7L ()
-            in
-            let seconds = Sim.Time.to_ms_float horizon /. 1000. in
-            let per_proc_per_sec =
-              float_of_int result.Run.messages_sent
-              /. seconds /. float_of_int n
-            in
-            let alive_avg =
-              (* ALIVE dominates the count: n-1 ALIVEs + n SUSPICIONs per
-                 round per process; report measured mean sizes instead. *)
-              float_of_int result.Run.alive_bytes
-              /. float_of_int (max 1 result.Run.messages_sent)
-            in
-            [
-              Table.intc n;
-              label;
-              Table.intc result.Run.messages_sent;
-              Printf.sprintf "%.0f" per_proc_per_sec;
-              Table.intc result.Run.alive_bytes;
-              Table.intc result.Run.suspicion_bytes;
-              Printf.sprintf "%.1f" alive_avg;
-              Table.intc result.Run.max_susp_level;
-              Table.intc result.Run.max_round_state;
-            ])
-          [ ("none", []); ("p0@5s", [ (0, sec 5) ]) ])
-      ns
+    on pool
+    @@ List.concat_map
+         (fun n ->
+           let t = (n - 1) / 2 in
+           let center = n - 2 in
+           List.map
+             (fun (label, crashes) () ->
+               let result =
+                 Run.run ~horizon ~crashes
+                   ~config:(config ~n ~t Omega.Config.Fig3)
+                   ~scenario:
+                     (scenario ~n ~t (Scenario.Rotating_star { center }))
+                   ~seed:7L ()
+               in
+               let seconds = Sim.Time.to_ms_float horizon /. 1000. in
+               let per_proc_per_sec =
+                 float_of_int result.Run.messages_sent
+                 /. seconds /. float_of_int n
+               in
+               let alive_avg =
+                 (* ALIVE dominates the count: n-1 ALIVEs + n SUSPICIONs per
+                    round per process; report measured mean sizes instead. *)
+                 float_of_int result.Run.alive_bytes
+                 /. float_of_int (max 1 result.Run.messages_sent)
+               in
+               [
+                 Table.intc n;
+                 label;
+                 Table.intc result.Run.messages_sent;
+                 Printf.sprintf "%.0f" per_proc_per_sec;
+                 Table.intc result.Run.alive_bytes;
+                 Table.intc result.Run.suspicion_bytes;
+                 Printf.sprintf "%.1f" alive_avg;
+                 Table.intc result.Run.max_susp_level;
+                 Table.intc result.Run.max_round_state;
+               ])
+             [ ("none", []); ("p0@5s", [ (0, sec 5) ]) ])
+         ns
   in
   Table.print
     ~title:
@@ -352,33 +380,32 @@ let broadcast_run ~n ~t ~d ~commands ~horizon ~seed =
   let delivered = match sequences with [] -> 0 | s :: _ -> List.length s in
   (delivered, all_equal)
 
-let e6 ~quick =
+let e6 ~pool ~quick =
   let n = 8 and t = 3 in
   let ds = if quick then [ 4 ] else [ 4; 16 ] in
   let horizon = if quick then sec 20 else sec 60 in
   let commands = if quick then 10 else 30 in
   let rows =
-    List.concat_map
-      (fun d ->
-        let decision, latency, ballots =
-          consensus_run ~n ~t ~d ~horizon ~seed:11L
-        in
-        let delivered, order_ok =
-          broadcast_run ~n ~t ~d ~commands ~horizon ~seed:11L
-        in
-        [
-          [
-            Table.intc d;
-            (match decision with Some v -> string_of_int v | None -> "-");
-            (match latency with
-            | Some x -> Format.asprintf "%a" Sim.Time.pp x
-            | None -> "-");
-            Table.intc ballots;
-            Printf.sprintf "%d/%d" delivered commands;
-            Table.yesno order_ok;
-          ];
-        ])
-      ds
+    on pool
+    @@ List.map
+         (fun d () ->
+           let decision, latency, ballots =
+             consensus_run ~n ~t ~d ~horizon ~seed:11L
+           in
+           let delivered, order_ok =
+             broadcast_run ~n ~t ~d ~commands ~horizon ~seed:11L
+           in
+           [
+             Table.intc d;
+             (match decision with Some v -> string_of_int v | None -> "-");
+             (match latency with
+             | Some x -> Format.asprintf "%a" Sim.Time.pp x
+             | None -> "-");
+             Table.intc ballots;
+             Printf.sprintf "%d/%d" delivered commands;
+             Table.yesno order_ok;
+           ])
+         ds
   in
   Table.print
     ~title:
@@ -390,7 +417,7 @@ let e6 ~quick =
 
 (* ------------------------------------------------------------------ E7 *)
 
-let e7 ~quick =
+let e7 ~pool ~quick =
   let n = 5 and t = 2 and center = 3 and d = 2 in
   (* Quadratic g (see Scenario.g_function): outgrows the linear-rate timeout
      adaptation, so only the g-aware variant can keep waiting long enough.
@@ -410,9 +437,9 @@ let e7 ~quick =
       timeout_unit = Sim.Time.of_us 50;
     }
   in
-  let rows =
+  let thunks_a =
     List.map
-      (fun (label, variant) ->
+      (fun (label, variant) () ->
         let result =
           Run.run ~horizon ~crashes:[]
             ~config:(tweak (config ~n ~t variant))
@@ -428,10 +455,45 @@ let e7 ~quick =
         ])
       [
         ("fig3 (g unknown)", Omega.Config.Fig3);
-        ( "fig3_fg (knows g)",
-          Omega.Config.Fig3_fg { f = (fun _ -> 0); g } );
+        ("fig3_fg (knows g)", Omega.Config.Fig3_fg { f = (fun _ -> 0); g });
       ]
   in
+  (* E7b: the f side — gaps between good rounds grow without bound. *)
+  let n = 8 and t = 3 and center_b = 6 in
+  let regime_b = Scenario.Growing_gaps { center = center_b; d = 4; f_step = 8 } in
+  let params = Scenario.default_params ~n ~t ~beta:(ms 10) in
+  let scen_b = Scenario.create params regime_b ~seed:42L in
+  let f = Scenario.f_function scen_b in
+  let horizon_b = if quick then sec 45 else sec 90 in
+  let thunks_b =
+    List.map
+      (fun (label, variant) () ->
+        let result =
+          Run.run ~horizon:horizon_b
+            ~crashes:[ (0, sec 5) ]
+            ~config:(config ~n ~t variant)
+            ~scenario:(Scenario.create params regime_b ~seed:42L)
+            ~seed:7L ()
+        in
+        [
+          label;
+          stab_cell result;
+          leader_cell result;
+          Table.yesno (result.Run.final_leader = Some center_b);
+          Table.intc result.Run.max_susp_level;
+          Table.intc (violations result);
+        ])
+      [
+        ("fig3 (f unknown)", Omega.Config.Fig3);
+        ("fig3_fg (knows f)", Omega.Config.Fig3_fg { f; g = (fun _ -> Sim.Time.zero) });
+      ]
+  in
+  (* Both tables' runs go out in one batch; printing happens after the
+     join, in table order. *)
+  let split = List.length thunks_a in
+  let all_rows = on pool (thunks_a @ thunks_b) in
+  let rows = List.filteri (fun i _ -> i < split) all_rows in
+  let rows_b = List.filteri (fun i _ -> i >= split) all_rows in
   Table.print
     ~title:
       "E7a: growing timeliness bound delta+g(rn), quadratic g (growing star, \
@@ -439,37 +501,6 @@ let e7 ~quick =
        center]"
     ~header:[ "algo"; "stabilized"; "leader"; "=center"; "max_timeout"; "viol" ]
     rows;
-  (* E7b: the f side — gaps between good rounds grow without bound. *)
-  let n = 8 and t = 3 and center = 6 in
-  let regime = Scenario.Growing_gaps { center; d = 4; f_step = 8 } in
-  let params = Scenario.default_params ~n ~t ~beta:(ms 10) in
-  let scen = Scenario.create params regime ~seed:42L in
-  let f = Scenario.f_function scen in
-  let horizon_b = if quick then sec 45 else sec 90 in
-  let rows_b =
-    List.map
-      (fun (label, variant) ->
-        let result =
-          Run.run ~horizon:horizon_b
-            ~crashes:[ (0, sec 5) ]
-            ~config:(config ~n ~t variant)
-            ~scenario:(Scenario.create params regime ~seed:42L)
-            ~seed:7L ()
-        in
-        [
-          label;
-          stab_cell result;
-          leader_cell result;
-          Table.yesno (result.Run.final_leader = Some center);
-          Table.intc result.Run.max_susp_level;
-          Table.intc (violations result);
-        ])
-      [
-        ("fig3 (f unknown)", Omega.Config.Fig3);
-        ( "fig3_fg (knows f)",
-          Omega.Config.Fig3_fg { f; g = (fun _ -> Sim.Time.zero) } );
-      ]
-  in
   Table.print
     ~title:
       "E7b: growing gaps between good rounds, f(s) = 4 + 8*(s/256) (n=8, \
@@ -480,7 +511,7 @@ let e7 ~quick =
 
 (* ------------------------------------------------------------------ E8 *)
 
-let e8 ~quick =
+let e8 ~pool ~quick =
   let n = 8 and t = 3 in
   let first = 2 and second = 6 in
   let crash_time = if quick then sec 8 else sec 20 in
@@ -488,52 +519,51 @@ let e8 ~quick =
   let horizon = if quick then sec 30 else sec 90 in
   let seeds = if quick then [ 7L ] else [ 7L; 8L; 9L ] in
   let rows =
-    List.concat_map
-      (fun variant ->
-        let per_seed =
-          List.map
-            (fun seed ->
-              Run.run ~horizon
-                ~crashes:[ (first, crash_time) ]
-                ~config:(config ~n ~t variant)
-                ~scenario:
-                  (Scenario.create
-                     (Scenario.default_params ~n ~t ~beta:(ms 10))
-                     (Scenario.Failover { first; second; switch })
-                     ~seed)
-                ~seed ())
-            seeds
-        in
-        List.map2
-          (fun seed result ->
-            let relect =
-              match result.Run.stabilized_at with
-              | Some at when Sim.Time.(at > crash_time) ->
-                  Table.ms (Sim.Time.to_ms_float (Sim.Time.sub at crash_time))
-              | Some _ | None -> "-"
-            in
-            (* Leader agreed just before the crash, from the samples. *)
-            let pre_crash =
-              List.fold_left
-                (fun acc (s : Run.sample) ->
-                  if Sim.Time.(s.Run.time < crash_time) then
-                    match s.Run.agreed with
-                    | Some l -> string_of_int l
-                    | None -> acc
-                  else acc)
-                "-" result.Run.samples
-            in
-            [
-              Omega.Config.variant_name variant;
-              Int64.to_string seed;
-              pre_crash;
-              leader_cell result;
-              stab_cell result;
-              relect;
-              Table.intc (violations result);
-            ])
-          seeds per_seed)
-      [ Omega.Config.Fig2; Omega.Config.Fig3 ]
+    on pool
+    @@ List.concat_map
+         (fun variant ->
+           List.map
+             (fun seed () ->
+               let result =
+                 Run.run ~horizon
+                   ~crashes:[ (first, crash_time) ]
+                   ~config:(config ~n ~t variant)
+                   ~scenario:
+                     (Scenario.create
+                        (Scenario.default_params ~n ~t ~beta:(ms 10))
+                        (Scenario.Failover { first; second; switch })
+                        ~seed)
+                   ~seed ()
+               in
+               let relect =
+                 match result.Run.stabilized_at with
+                 | Some at when Sim.Time.(at > crash_time) ->
+                     Table.ms
+                       (Sim.Time.to_ms_float (Sim.Time.sub at crash_time))
+                 | Some _ | None -> "-"
+               in
+               (* Leader agreed just before the crash, from the samples. *)
+               let pre_crash =
+                 List.fold_left
+                   (fun acc (s : Run.sample) ->
+                     if Sim.Time.(s.Run.time < crash_time) then
+                       match s.Run.agreed with
+                       | Some l -> string_of_int l
+                       | None -> acc
+                     else acc)
+                   "-" result.Run.samples
+               in
+               [
+                 Omega.Config.variant_name variant;
+                 Int64.to_string seed;
+                 pre_crash;
+                 leader_cell result;
+                 stab_cell result;
+                 relect;
+                 Table.intc (violations result);
+               ])
+             seeds)
+         [ Omega.Config.Fig2; Omega.Config.Fig3 ]
   in
   Table.print
     ~title:

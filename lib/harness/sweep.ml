@@ -8,7 +8,23 @@ type aggregate = {
   violations : int;
 }
 
-let run ?horizon ?crashes ?check ~seeds ~config ~scenario_of () =
+let run ?(pool = Parallel.Pool.sequential) ?horizon ?crashes ?check ~seeds
+    ~config ~scenario_of () =
+  (* Each seed's run is an independent simulation (own engine, RNG streams,
+     event queue), so the runs fan out across the pool; the fold below walks
+     the results in seed-list order, so every [Stats.add] happens in exactly
+     the sequence the sequential code produced — aggregates are identical
+     whatever the pool size. *)
+  let results =
+    Parallel.Pool.map pool
+      (fun seed ->
+        let scenario = scenario_of seed in
+        let result =
+          Run.run ?horizon ?crashes ?check ~config ~scenario ~seed ()
+        in
+        (result, Scenarios.Scenario.center_at scenario max_int))
+      seeds
+  in
   let agg =
     {
       runs = 0;
@@ -21,16 +37,13 @@ let run ?horizon ?crashes ?check ~seeds ~config ~scenario_of () =
     }
   in
   List.fold_left
-    (fun agg seed ->
-      let scenario = scenario_of seed in
-      let result = Run.run ?horizon ?crashes ?check ~config ~scenario ~seed () in
+    (fun agg (result, center) ->
       let stabilized = Option.is_some result.Run.stabilized_at in
       if stabilized then
         Dstruct.Stats.add agg.stabilization_ms (Run.stabilization_ms result);
       Dstruct.Stats.add agg.messages (float_of_int result.Run.messages_sent);
       Dstruct.Stats.add agg.max_susp_level
         (float_of_int result.Run.max_susp_level);
-      let center = Scenarios.Scenario.center_at scenario max_int in
       {
         agg with
         runs = agg.runs + 1;
@@ -45,7 +58,7 @@ let run ?horizon ?crashes ?check ~seeds ~config ~scenario_of () =
           | Some report -> List.length report.Scenarios.Checker.violations
           | None -> 0);
       })
-    agg seeds
+    agg results
 
 let stabilized_cell agg = Printf.sprintf "%d/%d" agg.stabilized agg.runs
 

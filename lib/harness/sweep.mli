@@ -14,8 +14,13 @@ type aggregate = {
 
 (** [run ~seeds ~config ~scenario_of ...] replicates {!Run.run}. Both the
     engine seed and the scenario seed vary: [scenario_of seed] must build a
-    fresh scenario (plans are stateful). *)
+    fresh scenario (plans are stateful).
+
+    [pool] (default {!Parallel.Pool.sequential}) fans the seeds out across
+    domains; results are folded in seed-list order, so the aggregate is
+    identical for every pool size. *)
 val run :
+  ?pool:Parallel.Pool.t ->
   ?horizon:Sim.Time.t ->
   ?crashes:(int * Sim.Time.t) list ->
   ?check:bool ->

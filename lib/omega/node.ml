@@ -29,6 +29,15 @@ type t = {
   rec_from : Dstruct.Bitset.t Dstruct.Rounds.t;
   suspicions : suspicion_entry Dstruct.Rounds.t;
   mutable timer : Sim.Timer.t option;  (* set at [create], before [start] *)
+  (* Cached extrema of [susp_level]. Levels only ever increase, so the max
+     can be maintained exactly on every write; the min is recomputed lazily,
+     and only when an entry that sat at the cached minimum was raised.
+     [arm_timer], [prune] and Fig3's bounded condition (line 16) consult
+     these on every round closure / SUSPICION, which used to re-fold the
+     whole array each time. *)
+  mutable cached_max_susp : int;
+  mutable cached_min_susp : int;
+  mutable min_susp_stale : bool;
   (* observers *)
   mutable current_timeout : Sim.Time.t;
   mutable max_timeout_armed : Sim.Time.t;
@@ -48,8 +57,22 @@ let halted t = t.tr.halted ()
 
 let note_level t level = if level > t.max_susp_seen then t.max_susp_seen <- level
 
-let max_susp t = Array.fold_left max t.susp_level.(0) t.susp_level
-let min_susp t = Array.fold_left min t.susp_level.(0) t.susp_level
+let max_susp t = t.cached_max_susp
+
+let min_susp t =
+  if t.min_susp_stale then begin
+    t.cached_min_susp <- Array.fold_left min t.susp_level.(0) t.susp_level;
+    t.min_susp_stale <- false
+  end;
+  t.cached_min_susp
+
+(* Sole write path to [susp_level]; keeps the cached extrema honest.
+   Requires [level > susp_level.(k)] (levels are monotone). *)
+let raise_level t k level =
+  if t.susp_level.(k) = t.cached_min_susp then t.min_susp_stale <- true;
+  t.susp_level.(k) <- level;
+  if level > t.cached_max_susp then t.cached_max_susp <- level;
+  note_level t level
 
 (* Line 11 (+ Section 7's [+ g(r_rn + 1)]), scaled to a duration as per
    DESIGN.md §2. *)
@@ -122,10 +145,7 @@ and prune t =
 (* Lines 4-7. *)
 let on_alive t ~src rn sl =
   for k = 0 to t.cfg.Config.n - 1 do
-    if sl.(k) > t.susp_level.(k) then begin
-      t.susp_level.(k) <- sl.(k);
-      note_level t sl.(k)
-    end
+    if sl.(k) > t.susp_level.(k) then raise_level t k sl.(k)
   done;
   if rn >= t.r_rn then begin
     let received =
@@ -182,9 +202,8 @@ let on_suspicion t rn suspects =
         in
         if quorum && window && bounded then begin
           entry.credited.(k) <- true;
-          t.susp_level.(k) <- t.susp_level.(k) + 1;
-          t.local_increments <- t.local_increments + 1;
-          note_level t t.susp_level.(k)
+          raise_level t k (t.susp_level.(k) + 1);
+          t.local_increments <- t.local_increments + 1
         end)
       suspects
   end
@@ -234,6 +253,9 @@ let create_with_transport cfg (tr : transport) ~me =
       rec_from = Dstruct.Rounds.create ();
       suspicions = Dstruct.Rounds.create ();
       timer = None;
+      cached_max_susp = 0;
+      cached_min_susp = 0;
+      min_susp_stale = false;
       current_timeout = cfg.Config.initial_timeout;
       max_timeout_armed = cfg.Config.initial_timeout;
       max_susp_seen = 0;

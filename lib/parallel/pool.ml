@@ -1,0 +1,125 @@
+(* A fixed-size domain pool with a mutex-protected task queue.
+
+   Determinism argument: [run] stores each task's result at the task's
+   submission index and re-raises the first (by index) exception, so the
+   observable outcome is a pure function of the thunks — scheduling decides
+   only wall-clock time. *)
+
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  m : Mutex.t;
+  wake : Condition.t;  (* signalled when [pending] grows or [stop] is set *)
+  pending : task Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;  (* spawned lazily by the first run *)
+  mutable spawned : bool;
+}
+
+let create ~jobs () =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  {
+    jobs;
+    m = Mutex.create ();
+    wake = Condition.create ();
+    pending = Queue.create ();
+    stop = false;
+    workers = [];
+    spawned = false;
+  }
+
+let jobs t = t.jobs
+let sequential = create ~jobs:1 ()
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.pending && not t.stop do
+    Condition.wait t.wake t.m
+  done;
+  if Queue.is_empty t.pending then Mutex.unlock t.m (* stop *)
+  else begin
+    let task = Queue.pop t.pending in
+    Mutex.unlock t.m;
+    task ();
+    worker_loop t
+  end
+
+(* Workers are spawned on first use so that merely creating a pool (or the
+   [sequential] constant at module init) costs nothing. *)
+let ensure_workers t =
+  if not t.spawned then begin
+    t.spawned <- true;
+    t.workers <-
+      List.init (t.jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t))
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.m;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let run (type a) t (thunks : (unit -> a) array) : a array =
+  if t.stop then invalid_arg "Pool.run: pool is shut down";
+  let n = Array.length thunks in
+  if n = 0 then [||]
+  else if t.jobs = 1 then Array.map (fun f -> f ()) thunks
+  else begin
+    ensure_workers t;
+    let results : (a, exn * Printexc.raw_backtrace) result option array =
+      Array.make n None
+    in
+    let remaining = ref n in
+    let finished = Condition.create () in
+    let task i () =
+      let r =
+        match thunks.(i) () with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.m;
+      results.(i) <- Some r;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast finished;
+      Mutex.unlock t.m
+    in
+    Mutex.lock t.m;
+    for i = 0 to n - 1 do
+      Queue.push (task i) t.pending
+    done;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.m;
+    (* The submitter drains the queue alongside the workers. It may execute
+       tasks from a concurrent (nested) batch — harmless, they are
+       independent — and only sleeps once nothing is left to pull. *)
+    let rec help () =
+      Mutex.lock t.m;
+      match Queue.pop t.pending with
+      | task ->
+          Mutex.unlock t.m;
+          task ();
+          help ()
+      | exception Queue.Empty ->
+          while !remaining > 0 do
+            Condition.wait finished t.m
+          done;
+          Mutex.unlock t.m
+    in
+    help ();
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+  end
+
+let map t f xs = Array.to_list (run t (Array.of_list (List.map (fun x () -> f x) xs)))
+
+let with_pool ~jobs f =
+  let t = create ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

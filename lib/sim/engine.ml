@@ -1,4 +1,9 @@
-type handle = { mutable cancelled : bool }
+(* [live] counts scheduled, not-yet-fired, not-cancelled events. Handles
+   carry a reference to it so [cancel] can decrement eagerly, making
+   [pending] O(1) instead of a sort of the whole queue. [fired] guards the
+   idempotence cases: cancel after the event ran (or after a prior cancel)
+   must not decrement again. *)
+type handle = { mutable cancelled : bool; mutable fired : bool; live : int ref }
 
 type event = { time : Time.t; action : unit -> unit; h : handle }
 
@@ -7,7 +12,7 @@ type t = {
   rng : Dstruct.Rng.t;
   mutable now : Time.t;
   mutable executed : int;
-  mutable live : int;  (* scheduled and not cancelled *)
+  live : int ref;  (* scheduled, not fired and not cancelled *)
 }
 
 let compare_event (a : event) (b : event) = Time.compare a.time b.time
@@ -18,7 +23,7 @@ let create ~seed () =
     rng = Dstruct.Rng.create seed;
     now = Time.zero;
     executed = 0;
-    live = 0;
+    live = ref 0;
   }
 
 let now t = t.now
@@ -29,34 +34,31 @@ let schedule_at t time action =
     invalid_arg
       (Format.asprintf "Engine.schedule_at: %a is before now (%a)" Time.pp
          time Time.pp t.now);
-  let h = { cancelled = false } in
+  let h = { cancelled = false; fired = false; live = t.live } in
   Dstruct.Pqueue.push t.queue { time; action; h };
-  t.live <- t.live + 1;
+  incr t.live;
   h
 
 let schedule_after t delay action =
   schedule_at t (Time.add t.now delay) action
 
-let cancel h = h.cancelled <- true
+let cancel h =
+  if not (h.cancelled || h.fired) then begin
+    h.cancelled <- true;
+    decr h.live
+  end
+
 let is_cancelled h = h.cancelled
-
-let pending t =
-  (* [live] over-counts by the cancelled-but-still-queued events, so count
-     precisely; the queue is small in practice and this is a debug query. *)
-  ignore t.live;
-  List.length
-    (List.filter
-       (fun e -> not e.h.cancelled)
-       (Dstruct.Pqueue.to_sorted_list t.queue))
-
+let pending t = !(t.live)
 let executed t = t.executed
 
 let step t =
   match Dstruct.Pqueue.pop t.queue with
   | None -> false
   | Some e ->
-      t.live <- t.live - 1;
       if not e.h.cancelled then begin
+        e.h.fired <- true;
+        decr t.live;
         assert (Time.(e.time >= t.now));
         t.now <- e.time;
         t.executed <- t.executed + 1;

@@ -34,7 +34,9 @@ val cancel : handle -> unit
 
 val is_cancelled : handle -> bool
 
-(** Number of scheduled (non-cancelled) future events. *)
+(** Number of scheduled (non-cancelled) future events. O(1): the engine
+    keeps a live counter that {!cancel} decrements eagerly, rather than
+    filtering the queue. *)
 val pending : t -> int
 
 (** Total events executed so far. *)

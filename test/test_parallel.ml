@@ -1,0 +1,181 @@
+(* Tests for the parallel run farm: submission-order results, aggregate
+   equality between sequential and multi-domain sweeps, and the O(1)
+   [Engine.pending] counter under schedule/cancel/step interleavings. *)
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let sec = Sim.Time.of_sec
+let ms = Sim.Time.of_ms
+
+(* ------------------------------------------------------------- Pool *)
+
+(* Unequal workloads so completion order differs from submission order on a
+   real multi-domain pool; the result array must not care. *)
+let spin k =
+  let acc = ref 0 in
+  for i = 1 to k * 100_000 do
+    acc := !acc + (i mod 7)
+  done;
+  !acc
+
+let test_pool_submission_order () =
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      let thunks =
+        Array.init 16 (fun i () ->
+            ignore (spin (16 - i));
+            i * i)
+      in
+      let results = Parallel.Pool.run pool thunks in
+      Array.iteri
+        (fun i r -> check int_t (Printf.sprintf "slot %d" i) (i * i) r)
+        results)
+
+let test_pool_map_order () =
+  Parallel.Pool.with_pool ~jobs:3 (fun pool ->
+      let xs = List.init 20 (fun i -> i) in
+      check
+        (Alcotest.list int_t)
+        "map keeps order"
+        (List.map (fun x -> (2 * x) + 1) xs)
+        (Parallel.Pool.map pool (fun x -> (2 * x) + 1) xs))
+
+let test_pool_sequential_degenerate () =
+  (* jobs:1 must not spawn domains and must behave like Array.map. *)
+  let pool = Parallel.Pool.sequential in
+  check int_t "jobs" 1 (Parallel.Pool.jobs pool);
+  let order = ref [] in
+  let thunks = Array.init 5 (fun i () -> order := i :: !order) in
+  ignore (Parallel.Pool.run pool thunks);
+  check (Alcotest.list int_t) "evaluated in order" [ 0; 1; 2; 3; 4 ]
+    (List.rev !order)
+
+exception Boom of int
+
+let test_pool_first_exception () =
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      let thunks =
+        Array.init 8 (fun i () -> if i mod 2 = 1 then raise (Boom i) else i)
+      in
+      match Parallel.Pool.run pool thunks with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom i ->
+          check int_t "first failing index wins" 1 i)
+
+(* ------------------------------------------------------------- Sweep *)
+
+let sweep ?pool () =
+  let n = 5 and t = 2 in
+  let config = Omega.Config.default ~n ~t Omega.Config.Fig3 in
+  Harness.Sweep.run ?pool ~horizon:(sec 15)
+    ~crashes:[ (0, sec 3) ]
+    ~seeds:[ 1L; 2L; 3L; 4L; 5L; 6L ]
+    ~config
+    ~scenario_of:(fun seed ->
+      Scenarios.Scenario.create
+        (Scenarios.Scenario.default_params ~n ~t ~beta:(ms 10))
+        (Scenarios.Scenario.Rotating_star { center = 3 })
+        ~seed)
+    ()
+
+let check_stats name a b =
+  check int_t (name ^ " count") (Dstruct.Stats.count a) (Dstruct.Stats.count b);
+  if not (Dstruct.Stats.is_empty a) then begin
+    check (Alcotest.float 0.) (name ^ " mean") (Dstruct.Stats.mean a)
+      (Dstruct.Stats.mean b);
+    check (Alcotest.float 0.) (name ^ " stddev") (Dstruct.Stats.stddev a)
+      (Dstruct.Stats.stddev b)
+  end
+
+let test_sweep_pool_equals_sequential () =
+  let seq = sweep () in
+  let par = Parallel.Pool.with_pool ~jobs:4 (fun pool -> sweep ~pool ()) in
+  let open Harness.Sweep in
+  check int_t "runs" seq.runs par.runs;
+  check int_t "stabilized" seq.stabilized par.stabilized;
+  check int_t "elected_center" seq.elected_center par.elected_center;
+  check int_t "violations" seq.violations par.violations;
+  (* Exact float equality: the fold replays Stats.add in seed order, so the
+     accumulations must be bit-identical, not merely close. *)
+  check_stats "stabilization_ms" seq.stabilization_ms par.stabilization_ms;
+  check_stats "messages" seq.messages par.messages;
+  check_stats "max_susp_level" seq.max_susp_level par.max_susp_level
+
+(* ----------------------------------------------------- Engine.pending *)
+
+(* Drive the engine through a deterministic schedule/cancel/step interleaving
+   while mirroring it in a naive model; [pending] (now an O(1) counter
+   maintained at cancel time) must track the model exactly. *)
+let test_pending_interleavings () =
+  let engine = Sim.Engine.create ~seed:3L () in
+  let rng = Dstruct.Rng.create 99L in
+  let live = ref [] (* (id, handle), not yet fired or cancelled *)
+  and next_id = ref 0
+  and scheduled = Hashtbl.create 64 (* id -> fired? *) in
+  let model_pending () = List.length !live in
+  for round = 1 to 200 do
+    (match Dstruct.Rng.int rng 4 with
+    | 0 | 1 ->
+        (* schedule an event at a pseudo-random future offset *)
+        let id = !next_id in
+        incr next_id;
+        let delay = Sim.Time.of_us (1 + Dstruct.Rng.int rng 50) in
+        let h =
+          Sim.Engine.schedule_after engine delay (fun () ->
+              Hashtbl.replace scheduled id true)
+        in
+        Hashtbl.replace scheduled id false;
+        live := (id, h) :: !live
+    | 2 ->
+        (* cancel a pseudo-random live event; double-cancel sometimes *)
+        (match !live with
+        | [] -> ()
+        | l ->
+            let victim = Dstruct.Rng.int rng (List.length l) in
+            let id, h = List.nth l victim in
+            Sim.Engine.cancel h;
+            Sim.Engine.cancel h;
+            (* idempotent *)
+            live := List.filter (fun (i, _) -> i <> id) !live)
+    | _ ->
+        (* run a slice of virtual time; fired events leave the model *)
+        let upto =
+          Sim.Time.add (Sim.Engine.now engine)
+            (Sim.Time.of_us (Dstruct.Rng.int rng 30))
+        in
+        Sim.Engine.run_until engine upto;
+        live := List.filter (fun (id, _) -> not (Hashtbl.find scheduled id)) !live);
+    check int_t
+      (Printf.sprintf "pending after op %d" round)
+      (model_pending ()) (Sim.Engine.pending engine)
+  done;
+  (* Cancelling an already-fired handle must not corrupt the counter. *)
+  let h = Sim.Engine.schedule_after engine (Sim.Time.of_us 1) ignore in
+  Sim.Engine.run_until engine (Sim.Time.add (Sim.Engine.now engine) (ms 1));
+  check int_t "idle" 0 (Sim.Engine.pending engine);
+  Sim.Engine.cancel h;
+  check int_t "cancel after fire is a no-op" 0 (Sim.Engine.pending engine)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "submission order" `Quick
+            test_pool_submission_order;
+          Alcotest.test_case "map order" `Quick test_pool_map_order;
+          Alcotest.test_case "sequential degenerate" `Quick
+            test_pool_sequential_degenerate;
+          Alcotest.test_case "first exception wins" `Quick
+            test_pool_first_exception;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "pool aggregate = sequential" `Slow
+            test_sweep_pool_equals_sequential;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "pending across interleavings" `Quick
+            test_pending_interleavings;
+        ] );
+    ]
