@@ -12,7 +12,7 @@ open Toolkit
 
 (* Run one complete small simulation: n processes, rotating star, given
    horizon; returns the message count so the work cannot be optimized out. *)
-let sim_run ~variant ~n ~horizon_ms () =
+let sim_run ?(digest = false) ~variant ~n ~horizon_ms () =
   let t = (n - 1) / 2 in
   let config = Omega.Config.default ~n ~t variant in
   let params =
@@ -24,7 +24,7 @@ let sim_run ~variant ~n ~horizon_ms () =
       ~seed:42L
   in
   let result =
-    Harness.Run.run ~check:false
+    Harness.Run.run ~check:false ~digest
       ~horizon:(Sim.Time.of_ms horizon_ms)
       ~config ~scenario ~seed:7L ()
   in
@@ -49,7 +49,9 @@ let experiment_tests =
     (fun (id, _doc, f) ->
       Test.make ~name:("table:" ^ id)
         (Staged.stage
-           (muted (fun () -> f ~pool:Parallel.Pool.sequential ~quick:true))))
+           (muted (fun () ->
+                f ~pool:Parallel.Pool.sequential ~quick:true
+                  ~obs:Experiments.Suite.no_obs))))
     Experiments.Suite.all
 
 let micro_tests =
@@ -101,6 +103,13 @@ let micro_tests =
     Test.make ~name:"micro:sim-1s-n8-fig1"
       (Staged.stage (fun () ->
            ignore (sim_run ~variant:Omega.Config.Fig1 ~n:8 ~horizon_ms:1000 ())));
+    (* Same simulation with the digest sink live on every event — the price
+       of full observability, vs the null-sink row above. *)
+    Test.make ~name:"micro:sim-1s-n8-fig1+digest"
+      (Staged.stage (fun () ->
+           ignore
+             (sim_run ~digest:true ~variant:Omega.Config.Fig1 ~n:8
+                ~horizon_ms:1000 ())));
   ]
 
 (* One result row: the OLS estimate per measure, keyed by the measure's

@@ -1,0 +1,132 @@
+(* Compare two bench/main.exe --json dumps (see BENCH_pr1.json for the
+   format) and report per-benchmark drift of the monotonic-clock estimate.
+
+   Usage:
+     bench_diff OLD.json NEW.json [--tolerance PCT] [--strict]
+
+   Prints one line per benchmark; those drifting beyond the tolerance
+   (default 25%) are flagged. Exit status is 0 unless --strict is given and
+   something drifted — CI runs it permissive, so noisy runners warn instead
+   of blocking merges. Benchmarks present on only one side are reported but
+   never fail the comparison (new benches appear, old ones retire). *)
+
+let tolerance = ref 25.0
+let strict = ref false
+
+(* The dumps are produced by our own writer (bench/main.ml json_dump):
+   objects one per line, ASCII names, plain number or null values — a full
+   JSON parser would be dead weight, a line scanner is honest about what it
+   accepts. *)
+let parse_file path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       let find_string key =
+         let pat = Printf.sprintf "\"%s\": \"" key in
+         match String.index_opt line '{' with
+         | None -> None
+         | Some _ -> (
+             let rec search from =
+               if from + String.length pat > String.length line then None
+               else if String.sub line from (String.length pat) = pat then
+                 let start = from + String.length pat in
+                 let stop = String.index_from line start '"' in
+                 Some (String.sub line start (stop - start))
+               else search (from + 1)
+             in
+             try search 0 with Not_found -> None)
+       in
+       let find_number key =
+         let pat = Printf.sprintf "\"%s\": " key in
+         let rec search from =
+           if from + String.length pat > String.length line then None
+           else if String.sub line from (String.length pat) = pat then begin
+             let start = from + String.length pat in
+             let stop = ref start in
+             while
+               !stop < String.length line
+               && (match line.[!stop] with
+                  | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+                  | _ -> false)
+             do
+               incr stop
+             done;
+             if !stop = start then None
+             else float_of_string_opt (String.sub line start (!stop - start))
+           end
+           else search (from + 1)
+         in
+         search 0
+       in
+       match (find_string "name", find_number "monotonic-clock") with
+       | Some name, Some ns -> rows := (name, ns) :: !rows
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+let () =
+  let positional = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--strict" :: rest ->
+        strict := true;
+        parse_args rest
+    | "--tolerance" :: pct :: rest ->
+        (match float_of_string_opt pct with
+        | Some p when p > 0. -> tolerance := p
+        | _ ->
+            prerr_endline "bench_diff: --tolerance expects a positive number";
+            exit 2);
+        parse_args rest
+    | arg :: rest ->
+        positional := arg :: !positional;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let old_path, new_path =
+    match List.rev !positional with
+    | [ o; n ] -> (o, n)
+    | _ ->
+        prerr_endline
+          "usage: bench_diff OLD.json NEW.json [--tolerance PCT] [--strict]";
+        exit 2
+  in
+  let old_rows = parse_file old_path in
+  let new_rows = parse_file new_path in
+  let drifted = ref 0 in
+  Printf.printf "%-32s %12s %12s %9s\n" "benchmark" "old" "new" "drift";
+  Printf.printf "%s\n" (String.make 68 '-');
+  List.iter
+    (fun (name, new_ns) ->
+      match List.assoc_opt name old_rows with
+      | None -> Printf.printf "%-32s %12s %12.0f %9s\n" name "-" new_ns "new"
+      | Some old_ns when old_ns = 0. ->
+          Printf.printf "%-32s %12.0f %12.0f %9s\n" name old_ns new_ns "?"
+      | Some old_ns ->
+          let pct = (new_ns -. old_ns) /. old_ns *. 100. in
+          let flag =
+            if Float.abs pct > !tolerance then begin
+              incr drifted;
+              "  <-- beyond tolerance"
+            end
+            else ""
+          in
+          Printf.printf "%-32s %12.0f %12.0f %+8.1f%%%s\n" name old_ns new_ns
+            pct flag)
+    new_rows;
+  List.iter
+    (fun (name, old_ns) ->
+      if not (List.mem_assoc name new_rows) then
+        Printf.printf "%-32s %12.0f %12s %9s\n" name old_ns "-" "gone")
+    old_rows;
+  if !drifted > 0 then begin
+    Printf.printf "\n%d benchmark(s) drifted beyond +/-%.0f%%%s\n" !drifted
+      !tolerance
+      (if !strict then "" else " (informational; pass --strict to fail)");
+    if !strict then exit 1
+  end
+  else Printf.printf "\nAll shared benchmarks within +/-%.0f%%\n" !tolerance

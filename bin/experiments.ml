@@ -4,6 +4,8 @@
      experiments               run every experiment (full size)
      experiments --quick       run every experiment (reduced size)
      experiments --jobs 4      fan runs out over 4 domains (same output)
+     experiments --metrics     append per-run digest columns to the tables
+     experiments --trace f.jsonl  stream every run's typed events to f.jsonl
      experiments e2 e4         run selected experiments
      experiments --list        list experiments *)
 
@@ -26,13 +28,33 @@ let jobs_term =
            domain count of this machine). Tables are byte-identical for \
            every N; $(docv)=1 is the plain sequential path.")
 
+let metrics_term =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Attach per-run metrics and append a digest column (FNV fold over \
+           the run's full event stream) to each Run-backed table. Digests \
+           are identical for every --jobs N: the determinism oracle the CI \
+           gate diffs.")
+
+let trace_term =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Stream every run's typed events to $(docv) as JSON lines, each \
+           run prefixed by a note naming it. Forces --jobs 1 (the writer is \
+           shared across runs).")
+
 let ids_term =
   Cmdliner.Arg.(
     value & pos_all string []
     & info [] ~docv:"EXPERIMENT"
         ~doc:"Experiment ids to run (e1..e8). Default: all.")
 
-let run list quick jobs ids =
+let run list quick jobs metrics trace ids =
   if list then begin
     List.iter
       (fun (id, doc, _) -> Printf.printf "%-4s %s\n" id doc)
@@ -51,8 +73,16 @@ let run list quick jobs ids =
     | [], _ :: _ ->
         `Error (false, "unknown experiment id; try --list")
     | selected, _ ->
+        let oc = Option.map open_out trace in
+        let jsonl = Option.map Obs.Jsonl.create oc in
+        let obs = { Experiments.Suite.trace = jsonl; metrics } in
+        (* The JSONL writer is one shared out-channel: events from
+           concurrent runs would interleave, so tracing pins the run farm
+           to a single domain. *)
+        let jobs = if Option.is_some jsonl then 1 else jobs in
         Parallel.Pool.with_pool ~jobs (fun pool ->
-            List.iter (fun (_, _, f) -> f ~pool ~quick) selected);
+            List.iter (fun (_, _, f) -> f ~pool ~quick ~obs) selected);
+        Option.iter Obs.Jsonl.close jsonl;
         `Ok ()
   end
 
@@ -64,6 +94,8 @@ let cmd =
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "experiments" ~doc)
     Cmdliner.Term.(
-      ret (const run $ list_term $ quick_term $ jobs_term $ ids_term))
+      ret
+        (const run $ list_term $ quick_term $ jobs_term $ metrics_term
+       $ trace_term $ ids_term))
 
 let () = exit (Cmdliner.Cmd.eval cmd)

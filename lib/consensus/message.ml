@@ -16,6 +16,21 @@ let ballot_of = function
   | Nack { ballot; _ } -> ballot
   | Decide _ -> -1
 
+(* Observability classifier. Sizes assume the same simple binary encoding as
+   {!Omega.Message.wire_size} (1-byte tag, 4-byte ints) with a nominal
+   4-byte value — the payload type is polymorphic, so its true size is
+   unknowable here. *)
+let info = function
+  | Prepare _ -> { Obs.Event.kind = "prepare"; round = -1; bytes = 5 }
+  | Promise { accepted = None; _ } ->
+      { Obs.Event.kind = "promise"; round = -1; bytes = 6 }
+  | Promise { accepted = Some _; _ } ->
+      { Obs.Event.kind = "promise"; round = -1; bytes = 14 }
+  | Accept _ -> { Obs.Event.kind = "accept"; round = -1; bytes = 9 }
+  | Accepted _ -> { Obs.Event.kind = "accepted"; round = -1; bytes = 9 }
+  | Nack _ -> { Obs.Event.kind = "nack"; round = -1; bytes = 9 }
+  | Decide _ -> { Obs.Event.kind = "decide"; round = -1; bytes = 5 }
+
 let pp pp_v ppf = function
   | Prepare { ballot } -> Format.fprintf ppf "PREPARE(%d)" ballot
   | Promise { ballot; accepted = None } ->

@@ -20,4 +20,10 @@ type 'v t =
       (** decision propagation (each process relays it once) *)
 
 val ballot_of : 'v t -> int
+
+(** Observability classifier for {!Net.Network.create}: kind
+    ["prepare"]/["promise"]/…, no assumption round, sizes under the same
+    nominal binary encoding as {!Omega.Message.wire_size} (the polymorphic
+    value counted as 4 bytes). *)
+val info : 'v t -> Obs.Event.msg_info
 val pp : (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v t -> unit

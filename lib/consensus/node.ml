@@ -59,6 +59,12 @@ let clear_ballot_state t =
   t.best_promise <- None;
   t.accept_value <- None
 
+let emit_ballot_event t make =
+  let sink = Sim.Engine.sink t.tr.engine in
+  if Obs.Sink.wants sink Obs.Event.c_consensus then
+    Obs.Sink.emit sink
+      (make (Sim.Time.to_us (Sim.Engine.now t.tr.engine)))
+
 let start_ballot t =
   if Option.is_none t.decided && Option.is_some t.proposal then begin
     t.ballot <- (t.attempt * t.n) + t.me;
@@ -66,6 +72,8 @@ let start_ballot t =
     t.ballots_started <- t.ballots_started + 1;
     t.phase <- Preparing;
     clear_ballot_state t;
+    emit_ballot_event t (fun now ->
+        Obs.Event.Ballot_open { now; pid = t.me; ballot = t.ballot });
     broadcast_all t (Message.Prepare { ballot = t.ballot })
   end
 
@@ -74,6 +82,8 @@ let decide t v =
     t.decided <- Some v;
     t.decided_at <- Some (Sim.Engine.now t.tr.engine);
     t.phase <- Idle;
+    emit_ballot_event t (fun now ->
+        Obs.Event.Decided { now; pid = t.me; ballot = t.ballot });
     (* Relay exactly once: with [n - t] correct processes and reliable links,
        one relay per process floods the decision to every correct process
        even if the original proposer crashes mid-broadcast. *)
@@ -138,6 +148,9 @@ let on_decide t value =
     t.decided <- Some value;
     t.decided_at <- Some (Sim.Engine.now t.tr.engine);
     t.phase <- Idle;
+    (* [ballot = -1]: the deciding ballot is unknown to a learner. *)
+    emit_ballot_event t (fun now ->
+        Obs.Event.Decided { now; pid = t.me; ballot = -1 });
     broadcast_all t (Message.Decide { value })
   end
 

@@ -23,6 +23,39 @@ let leader_cell result =
 
 let stab_cell result = Table.ms (Run.stabilization_ms result)
 
+(* Session-wide observability, set by bin/experiments.exe flags. With
+   [no_obs] every run takes the zero-cost null-sink path and the tables are
+   byte-identical to what they print without this layer. *)
+type obs = { trace : Obs.Jsonl.t option; metrics : bool }
+
+let no_obs = { trace = None; metrics = false }
+
+(* Run.run with the session's observability attached: [metrics] also turns
+   the digest on (the table grows a digest column), [trace] prepends a
+   note naming the run so the JSONL stream is self-describing. Tracing
+   requires a sequential pool — the writer is shared across runs — which
+   bin/experiments.exe enforces by forcing [--jobs 1]. *)
+let obs_run ~obs ~label ?horizon ?crashes ?wire_stats ~config ~scenario ~seed
+    () =
+  (match obs.trace with Some j -> Obs.Jsonl.note j label | None -> ());
+  Run.run ?horizon ?crashes ?wire_stats ~metrics:obs.metrics
+    ~digest:obs.metrics
+    ?sink:(Option.map Obs.Jsonl.sink obs.trace)
+    ~config ~scenario ~seed ()
+
+let obs_header obs header =
+  if obs.metrics then header @ [ "digest" ] else header
+
+let obs_cells obs result cells =
+  if obs.metrics then
+    cells
+    @ [
+        (match result.Run.digest with
+        | Some d -> Obs.Digest.to_hex d
+        | None -> "-");
+      ]
+  else cells
+
 (* Evaluate one thunk per table row (or cell) on the pool, keeping order.
    Every thunk owns its entire simulation stack — engine, RNG streams,
    event queue — so fanning them across domains cannot perturb results,
@@ -32,7 +65,7 @@ let on pool thunks = Array.to_list (Parallel.Pool.run pool (Array.of_list thunks
 
 (* ------------------------------------------------------------------ E1 *)
 
-let e1 ~pool ~quick =
+let e1 ~pool ~quick ~obs =
   let ns = if quick then [ 4; 8 ] else [ 4; 8; 16; 32 ] in
   let variants =
     [ Omega.Config.Fig1; Omega.Config.Fig2; Omega.Config.Fig3 ]
@@ -52,21 +85,26 @@ let e1 ~pool ~quick =
            List.map
              (fun variant () ->
                let result =
-                 Run.run ~horizon ~crashes ~config:(config ~n ~t variant)
+                 obs_run ~obs
+                   ~label:
+                     (Printf.sprintf "e1 n=%d %s" n
+                        (Omega.Config.variant_name variant))
+                   ~horizon ~crashes ~config:(config ~n ~t variant)
                    ~scenario:
                      (scenario ~n ~t (Scenario.Rotating_star { center }))
                    ~seed:7L ()
                in
-               [
-                 Table.intc n;
-                 Table.intc t;
-                 Omega.Config.variant_name variant;
-                 stab_cell result;
-                 leader_cell result;
-                 Table.yesno (result.Run.final_leader = Some center);
-                 Table.intc result.Run.messages_sent;
-                 Table.intc (violations result);
-               ])
+               obs_cells obs result
+                 [
+                   Table.intc n;
+                   Table.intc t;
+                   Omega.Config.variant_name variant;
+                   stab_cell result;
+                   leader_cell result;
+                   Table.yesno (result.Run.final_leader = Some center);
+                   Table.intc result.Run.messages_sent;
+                   Table.intc (violations result);
+                 ])
              variants)
          ns
   in
@@ -74,12 +112,14 @@ let e1 ~pool ~quick =
     ~title:
       "E1: stabilization under the rotating t-star (A'), crashes of t/2 \
        processes [Theorem 1]"
-    ~header:[ "n"; "t"; "algo"; "stabilized"; "leader"; "=center"; "msgs"; "viol" ]
+    ~header:
+      (obs_header obs
+         [ "n"; "t"; "algo"; "stabilized"; "leader"; "=center"; "msgs"; "viol" ])
     rows
 
 (* ------------------------------------------------------------------ E2 *)
 
-let e2 ~pool ~quick =
+let e2 ~pool ~quick ~obs =
   let n = 8 and t = 3 and center = 6 in
   let ds = if quick then [ 2; 4 ] else [ 2; 4; 8; 16 ] in
   let crashes = [ (0, sec 5) ] in
@@ -97,21 +137,26 @@ let e2 ~pool ~quick =
                  | _ -> if quick then sec 20 else sec 60
                in
                let result =
-                 Run.run ~horizon ~crashes ~config:(config ~n ~t variant)
+                 obs_run ~obs
+                   ~label:
+                     (Printf.sprintf "e2 D=%d %s" d
+                        (Omega.Config.variant_name variant))
+                   ~horizon ~crashes ~config:(config ~n ~t variant)
                    ~scenario:
                      (scenario ~n ~t (Scenario.Intermittent_star { center; d }))
                    ~seed:7L ()
                in
-               [
-                 Table.intc d;
-                 Omega.Config.variant_name variant;
-                 Format.asprintf "%a" Sim.Time.pp horizon;
-                 stab_cell result;
-                 leader_cell result;
-                 Table.yesno (result.Run.final_leader = Some center);
-                 Table.intc result.Run.max_susp_level;
-                 Table.intc (violations result);
-               ])
+               obs_cells obs result
+                 [
+                   Table.intc d;
+                   Omega.Config.variant_name variant;
+                   Format.asprintf "%a" Sim.Time.pp horizon;
+                   stab_cell result;
+                   leader_cell result;
+                   Table.yesno (result.Run.final_leader = Some center);
+                   Table.intc result.Run.max_susp_level;
+                   Table.intc (violations result);
+                 ])
              [ Omega.Config.Fig1; Omega.Config.Fig2; Omega.Config.Fig3 ])
          ds
   in
@@ -120,12 +165,16 @@ let e2 ~pool ~quick =
       "E2: intermittent rotating t-star with gap bound D (n=8, t=3, crash \
        p0@5s) [Theorem 2: fig1 needs A', fig2/fig3 elect the center]"
     ~header:
-      [ "D"; "algo"; "horizon"; "stabilized"; "leader"; "=center"; "max_susp"; "viol" ]
+      (obs_header obs
+         [
+           "D"; "algo"; "horizon"; "stabilized"; "leader"; "=center";
+           "max_susp"; "viol";
+         ])
     rows
 
 (* ------------------------------------------------------------------ E3 *)
 
-let e3 ~pool ~quick =
+let e3 ~pool ~quick ~obs =
   let n = 8 and t = 3 and center = 6 in
   let horizon = if quick then sec 20 else sec 90 in
   let crashes = [ (0, sec 5) ] in
@@ -142,18 +191,24 @@ let e3 ~pool ~quick =
     @@ List.map
          (fun (variant, regime) () ->
            let result =
-             Run.run ~horizon ~crashes ~config:(config ~n ~t variant)
+             obs_run ~obs
+               ~label:
+                 (Printf.sprintf "e3 %s %s"
+                    (Omega.Config.variant_name variant)
+                    (Scenario.regime_name regime))
+               ~horizon ~crashes ~config:(config ~n ~t variant)
                ~scenario:(scenario ~n ~t regime) ~seed:7L ()
            in
-           [
-             Omega.Config.variant_name variant;
-             Scenario.regime_name regime;
-             Table.intc result.Run.max_susp_level;
-             Format.asprintf "%a" Sim.Time.pp result.Run.max_timeout;
-             Table.intc result.Run.lattice_violations;
-             Table.intc result.Run.max_round_state;
-             stab_cell result;
-           ])
+           obs_cells obs result
+             [
+               Omega.Config.variant_name variant;
+               Scenario.regime_name regime;
+               Table.intc result.Run.max_susp_level;
+               Format.asprintf "%a" Sim.Time.pp result.Run.max_timeout;
+               Table.intc result.Run.lattice_violations;
+               Table.intc result.Run.max_round_state;
+               stab_cell result;
+             ])
          cases
   in
   Table.print
@@ -161,15 +216,19 @@ let e3 ~pool ~quick =
       "E3: variable boundedness, crash p0@5s (n=8, t=3) [Theorem 4: fig3 \
        bounds susp levels and timeouts; Lemma 8: max-min<=1 never violated]"
     ~header:
-      [
-        "algo"; "regime"; "max_susp"; "max_timeout"; "lattice_viol";
-        "round_state"; "stabilized";
-      ]
+      (obs_header obs
+         [
+           "algo"; "regime"; "max_susp"; "max_timeout"; "lattice_viol";
+           "round_state"; "stabilized";
+         ])
     rows
 
 (* ------------------------------------------------------------------ E4 *)
 
-let e4 ~pool ~quick =
+(* E4 compares against baseline oracles through Compare.run (its own minimal
+   stack) — no Run.run underneath, so the obs layer has nothing to attach
+   to; the matrix stays observability-free. *)
+let e4 ~pool ~quick ~obs:_ =
   let n = 8 and t = 3 and center = 6 in
   let horizon = if quick then sec 12 else sec 45 in
   let crashes = [ (0, sec 10) ] in
@@ -230,7 +289,7 @@ let e4 ~pool ~quick =
 
 (* ------------------------------------------------------------------ E5 *)
 
-let e5 ~pool ~quick =
+let e5 ~pool ~quick ~obs =
   let ns = if quick then [ 4; 8 ] else [ 4; 8; 16; 32 ] in
   let horizon = if quick then sec 10 else sec 20 in
   let rows =
@@ -242,7 +301,9 @@ let e5 ~pool ~quick =
            List.map
              (fun (label, crashes) () ->
                let result =
-                 Run.run ~horizon ~crashes
+                 obs_run ~obs
+                   ~label:(Printf.sprintf "e5 n=%d crash=%s" n label)
+                   ~horizon ~crashes ~wire_stats:true
                    ~config:(config ~n ~t Omega.Config.Fig3)
                    ~scenario:
                      (scenario ~n ~t (Scenario.Rotating_star { center }))
@@ -259,17 +320,18 @@ let e5 ~pool ~quick =
                  float_of_int result.Run.alive_bytes
                  /. float_of_int (max 1 result.Run.messages_sent)
                in
-               [
-                 Table.intc n;
-                 label;
-                 Table.intc result.Run.messages_sent;
-                 Printf.sprintf "%.0f" per_proc_per_sec;
-                 Table.intc result.Run.alive_bytes;
-                 Table.intc result.Run.suspicion_bytes;
-                 Printf.sprintf "%.1f" alive_avg;
-                 Table.intc result.Run.max_susp_level;
-                 Table.intc result.Run.max_round_state;
-               ])
+               obs_cells obs result
+                 [
+                   Table.intc n;
+                   label;
+                   Table.intc result.Run.messages_sent;
+                   Printf.sprintf "%.0f" per_proc_per_sec;
+                   Table.intc result.Run.alive_bytes;
+                   Table.intc result.Run.suspicion_bytes;
+                   Printf.sprintf "%.1f" alive_avg;
+                   Table.intc result.Run.max_susp_level;
+                   Table.intc result.Run.max_round_state;
+                 ])
              [ ("none", []); ("p0@5s", [ (0, sec 5) ]) ])
          ns
   in
@@ -278,10 +340,11 @@ let e5 ~pool ~quick =
       "E5: cost vs system size (fig3, rotating star) [section 1.3/8: all \
        fields but round numbers bounded]"
     ~header:
-      [
-        "n"; "crash"; "msgs"; "msg/s/proc"; "alive_B"; "susp_B"; "B/msg";
-        "max_susp"; "round_state";
-      ]
+      (obs_header obs
+         [
+           "n"; "crash"; "msgs"; "msg/s/proc"; "alive_B"; "susp_B"; "B/msg";
+           "max_susp"; "round_state";
+         ])
     rows
 
 (* ------------------------------------------------------------------ E6 *)
@@ -380,7 +443,9 @@ let broadcast_run ~n ~t ~d ~commands ~horizon ~seed =
   let delivered = match sequences with [] -> 0 | s :: _ -> List.length s in
   (delivered, all_equal)
 
-let e6 ~pool ~quick =
+(* E6's consensus/broadcast runs assemble their own two-network stacks
+   above (no Run.run), so like E4 they stay observability-free. *)
+let e6 ~pool ~quick ~obs:_ =
   let n = 8 and t = 3 in
   let ds = if quick then [ 4 ] else [ 4; 16 ] in
   let horizon = if quick then sec 20 else sec 60 in
@@ -417,7 +482,7 @@ let e6 ~pool ~quick =
 
 (* ------------------------------------------------------------------ E7 *)
 
-let e7 ~pool ~quick =
+let e7 ~pool ~quick ~obs =
   let n = 5 and t = 2 and center = 3 and d = 2 in
   (* Quadratic g (see Scenario.g_function): outgrows the linear-rate timeout
      adaptation, so only the g-aware variant can keep waiting long enough.
@@ -441,18 +506,21 @@ let e7 ~pool ~quick =
     List.map
       (fun (label, variant) () ->
         let result =
-          Run.run ~horizon ~crashes:[]
+          obs_run ~obs
+            ~label:(Printf.sprintf "e7a %s" label)
+            ~horizon ~crashes:[]
             ~config:(tweak (config ~n ~t variant))
             ~scenario:(scenario ~n ~t regime) ~seed:7L ()
         in
-        [
-          label;
-          stab_cell result;
-          leader_cell result;
-          Table.yesno (result.Run.final_leader = Some center);
-          Format.asprintf "%a" Sim.Time.pp result.Run.max_timeout;
-          Table.intc (violations result);
-        ])
+        obs_cells obs result
+          [
+            label;
+            stab_cell result;
+            leader_cell result;
+            Table.yesno (result.Run.final_leader = Some center);
+            Format.asprintf "%a" Sim.Time.pp result.Run.max_timeout;
+            Table.intc (violations result);
+          ])
       [
         ("fig3 (g unknown)", Omega.Config.Fig3);
         ("fig3_fg (knows g)", Omega.Config.Fig3_fg { f = (fun _ -> 0); g });
@@ -469,20 +537,23 @@ let e7 ~pool ~quick =
     List.map
       (fun (label, variant) () ->
         let result =
-          Run.run ~horizon:horizon_b
+          obs_run ~obs
+            ~label:(Printf.sprintf "e7b %s" label)
+            ~horizon:horizon_b
             ~crashes:[ (0, sec 5) ]
             ~config:(config ~n ~t variant)
             ~scenario:(Scenario.create params regime_b ~seed:42L)
             ~seed:7L ()
         in
-        [
-          label;
-          stab_cell result;
-          leader_cell result;
-          Table.yesno (result.Run.final_leader = Some center_b);
-          Table.intc result.Run.max_susp_level;
-          Table.intc (violations result);
-        ])
+        obs_cells obs result
+          [
+            label;
+            stab_cell result;
+            leader_cell result;
+            Table.yesno (result.Run.final_leader = Some center_b);
+            Table.intc result.Run.max_susp_level;
+            Table.intc (violations result);
+          ])
       [
         ("fig3 (f unknown)", Omega.Config.Fig3);
         ("fig3_fg (knows f)", Omega.Config.Fig3_fg { f; g = (fun _ -> Sim.Time.zero) });
@@ -499,19 +570,23 @@ let e7 ~pool ~quick =
       "E7a: growing timeliness bound delta+g(rn), quadratic g (growing star, \
        n=5, t=2, D=2) [section 7: only the g-aware algorithm elects the \
        center]"
-    ~header:[ "algo"; "stabilized"; "leader"; "=center"; "max_timeout"; "viol" ]
+    ~header:
+      (obs_header obs
+         [ "algo"; "stabilized"; "leader"; "=center"; "max_timeout"; "viol" ])
     rows;
   Table.print
     ~title:
       "E7b: growing gaps between good rounds, f(s) = 4 + 8*(s/256) (n=8, \
        t=3, crash p0@5s) [section 7: only the f-aware algorithm elects the \
        center]"
-    ~header:[ "algo"; "stabilized"; "leader"; "=center"; "max_susp"; "viol" ]
+    ~header:
+      (obs_header obs
+         [ "algo"; "stabilized"; "leader"; "=center"; "max_susp"; "viol" ])
     rows_b
 
 (* ------------------------------------------------------------------ E8 *)
 
-let e8 ~pool ~quick =
+let e8 ~pool ~quick ~obs =
   let n = 8 and t = 3 in
   let first = 2 and second = 6 in
   let crash_time = if quick then sec 8 else sec 20 in
@@ -525,7 +600,12 @@ let e8 ~pool ~quick =
            List.map
              (fun seed () ->
                let result =
-                 Run.run ~horizon
+                 obs_run ~obs
+                   ~label:
+                     (Printf.sprintf "e8 %s seed=%Ld"
+                        (Omega.Config.variant_name variant)
+                        seed)
+                   ~horizon
                    ~crashes:[ (first, crash_time) ]
                    ~config:(config ~n ~t variant)
                    ~scenario:
@@ -553,15 +633,16 @@ let e8 ~pool ~quick =
                      else acc)
                    "-" result.Run.samples
                in
-               [
-                 Omega.Config.variant_name variant;
-                 Int64.to_string seed;
-                 pre_crash;
-                 leader_cell result;
-                 stab_cell result;
-                 relect;
-                 Table.intc (violations result);
-               ])
+               obs_cells obs result
+                 [
+                   Omega.Config.variant_name variant;
+                   Int64.to_string seed;
+                   pre_crash;
+                   leader_cell result;
+                   stab_cell result;
+                   relect;
+                   Table.intc (violations result);
+                 ])
              seeds)
          [ Omega.Config.Fig2; Omega.Config.Fig3 ]
   in
@@ -573,7 +654,11 @@ let e8 ~pool ~quick =
          first second first
          (Sim.Time.to_us crash_time / 1_000_000))
     ~header:
-      [ "algo"; "seed"; "pre-crash"; "final"; "stabilized"; "re-elect"; "viol" ]
+      (obs_header obs
+         [
+           "algo"; "seed"; "pre-crash"; "final"; "stabilized"; "re-elect";
+           "viol";
+         ])
     rows
 
 let all =

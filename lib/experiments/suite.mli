@@ -10,36 +10,56 @@
     order and printed only after the join, so the printed tables are
     byte-identical for every pool size — all experiments remain
     deterministic: same build, same output. Pass
-    {!Parallel.Pool.sequential} for the single-domain path. *)
+    {!Parallel.Pool.sequential} for the single-domain path.
+
+    [obs] is the session's observability (bin/experiments.exe [--trace] /
+    [--metrics] flags): with [no_obs] every run keeps the null sink and the
+    tables are byte-identical to the pre-observability output; with
+    [metrics = true] each Run.run-backed table gains a digest column (the
+    per-run {!Obs.Digest} — the determinism oracle); with [trace = Some j]
+    every run streams its typed events into [j] as JSONL, prefixed by a
+    note naming the run. E4 and E6 build their own stacks and ignore
+    [obs]. *)
+
+type obs = {
+  trace : Obs.Jsonl.t option;
+      (** stream every run's events here; requires a sequential pool *)
+  metrics : bool;  (** per-run metrics + digest column *)
+}
+
+(** No tracing, no metrics: the zero-cost default. *)
+val no_obs : obs
 
 (** E1 — Theorem 1: stabilization of Figures 1-3 under the rotating t-star
     (A'), across system sizes, with crashes. *)
-val e1 : pool:Parallel.Pool.t -> quick:bool -> unit
+val e1 : pool:Parallel.Pool.t -> quick:bool -> obs:obs -> unit
 
 (** E2 — Theorem 2: the intermittent star (A) with gap bound D: Figure 1
     fails, Figures 2-3 elect the center; latency vs D. *)
-val e2 : pool:Parallel.Pool.t -> quick:bool -> unit
+val e2 : pool:Parallel.Pool.t -> quick:bool -> obs:obs -> unit
 
 (** E3 — Theorem 4 / Lemma 8: bounded variables. Figure 2 vs Figure 3 on
     suspicion levels, timeout values and the lattice invariant. *)
-val e3 : pool:Parallel.Pool.t -> quick:bool -> unit
+val e3 : pool:Parallel.Pool.t -> quick:bool -> obs:obs -> unit
 
 (** E4 — §3 containment: every algorithm under every assumption regime. *)
-val e4 : pool:Parallel.Pool.t -> quick:bool -> unit
+val e4 : pool:Parallel.Pool.t -> quick:bool -> obs:obs -> unit
 
 (** E5 — §1.3/§8 cost: message counts, wire bytes, state growth vs n. *)
-val e5 : pool:Parallel.Pool.t -> quick:bool -> unit
+val e5 : pool:Parallel.Pool.t -> quick:bool -> obs:obs -> unit
 
 (** E6 — Theorem 5: consensus and atomic broadcast over the elected
     leader. *)
-val e6 : pool:Parallel.Pool.t -> quick:bool -> unit
+val e6 : pool:Parallel.Pool.t -> quick:bool -> obs:obs -> unit
 
 (** E7 — §7: growing timeliness bounds; Figure 3 vs its A_{f,g} variant. *)
-val e7 : pool:Parallel.Pool.t -> quick:bool -> unit
+val e7 : pool:Parallel.Pool.t -> quick:bool -> obs:obs -> unit
 
 (** E8 — §1.1 good/bad periods: crash the elected center (failover star),
     measure re-election latency. *)
-val e8 : pool:Parallel.Pool.t -> quick:bool -> unit
+val e8 : pool:Parallel.Pool.t -> quick:bool -> obs:obs -> unit
 
 (** All experiments in order. *)
-val all : (string * string * (pool:Parallel.Pool.t -> quick:bool -> unit)) list
+val all :
+  (string * string * (pool:Parallel.Pool.t -> quick:bool -> obs:obs -> unit))
+  list

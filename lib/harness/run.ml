@@ -22,6 +22,8 @@ type result = {
   min_sending_round : int;
   checker : Scenarios.Checker.report option;
   horizon : Sim.Time.t;
+  digest : int64 option;
+  metrics : Obs.Metrics.t option;
 }
 
 (* The largest round whose every non-victim message is guaranteed delivered
@@ -47,7 +49,8 @@ let checkable_round scenario horizon =
   end
 
 let run ?(horizon = Sim.Time.of_sec 30) ?(sample_every = Sim.Time.of_ms 100)
-    ?min_stable ?(crashes = []) ?(check = true) ~config ~scenario ~seed () =
+    ?min_stable ?(crashes = []) ?(check = true) ?(wire_stats = false)
+    ?(metrics = false) ?(digest = false) ?sink ~config ~scenario ~seed () =
   let min_stable =
     match min_stable with
     | Some w -> w
@@ -55,27 +58,52 @@ let run ?(horizon = Sim.Time.of_sec 30) ?(sample_every = Sim.Time.of_ms 100)
   in
   let engine = Sim.Engine.create ~seed () in
   let oracle = Scenarios.Scenario.oracle scenario ~round_of:Scenarios.Scenario.round_of_omega in
-  let net = Net.Network.create engine ~n:config.Omega.Config.n ~oracle in
+  let net =
+    Net.Network.create ~classify:Omega.Message.info engine
+      ~n:config.Omega.Config.n ~oracle
+  in
   let checker =
-    if check && Option.is_some (Scenarios.Scenario.center scenario) then begin
-      let c = Scenarios.Checker.create scenario ~round_of:Scenarios.Scenario.round_of_omega in
-      Some c
-    end
+    if check && Option.is_some (Scenarios.Scenario.center scenario) then
+      Some (Scenarios.Checker.create scenario)
     else None
   in
+  (* E5's wire-cost accounting rides the event stream: a net-events-only
+     sink counting ALIVE/SUSPICION bytes, attached only when asked for —
+     any live net sink makes every send/deliver construct its event, so
+     the default run keeps the engine's null sink (one dead branch per
+     event site, nothing allocated; see DESIGN.md §10). *)
   let alive_bytes = ref 0 and suspicion_bytes = ref 0 in
-  let count_bytes = function
-    | Net.Network.Sent { msg; _ } -> (
-        match msg with
-        | Omega.Message.Alive _ ->
-            alive_bytes := !alive_bytes + Omega.Message.wire_size msg
-        | Omega.Message.Suspicion _ ->
-            suspicion_bytes := !suspicion_bytes + Omega.Message.wire_size msg)
-    | Net.Network.Delivered _ | Net.Network.Dropped _ -> ()
+  let bytes_sink =
+    if not wire_stats then []
+    else
+      [
+        Obs.Sink.make ~mask:Obs.Event.c_net (function
+          | Obs.Event.Send { kind; bytes; _ } ->
+              if String.equal kind "alive" then
+                alive_bytes := !alive_bytes + bytes
+              else if String.equal kind "susp" then
+                suspicion_bytes := !suspicion_bytes + bytes
+          | _ -> ());
+      ]
   in
-  Net.Network.set_tracer net (fun ev ->
-      count_bytes ev;
-      match checker with Some c -> Scenarios.Checker.tracer c ev | None -> ());
+  let metrics_agg = if metrics then Some (Obs.Metrics.create ()) else None in
+  let digest_st = if digest then Some (Obs.Digest.create ()) else None in
+  Sim.Engine.set_sink engine
+    (Obs.Sink.tee
+       (List.concat
+          [
+            bytes_sink;
+            (match checker with
+            | Some c -> [ Scenarios.Checker.sink c ]
+            | None -> []);
+            (match metrics_agg with
+            | Some m -> [ Obs.Metrics.sink m ]
+            | None -> []);
+            (match digest_st with
+            | Some d -> [ Obs.Digest.sink d ]
+            | None -> []);
+            (match sink with Some s -> [ s ] | None -> []);
+          ]));
   let cluster = Omega.Cluster.create config net in
   List.iter (fun (p, time) -> Omega.Cluster.crash_at cluster p time) crashes;
   let samples = ref [] in
@@ -168,6 +196,8 @@ let run ?(horizon = Sim.Time.of_sec 30) ?(sample_every = Sim.Time.of_ms 100)
     min_sending_round;
     checker = checker_report;
     horizon;
+    digest = Option.map Obs.Digest.value digest_st;
+    metrics = metrics_agg;
   }
 
 let stabilization_ms result =

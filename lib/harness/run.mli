@@ -21,8 +21,9 @@ type result = {
   samples : sample list;
   messages_sent : int;
   messages_delivered : int;
-  alive_bytes : int;  (** total wire bytes of ALIVE messages *)
-  suspicion_bytes : int;
+  alive_bytes : int;
+      (** total wire bytes of ALIVE messages ([0] unless [~wire_stats]) *)
+  suspicion_bytes : int;  (** ditto, SUSPICION messages *)
   max_susp_level : int;  (** max over correct nodes, end of run *)
   max_timeout : Sim.Time.t;  (** largest timeout any correct node armed *)
   lattice_violations : int;
@@ -34,6 +35,12 @@ type result = {
   checker : Scenarios.Checker.report option;
       (** assumption-compliance report, when [~check:true] *)
   horizon : Sim.Time.t;
+  digest : int64 option;
+      (** FNV fold over the run's full event stream, when [~digest:true].
+          Same seed ⇒ same digest, whatever the pool size — the
+          determinism oracle (see {!Obs.Digest}). *)
+  metrics : Obs.Metrics.t option;
+      (** per-run counters/histograms, when [~metrics:true] *)
 }
 
 (** [run ~config ~scenario ~seed ()] executes one simulation.
@@ -41,13 +48,27 @@ type result = {
     [crashes] schedules process failures. [horizon] defaults to 30 sim-s;
     [sample_every] to 100 sim-ms. With [check:true] (default), a
     {!Checker} is attached and verified over the prefix of rounds whose
-    messages are guaranteed delivered by the horizon. *)
+    messages are guaranteed delivered by the horizon.
+
+    Observability: [wire_stats:true] counts ALIVE/SUSPICION wire bytes
+    (the [alive_bytes]/[suspicion_bytes] fields — E5's columns),
+    [metrics:true] attaches an {!Obs.Metrics} aggregator, [digest:true] an
+    {!Obs.Digest} over the full event stream (engine events included), and
+    [sink] any extra consumer (e.g. an {!Obs.Jsonl} writer for [--trace]);
+    all compose under one {!Obs.Sink.tee} on the run's engine. None of
+    them perturbs the simulation — results are bit-identical with or
+    without — and with all off (and [check:false]) the engine keeps its
+    null sink: the whole layer costs one branch per event site. *)
 val run :
   ?horizon:Sim.Time.t ->
   ?sample_every:Sim.Time.t ->
   ?min_stable:Sim.Time.t ->
   ?crashes:(pid * Sim.Time.t) list ->
   ?check:bool ->
+  ?wire_stats:bool ->
+  ?metrics:bool ->
+  ?digest:bool ->
+  ?sink:Obs.Sink.t ->
   config:Omega.Config.t ->
   scenario:Scenarios.Scenario.t ->
   seed:int64 ->

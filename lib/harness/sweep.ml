@@ -6,21 +6,26 @@ type aggregate = {
   messages : Dstruct.Stats.t;
   max_susp_level : Dstruct.Stats.t;
   violations : int;
+  digests : int64 list;
+  suspicion_churn : Dstruct.Stats.t;
+  timer_fires : Dstruct.Stats.t;
 }
 
-let run ?(pool = Parallel.Pool.sequential) ?horizon ?crashes ?check ~seeds
-    ~config ~scenario_of () =
+let run ?(pool = Parallel.Pool.sequential) ?horizon ?crashes ?check
+    ?(metrics = false) ?(digest = false) ~seeds ~config ~scenario_of () =
   (* Each seed's run is an independent simulation (own engine, RNG streams,
-     event queue), so the runs fan out across the pool; the fold below walks
-     the results in seed-list order, so every [Stats.add] happens in exactly
-     the sequence the sequential code produced — aggregates are identical
-     whatever the pool size. *)
+     event queue — and its own obs sinks), so the runs fan out across the
+     pool; the fold below walks the results in seed-list order, so every
+     [Stats.add] happens in exactly the sequence the sequential code
+     produced — aggregates (and the digests list) are identical whatever
+     the pool size. *)
   let results =
     Parallel.Pool.map pool
       (fun seed ->
         let scenario = scenario_of seed in
         let result =
-          Run.run ?horizon ?crashes ?check ~config ~scenario ~seed ()
+          Run.run ?horizon ?crashes ?check ~metrics ~digest ~config ~scenario
+            ~seed ()
         in
         (result, Scenarios.Scenario.center_at scenario max_int))
       seeds
@@ -34,31 +39,48 @@ let run ?(pool = Parallel.Pool.sequential) ?horizon ?crashes ?check ~seeds
       messages = Dstruct.Stats.create ();
       max_susp_level = Dstruct.Stats.create ();
       violations = 0;
+      digests = [];
+      suspicion_churn = Dstruct.Stats.create ();
+      timer_fires = Dstruct.Stats.create ();
     }
   in
-  List.fold_left
-    (fun agg (result, center) ->
-      let stabilized = Option.is_some result.Run.stabilized_at in
-      if stabilized then
-        Dstruct.Stats.add agg.stabilization_ms (Run.stabilization_ms result);
-      Dstruct.Stats.add agg.messages (float_of_int result.Run.messages_sent);
-      Dstruct.Stats.add agg.max_susp_level
-        (float_of_int result.Run.max_susp_level);
-      {
-        agg with
-        runs = agg.runs + 1;
-        stabilized = (agg.stabilized + if stabilized then 1 else 0);
-        elected_center =
-          (agg.elected_center
-          + if stabilized && result.Run.final_leader = center then 1 else 0);
-        violations =
-          (agg.violations
-          +
-          match result.Run.checker with
-          | Some report -> List.length report.Scenarios.Checker.violations
-          | None -> 0);
-      })
-    agg results
+  let agg =
+    List.fold_left
+      (fun agg (result, center) ->
+        let stabilized = Option.is_some result.Run.stabilized_at in
+        if stabilized then
+          Dstruct.Stats.add agg.stabilization_ms (Run.stabilization_ms result);
+        Dstruct.Stats.add agg.messages (float_of_int result.Run.messages_sent);
+        Dstruct.Stats.add agg.max_susp_level
+          (float_of_int result.Run.max_susp_level);
+        (match result.Run.metrics with
+        | Some m ->
+            Dstruct.Stats.add agg.suspicion_churn
+              (float_of_int (Obs.Metrics.suspicion_increments m));
+            Dstruct.Stats.add agg.timer_fires
+              (float_of_int (Obs.Metrics.timer_fires m))
+        | None -> ());
+        {
+          agg with
+          runs = agg.runs + 1;
+          stabilized = (agg.stabilized + if stabilized then 1 else 0);
+          elected_center =
+            (agg.elected_center
+            + if stabilized && result.Run.final_leader = center then 1 else 0);
+          violations =
+            (agg.violations
+            +
+            match result.Run.checker with
+            | Some report -> List.length report.Scenarios.Checker.violations
+            | None -> 0);
+          digests =
+            (match result.Run.digest with
+            | Some d -> d :: agg.digests
+            | None -> agg.digests);
+        })
+      agg results
+  in
+  { agg with digests = List.rev agg.digests }
 
 let stabilized_cell agg = Printf.sprintf "%d/%d" agg.stabilized agg.runs
 

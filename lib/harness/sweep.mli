@@ -10,6 +10,11 @@ type aggregate = {
   messages : Dstruct.Stats.t;
   max_susp_level : Dstruct.Stats.t;
   violations : int;  (** total checker violations across runs *)
+  digests : int64 list;
+      (** per-run digests in seed-list order, when [~digest:true] *)
+  suspicion_churn : Dstruct.Stats.t;
+      (** per-run SUSPICION increments, when [~metrics:true] *)
+  timer_fires : Dstruct.Stats.t;  (** per-run timer fires, ditto *)
 }
 
 (** [run ~seeds ~config ~scenario_of ...] replicates {!Run.run}. Both the
@@ -17,13 +22,18 @@ type aggregate = {
     fresh scenario (plans are stateful).
 
     [pool] (default {!Parallel.Pool.sequential}) fans the seeds out across
-    domains; results are folded in seed-list order, so the aggregate is
-    identical for every pool size. *)
+    domains; results are folded in seed-list order, so the aggregate —
+    including [digests] — is identical for every pool size.
+
+    [metrics]/[digest] (default false) thread through to {!Run.run}; each
+    pooled run owns its own sinks, like its RNG. *)
 val run :
   ?pool:Parallel.Pool.t ->
   ?horizon:Sim.Time.t ->
   ?crashes:(int * Sim.Time.t) list ->
   ?check:bool ->
+  ?metrics:bool ->
+  ?digest:bool ->
   seeds:int64 list ->
   config:Omega.Config.t ->
   scenario_of:(int64 -> Scenarios.Scenario.t) ->

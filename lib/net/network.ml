@@ -5,44 +5,34 @@ type verdict = Deliver_after of Sim.Time.t | Drop
 type 'm delay_oracle =
   now:Sim.Time.t -> seq:int -> src:pid -> dst:pid -> 'm -> verdict
 
-type 'm trace_event =
-  | Sent of { time : Sim.Time.t; seq : int; src : pid; dst : pid; msg : 'm }
-  | Delivered of {
-      time : Sim.Time.t;
-      sent_at : Sim.Time.t;
-      seq : int;
-      src : pid;
-      dst : pid;
-      msg : 'm;
-    }
-  | Dropped of { time : Sim.Time.t; seq : int; src : pid; dst : pid; msg : 'm }
-
 type 'm t = {
   engine : Sim.Engine.t;
   n : int;
   oracle : 'm delay_oracle;
+  classify : 'm -> Obs.Event.msg_info;
   handlers : (src:pid -> 'm -> unit) option array;
   crashed : bool array;
   mutable seq : int;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
-  mutable tracer : ('m trace_event -> unit) option;
 }
 
-let create engine ~n ~oracle =
+let default_classify _ = Obs.Event.no_info
+
+let create ?(classify = default_classify) engine ~n ~oracle =
   if n <= 0 then invalid_arg "Network.create: n must be positive";
   {
     engine;
     n;
     oracle;
+    classify;
     handlers = Array.make n None;
     crashed = Array.make n false;
     seq = 0;
     sent = 0;
     delivered = 0;
     dropped = 0;
-    tracer = None;
   }
 
 let n t = t.n
@@ -56,12 +46,14 @@ let set_handler t i f =
   check_pid t i ~op:"set_handler";
   t.handlers.(i) <- Some f
 
-let trace t ev = match t.tracer with Some f -> f ev | None -> ()
-
 (* The in-flight message, packed into one record so scheduling a delivery
    allocates a single block plus a one-field closure, instead of the chain
    of caml_curry closures a 6-argument partial application costs — [send]
-   is the simulator's hottest allocation site. *)
+   is the simulator's hottest allocation site. [finfo] is the message's
+   classification, latched at send time (classifiers are pure, so this is
+   the delivery-time value too — and [classify] runs once per message, not
+   once per event); it is [no_info] when no net sink was live at the send,
+   which is fine because sinks are installed before a run starts. *)
 type 'm flight = {
   net : 'm t;
   sent_at : Sim.Time.t;
@@ -69,16 +61,30 @@ type 'm flight = {
   fsrc : pid;
   fdst : pid;
   fmsg : 'm;
+  finfo : Obs.Event.msg_info;
 }
 
-let deliver { net = t; sent_at; fseq = seq; fsrc = src; fdst = dst; fmsg = msg } =
+let deliver
+    { net = t; sent_at; fseq = seq; fsrc = src; fdst = dst; fmsg = msg; finfo }
+    =
   (* A message to a crashed process is silently consumed: the paper treats
      the link to a crashed receiver as trivially timely. *)
   if not t.crashed.(dst) then begin
     t.delivered <- t.delivered + 1;
-    trace t
-      (Delivered
-         { time = Sim.Engine.now t.engine; sent_at; seq; src; dst; msg });
+    let sink = Sim.Engine.sink t.engine in
+    if Obs.Sink.wants sink Obs.Event.c_net then
+      Obs.Sink.emit sink
+        (Obs.Event.Deliver
+           {
+             now = Sim.Time.to_us (Sim.Engine.now t.engine);
+             sent_at = Sim.Time.to_us sent_at;
+             seq;
+             src;
+             dst;
+             kind = finfo.Obs.Event.kind;
+             round = finfo.Obs.Event.round;
+             bytes = finfo.Obs.Event.bytes;
+           });
     match t.handlers.(dst) with
     | Some f -> f ~src msg
     | None -> ()
@@ -92,16 +98,49 @@ let send t ~src ~dst msg =
     let seq = t.seq in
     t.seq <- seq + 1;
     t.sent <- t.sent + 1;
-    trace t (Sent { time = now; seq; src; dst; msg });
+    let sink = Sim.Engine.sink t.engine in
+    let traced = Obs.Sink.wants sink Obs.Event.c_net in
+    let info = if traced then t.classify msg else Obs.Event.no_info in
+    if traced then
+      Obs.Sink.emit sink
+        (Obs.Event.Send
+           {
+             now = Sim.Time.to_us now;
+             seq;
+             src;
+             dst;
+             kind = info.Obs.Event.kind;
+             round = info.Obs.Event.round;
+             bytes = info.Obs.Event.bytes;
+           });
     match t.oracle ~now ~seq ~src ~dst msg with
     | Drop ->
         t.dropped <- t.dropped + 1;
-        trace t (Dropped { time = now; seq; src; dst; msg })
+        if traced then
+          Obs.Sink.emit sink
+            (Obs.Event.Drop
+               {
+                 now = Sim.Time.to_us now;
+                 seq;
+                 src;
+                 dst;
+                 kind = info.Obs.Event.kind;
+                 round = info.Obs.Event.round;
+                 bytes = info.Obs.Event.bytes;
+               })
     | Deliver_after delay ->
         if Sim.Time.(delay < Sim.Time.zero) then
           invalid_arg "Network.send: oracle returned negative delay";
         let flight =
-          { net = t; sent_at = now; fseq = seq; fsrc = src; fdst = dst; fmsg = msg }
+          {
+            net = t;
+            sent_at = now;
+            fseq = seq;
+            fsrc = src;
+            fdst = dst;
+            fmsg = msg;
+            finfo = info;
+          }
         in
         ignore
           (Sim.Engine.schedule_after t.engine delay (fun () -> deliver flight))
@@ -130,4 +169,3 @@ let correct t =
 let sent_count t = t.sent
 let delivered_count t = t.delivered
 let dropped_count t = t.dropped
-let set_tracer t f = t.tracer <- Some f

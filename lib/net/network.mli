@@ -23,23 +23,23 @@ type verdict =
 type 'm delay_oracle =
   now:Sim.Time.t -> seq:int -> src:pid -> dst:pid -> 'm -> verdict
 
-(** Delivery trace record, consumed by the scenario checker. *)
-type 'm trace_event =
-  | Sent of { time : Sim.Time.t; seq : int; src : pid; dst : pid; msg : 'm }
-  | Delivered of {
-      time : Sim.Time.t;
-      sent_at : Sim.Time.t;
-      seq : int;
-      src : pid;
-      dst : pid;
-      msg : 'm;
-    }
-  | Dropped of { time : Sim.Time.t; seq : int; src : pid; dst : pid; msg : 'm }
-
 type 'm t
 
-(** [create engine ~n ~oracle] is a network for processes [0 .. n-1]. *)
-val create : Sim.Engine.t -> n:int -> oracle:'m delay_oracle -> 'm t
+(** [create engine ~n ~oracle] is a network for processes [0 .. n-1].
+
+    [classify] projects a message into the monomorphic {!Obs.Event.msg_info}
+    carried by [Send]/[Deliver]/[Drop] events on the engine's sink (see
+    {!Sim.Engine.set_sink}): a static kind string, the assumption-relevant
+    round ([-1] when none, mirroring [round_of] returning [None] — the
+    {!Scenarios.Checker} keys on it), and the wire size. Defaults to
+    {!Obs.Event.no_info}. It is only invoked when a sink wants [c_net]
+    events, so the untraced path never calls it. *)
+val create :
+  ?classify:('m -> Obs.Event.msg_info) ->
+  Sim.Engine.t ->
+  n:int ->
+  oracle:'m delay_oracle ->
+  'm t
 
 val n : 'm t -> int
 val engine : 'm t -> Sim.Engine.t
@@ -63,12 +63,10 @@ val is_crashed : 'm t -> pid -> bool
 (** Ids of processes that have not crashed. *)
 val correct : 'm t -> pid list
 
-(** Observability for the experiment harness. *)
+(** Always-on counters (cheap ints, independent of any sink). For event
+    streams — per-kind counters, traces, digests — install an {!Obs.Sink}
+    on the engine instead. *)
 val sent_count : 'm t -> int
 
 val delivered_count : 'm t -> int
 val dropped_count : 'm t -> int
-
-(** [set_tracer t f] registers a trace callback ([f] replaces any previous
-    tracer). *)
-val set_tracer : 'm t -> ('m trace_event -> unit) -> unit

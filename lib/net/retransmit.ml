@@ -81,6 +81,19 @@ let on_envelope t ~me ~src env =
           match t.handlers.(me) with
           | Some f -> f ~src payload
           | None -> ()
+        end
+        else if seq < t.expected.(l) then begin
+          (* Retransmission overlap: this payload was already delivered. *)
+          let sink = Sim.Engine.sink t.engine in
+          if Obs.Sink.wants sink Obs.Event.c_net then
+            Obs.Sink.emit sink
+              (Obs.Event.Duplicate
+                 {
+                   now = Sim.Time.to_us (Sim.Engine.now t.engine);
+                   src;
+                   dst = me;
+                   seq;
+                 })
         end)
       env.payloads;
     (* 3. Acknowledge data envelopes (pure acks are never ack'd back, so

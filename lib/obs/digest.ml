@@ -1,0 +1,61 @@
+(* FNV-1a, 64-bit. Each event folds its stable constructor tag, every int
+   field, and the bytes of its kind string, so any reordering, insertion or
+   field change in the deterministic event stream changes the digest. *)
+
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+type t = { mutable h : int64; mask : int; mutable events : int }
+
+let create ?(mask = Event.all) () = { h = offset_basis; mask; events = 0 }
+
+let mix_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let mix_int h i =
+  let x = Int64.of_int i in
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := mix_byte !h (Int64.to_int (Int64.shift_right_logical x (8 * shift)))
+  done;
+  !h
+
+let mix_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := mix_byte !h (Char.code c)) s;
+  !h
+
+let add t ev =
+  t.events <- t.events + 1;
+  let h = mix_int t.h (Event.tag ev) in
+  let h =
+    match ev with
+    | Event.Sched { now; at } -> mix_int (mix_int h now) at
+    | Event.Fire { now } | Event.Cancel { now } | Event.Timer_fire { now } ->
+        mix_int h now
+    | Event.Send { now; seq; src; dst; kind; round; bytes }
+    | Event.Drop { now; seq; src; dst; kind; round; bytes } ->
+        let h = mix_int (mix_int (mix_int (mix_int h now) seq) src) dst in
+        mix_int (mix_int (mix_string h kind) round) bytes
+    | Event.Deliver { now; sent_at; seq; src; dst; kind; round; bytes } ->
+        let h = mix_int (mix_int (mix_int (mix_int h now) sent_at) seq) src in
+        mix_int (mix_int (mix_string (mix_int h dst) kind) round) bytes
+    | Event.Duplicate { now; src; dst; seq } ->
+        mix_int (mix_int (mix_int (mix_int h now) src) dst) seq
+    | Event.Round_open { now; pid; rn } ->
+        mix_int (mix_int (mix_int h now) pid) rn
+    | Event.Round_close { now; pid; rn; suspected } ->
+        mix_int (mix_int (mix_int (mix_int h now) pid) rn) suspected
+    | Event.Suspicion { now; pid; target; level } ->
+        mix_int (mix_int (mix_int (mix_int h now) pid) target) level
+    | Event.Leader_change { now; pid; leader } ->
+        mix_int (mix_int (mix_int h now) pid) leader
+    | Event.Ballot_open { now; pid; ballot } | Event.Decided { now; pid; ballot }
+      ->
+        mix_int (mix_int (mix_int h now) pid) ballot
+  in
+  t.h <- h
+
+let sink t = Sink.make ~mask:t.mask (add t)
+let value t = t.h
+let events t = t.events
+let to_hex d = Printf.sprintf "%016Lx" d

@@ -1,0 +1,23 @@
+(** Run digest: an FNV-1a 64-bit fold over the event stream.
+
+    Because every run is a pure function of its seed and every event is
+    emitted at a deterministic point, the digest is a fingerprint of the
+    whole execution: same seed ⇒ same digest, for any [--jobs N]. It is the
+    determinism oracle used by [test_obs] and the CI gate — far stronger
+    than diffing experiment tables, which only summarize endpoints. *)
+
+type t
+
+(** Default mask: {!Event.all} — digest everything the producers emit. *)
+val create : ?mask:int -> unit -> t
+
+val sink : t -> Sink.t
+
+(** Current fold value. *)
+val value : t -> int64
+
+(** Events folded so far. *)
+val events : t -> int
+
+(** 16 lowercase hex digits. *)
+val to_hex : int64 -> string

@@ -1,0 +1,200 @@
+type msg_info = { kind : string; round : int; bytes : int }
+
+let no_info = { kind = "msg"; round = -1; bytes = 0 }
+
+type t =
+  | Sched of { now : int; at : int }
+  | Fire of { now : int }
+  | Cancel of { now : int }
+  | Timer_fire of { now : int }
+  | Send of {
+      now : int;
+      seq : int;
+      src : int;
+      dst : int;
+      kind : string;
+      round : int;
+      bytes : int;
+    }
+  | Deliver of {
+      now : int;
+      sent_at : int;
+      seq : int;
+      src : int;
+      dst : int;
+      kind : string;
+      round : int;
+      bytes : int;
+    }
+  | Drop of {
+      now : int;
+      seq : int;
+      src : int;
+      dst : int;
+      kind : string;
+      round : int;
+      bytes : int;
+    }
+  | Duplicate of { now : int; src : int; dst : int; seq : int }
+  | Round_open of { now : int; pid : int; rn : int }
+  | Round_close of { now : int; pid : int; rn : int; suspected : int }
+  | Suspicion of { now : int; pid : int; target : int; level : int }
+  | Leader_change of { now : int; pid : int; leader : int }
+  | Ballot_open of { now : int; pid : int; ballot : int }
+  | Decided of { now : int; pid : int; ballot : int }
+
+let c_engine = 1
+let c_timer = 2
+let c_net = 4
+let c_omega = 8
+let c_consensus = 16
+let all = c_engine lor c_timer lor c_net lor c_omega lor c_consensus
+
+let class_of = function
+  | Sched _ | Fire _ | Cancel _ -> c_engine
+  | Timer_fire _ -> c_timer
+  | Send _ | Deliver _ | Drop _ | Duplicate _ -> c_net
+  | Round_open _ | Round_close _ | Suspicion _ | Leader_change _ -> c_omega
+  | Ballot_open _ | Decided _ -> c_consensus
+
+let name = function
+  | Sched _ -> "sched"
+  | Fire _ -> "fire"
+  | Cancel _ -> "cancel"
+  | Timer_fire _ -> "timer_fire"
+  | Send _ -> "send"
+  | Deliver _ -> "deliver"
+  | Drop _ -> "drop"
+  | Duplicate _ -> "dup"
+  | Round_open _ -> "round_open"
+  | Round_close _ -> "round_close"
+  | Suspicion _ -> "suspicion"
+  | Leader_change _ -> "leader_change"
+  | Ballot_open _ -> "ballot_open"
+  | Decided _ -> "decided"
+
+(* Small integer tags for digesting; must stay stable across PRs or pinned
+   digests in tests/CI change meaning. Append-only. *)
+let tag = function
+  | Sched _ -> 1
+  | Fire _ -> 2
+  | Cancel _ -> 3
+  | Timer_fire _ -> 4
+  | Send _ -> 5
+  | Deliver _ -> 6
+  | Drop _ -> 7
+  | Duplicate _ -> 8
+  | Round_open _ -> 9
+  | Round_close _ -> 10
+  | Suspicion _ -> 11
+  | Leader_change _ -> 12
+  | Ballot_open _ -> 13
+  | Decided _ -> 14
+
+let time = function
+  | Sched { now; _ }
+  | Fire { now }
+  | Cancel { now }
+  | Timer_fire { now }
+  | Send { now; _ }
+  | Deliver { now; _ }
+  | Drop { now; _ }
+  | Duplicate { now; _ }
+  | Round_open { now; _ }
+  | Round_close { now; _ }
+  | Suspicion { now; _ }
+  | Leader_change { now; _ }
+  | Ballot_open { now; _ }
+  | Decided { now; _ } -> now
+
+let pp ppf ev =
+  match ev with
+  | Sched { now; at } -> Format.fprintf ppf "[%d] sched at=%d" now at
+  | Fire { now } -> Format.fprintf ppf "[%d] fire" now
+  | Cancel { now } -> Format.fprintf ppf "[%d] cancel" now
+  | Timer_fire { now } -> Format.fprintf ppf "[%d] timer_fire" now
+  | Send { now; seq; src; dst; kind; round; bytes } ->
+      Format.fprintf ppf "[%d] send #%d %d->%d %s rn=%d %dB" now seq src dst
+        kind round bytes
+  | Deliver { now; sent_at; seq; src; dst; kind; round; bytes } ->
+      Format.fprintf ppf "[%d] deliver #%d %d->%d %s rn=%d %dB (sent %d)" now
+        seq src dst kind round bytes sent_at
+  | Drop { now; seq; src; dst; kind; round; bytes } ->
+      Format.fprintf ppf "[%d] drop #%d %d->%d %s rn=%d %dB" now seq src dst
+        kind round bytes
+  | Duplicate { now; src; dst; seq } ->
+      Format.fprintf ppf "[%d] dup #%d %d->%d" now seq src dst
+  | Round_open { now; pid; rn } ->
+      Format.fprintf ppf "[%d] p%d round_open rn=%d" now pid rn
+  | Round_close { now; pid; rn; suspected } ->
+      Format.fprintf ppf "[%d] p%d round_close rn=%d suspected=%d" now pid rn
+        suspected
+  | Suspicion { now; pid; target; level } ->
+      Format.fprintf ppf "[%d] p%d suspicion target=%d level=%d" now pid
+        target level
+  | Leader_change { now; pid; leader } ->
+      Format.fprintf ppf "[%d] p%d leader=%d" now pid leader
+  | Ballot_open { now; pid; ballot } ->
+      Format.fprintf ppf "[%d] p%d ballot_open b=%d" now pid ballot
+  | Decided { now; pid; ballot } ->
+      Format.fprintf ppf "[%d] p%d decided b=%d" now pid ballot
+
+(* One JSON object per event, written without a trailing newline. All field
+   values are ints or static ASCII kind strings, so no escaping is needed. *)
+let to_json buf ev =
+  let open Buffer in
+  let field b k v =
+    add_string b ",\"";
+    add_string b k;
+    add_string b "\":";
+    add_string b (string_of_int v)
+  in
+  add_string buf "{\"ev\":\"";
+  add_string buf (name ev);
+  add_string buf "\"";
+  field buf "t" (time ev);
+  (match ev with
+  | Sched { at; _ } -> field buf "at" at
+  | Fire _ | Cancel _ | Timer_fire _ -> ()
+  | Send { seq; src; dst; kind; round; bytes; _ }
+  | Drop { seq; src; dst; kind; round; bytes; _ } ->
+      field buf "seq" seq;
+      field buf "src" src;
+      field buf "dst" dst;
+      add_string buf ",\"kind\":\"";
+      add_string buf kind;
+      add_string buf "\"";
+      field buf "rn" round;
+      field buf "bytes" bytes
+  | Deliver { sent_at; seq; src; dst; kind; round; bytes; _ } ->
+      field buf "sent_at" sent_at;
+      field buf "seq" seq;
+      field buf "src" src;
+      field buf "dst" dst;
+      add_string buf ",\"kind\":\"";
+      add_string buf kind;
+      add_string buf "\"";
+      field buf "rn" round;
+      field buf "bytes" bytes
+  | Duplicate { src; dst; seq; _ } ->
+      field buf "seq" seq;
+      field buf "src" src;
+      field buf "dst" dst
+  | Round_open { pid; rn; _ } ->
+      field buf "pid" pid;
+      field buf "rn" rn
+  | Round_close { pid; rn; suspected; _ } ->
+      field buf "pid" pid;
+      field buf "rn" rn;
+      field buf "suspected" suspected
+  | Suspicion { pid; target; level; _ } ->
+      field buf "pid" pid;
+      field buf "target" target;
+      field buf "level" level
+  | Leader_change { pid; leader; _ } ->
+      field buf "pid" pid;
+      field buf "leader" leader
+  | Ballot_open { pid; ballot; _ } | Decided { pid; ballot; _ } ->
+      field buf "pid" pid;
+      field buf "ballot" ballot);
+  add_string buf "}"

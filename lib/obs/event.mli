@@ -1,0 +1,95 @@
+(** Typed simulation events.
+
+    One monomorphic variant covers every layer of the stack — engine
+    scheduling, network traffic, the Omega rounds/suspicions/leadership, and
+    consensus ballots — so sinks (counters, JSONL writers, digests, the
+    scenario checker) can consume a single stream without knowing message
+    types. Times are raw {!Sim.Time} microsecond ints: [Obs] sits below
+    [Sim] in the dependency order, because the engine itself emits events.
+
+    Polymorphic network messages are projected into a {!msg_info} by a
+    per-network classifier (see {!Net.Network.create}): a static [kind]
+    string, the assumption-relevant round ([-1] when none — the same
+    convention as [round_of] returning [None]), and the wire size. *)
+
+type msg_info = { kind : string; round : int; bytes : int }
+
+(** [{kind = "msg"; round = -1; bytes = 0}] — the default classifier. *)
+val no_info : msg_info
+
+type t =
+  | Sched of { now : int; at : int }  (** engine: event scheduled *)
+  | Fire of { now : int }  (** engine: event executed *)
+  | Cancel of { now : int }  (** engine: live event cancelled *)
+  | Timer_fire of { now : int }  (** a {!Sim.Timer} expired *)
+  | Send of {
+      now : int;
+      seq : int;
+      src : int;
+      dst : int;
+      kind : string;
+      round : int;
+      bytes : int;
+    }
+  | Deliver of {
+      now : int;
+      sent_at : int;
+      seq : int;
+      src : int;
+      dst : int;
+      kind : string;
+      round : int;
+      bytes : int;
+    }
+  | Drop of {
+      now : int;
+      seq : int;
+      src : int;
+      dst : int;
+      kind : string;
+      round : int;
+      bytes : int;
+    }
+  | Duplicate of { now : int; src : int; dst : int; seq : int }
+      (** retransmission layer: an already-delivered payload arrived again *)
+  | Round_open of { now : int; pid : int; rn : int }
+  | Round_close of { now : int; pid : int; rn : int; suspected : int }
+  | Suspicion of { now : int; pid : int; target : int; level : int }
+      (** [pid]'s suspicion level for [target] rose to [level] (local
+          increment or adoption from a received ALIVE) *)
+  | Leader_change of { now : int; pid : int; leader : int }
+  | Ballot_open of { now : int; pid : int; ballot : int }
+  | Decided of { now : int; pid : int; ballot : int }
+      (** [ballot = -1] when learned from a DECIDE relay *)
+
+(** {2 Event classes}
+
+    Emission sites guard on [Sink.wants sink class]: a sink's mask says
+    which classes it consumes, and unwanted events are never allocated. *)
+
+val c_engine : int
+
+val c_timer : int
+val c_net : int
+val c_omega : int
+val c_consensus : int
+
+(** Union of every class. *)
+val all : int
+
+val class_of : t -> int
+
+(** Stable lowercase name, also the ["ev"] field of {!to_json}. *)
+val name : t -> string
+
+(** Stable small int identifying the constructor; the digest folds it.
+    Append-only: renumbering silently changes every pinned digest. *)
+val tag : t -> int
+
+(** The [now] field, whichever constructor. *)
+val time : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** Append the event as one JSON object (no trailing newline). *)
+val to_json : Buffer.t -> t -> unit

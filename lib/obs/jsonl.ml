@@ -1,0 +1,21 @@
+type t = { oc : out_channel; buf : Buffer.t; mask : int }
+
+let create ?(mask = Event.all) oc = { oc; buf = Buffer.create 256; mask }
+
+let write t ev =
+  Buffer.clear t.buf;
+  Event.to_json t.buf ev;
+  Buffer.add_char t.buf '\n';
+  Buffer.output_buffer t.oc t.buf
+
+let sink t = Sink.make ~mask:t.mask (write t)
+
+(* [text] must not contain characters needing JSON escaping; callers pass
+   printf-built run labels. *)
+let note t text =
+  output_string t.oc "{\"note\":\"";
+  output_string t.oc text;
+  output_string t.oc "\"}\n"
+
+let flush t = Stdlib.flush t.oc
+let close t = close_out t.oc

@@ -1,0 +1,20 @@
+(** JSONL trace writer: one JSON object per line per event — the format
+    behind [experiments.exe --trace FILE]. Not domain-safe: attach it only
+    to sequential runs (the driver forces [--jobs 1] when tracing). *)
+
+type t
+
+(** Default mask: {!Event.all}. The channel stays owned by the caller until
+    {!close}. *)
+val create : ?mask:int -> out_channel -> t
+
+val sink : t -> Sink.t
+
+(** [note t s] writes [{"note":"s"}] — run boundaries, labels. [s] must not
+    need JSON escaping. *)
+val note : t -> string -> unit
+
+val flush : t -> unit
+
+(** Flushes and closes the underlying channel. *)
+val close : t -> unit

@@ -1,0 +1,124 @@
+type per_kind = {
+  mutable sent : int;
+  mutable sent_bytes : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+type t = {
+  mask : int;
+  by_kind : (string, per_kind) Hashtbl.t;
+  delivery_delay_us : Dstruct.Stats.t;
+  mutable duplicates : int;
+  mutable timer_fires : int;
+  mutable scheduled : int;
+  mutable fired : int;
+  mutable cancelled : int;
+  mutable rounds_closed : int;
+  mutable suspicion_increments : int;
+  mutable leader_changes : int;
+  mutable ballots : int;
+  mutable decisions : int;
+}
+
+(* Counters + one delay histogram: everything the sink touches is O(1) per
+   event, so metrics can stay on for whole experiment sweeps. *)
+let create ?(mask = Event.all) () =
+  {
+    mask;
+    by_kind = Hashtbl.create 8;
+    delivery_delay_us = Dstruct.Stats.create ();
+    duplicates = 0;
+    timer_fires = 0;
+    scheduled = 0;
+    fired = 0;
+    cancelled = 0;
+    rounds_closed = 0;
+    suspicion_increments = 0;
+    leader_changes = 0;
+    ballots = 0;
+    decisions = 0;
+  }
+
+let kind_cell t kind =
+  match Hashtbl.find_opt t.by_kind kind with
+  | Some c -> c
+  | None ->
+      let c = { sent = 0; sent_bytes = 0; delivered = 0; dropped = 0 } in
+      Hashtbl.add t.by_kind kind c;
+      c
+
+let add t ev =
+  match ev with
+  | Event.Send { kind; bytes; _ } ->
+      let c = kind_cell t kind in
+      c.sent <- c.sent + 1;
+      c.sent_bytes <- c.sent_bytes + bytes
+  | Event.Deliver { kind; now; sent_at; _ } ->
+      let c = kind_cell t kind in
+      c.delivered <- c.delivered + 1;
+      Dstruct.Stats.add t.delivery_delay_us (float_of_int (now - sent_at))
+  | Event.Drop { kind; _ } ->
+      let c = kind_cell t kind in
+      c.dropped <- c.dropped + 1
+  | Event.Duplicate _ -> t.duplicates <- t.duplicates + 1
+  | Event.Timer_fire _ -> t.timer_fires <- t.timer_fires + 1
+  | Event.Sched _ -> t.scheduled <- t.scheduled + 1
+  | Event.Fire _ -> t.fired <- t.fired + 1
+  | Event.Cancel _ -> t.cancelled <- t.cancelled + 1
+  | Event.Round_open _ -> ()
+  | Event.Round_close _ -> t.rounds_closed <- t.rounds_closed + 1
+  | Event.Suspicion _ -> t.suspicion_increments <- t.suspicion_increments + 1
+  | Event.Leader_change _ -> t.leader_changes <- t.leader_changes + 1
+  | Event.Ballot_open _ -> t.ballots <- t.ballots + 1
+  | Event.Decided _ -> t.decisions <- t.decisions + 1
+
+let sink t = Sink.make ~mask:t.mask (add t)
+
+let kinds t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.by_kind []
+  |> List.sort String.compare
+
+let zero = { sent = 0; sent_bytes = 0; delivered = 0; dropped = 0 }
+let cell t kind = Option.value ~default:zero (Hashtbl.find_opt t.by_kind kind)
+let sent t ~kind = (cell t kind).sent
+let sent_bytes t ~kind = (cell t kind).sent_bytes
+let delivered t ~kind = (cell t kind).delivered
+let dropped t ~kind = (cell t kind).dropped
+
+let total f t = Hashtbl.fold (fun _ c acc -> acc + f c) t.by_kind 0
+let total_sent t = total (fun c -> c.sent) t
+let total_delivered t = total (fun c -> c.delivered) t
+let total_dropped t = total (fun c -> c.dropped) t
+let total_sent_bytes t = total (fun c -> c.sent_bytes) t
+let duplicates t = t.duplicates
+let timer_fires t = t.timer_fires
+let scheduled t = t.scheduled
+let fired t = t.fired
+let cancelled t = t.cancelled
+let rounds_closed t = t.rounds_closed
+let suspicion_increments t = t.suspicion_increments
+let leader_changes t = t.leader_changes
+let ballots t = t.ballots
+let decisions t = t.decisions
+let delivery_delay_us t = t.delivery_delay_us
+
+let pp_summary ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun kind ->
+      let c = cell t kind in
+      Format.fprintf ppf "%-10s sent=%d (%dB) delivered=%d dropped=%d@,"
+        kind c.sent c.sent_bytes c.delivered c.dropped)
+    (kinds t);
+  if t.duplicates > 0 then Format.fprintf ppf "duplicates=%d@," t.duplicates;
+  Format.fprintf ppf "delay_us: %a@," Dstruct.Stats.summary t.delivery_delay_us;
+  Format.fprintf ppf
+    "rounds_closed=%d suspicion_incr=%d leader_changes=%d timer_fires=%d"
+    t.rounds_closed t.suspicion_increments t.leader_changes t.timer_fires;
+  if t.ballots > 0 || t.decisions > 0 then
+    Format.fprintf ppf "@,ballots=%d decisions=%d" t.ballots t.decisions;
+  if t.scheduled > 0 then
+    Format.fprintf ppf "@,engine: scheduled=%d fired=%d cancelled=%d"
+      t.scheduled t.fired t.cancelled;
+  Format.fprintf ppf "@]"

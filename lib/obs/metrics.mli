@@ -1,0 +1,48 @@
+(** Counter/histogram aggregator: per-kind message counters and wire bytes,
+    a delivery-delay series ({!Dstruct.Stats}), and per-layer event counts.
+    O(1) per event, so it can stay attached across full experiment sweeps. *)
+
+type t
+
+(** Default mask: {!Event.all}. Pass a narrower mask (e.g.
+    [Event.(c_net lor c_omega)]) to skip engine-internal noise. *)
+val create : ?mask:int -> unit -> t
+
+val sink : t -> Sink.t
+
+(** {2 Per-kind message counters} *)
+
+(** Kinds seen so far, sorted. *)
+val kinds : t -> string list
+
+val sent : t -> kind:string -> int
+val sent_bytes : t -> kind:string -> int
+val delivered : t -> kind:string -> int
+val dropped : t -> kind:string -> int
+
+(** {2 Totals over every kind} *)
+
+val total_sent : t -> int
+
+val total_delivered : t -> int
+val total_dropped : t -> int
+val total_sent_bytes : t -> int
+val duplicates : t -> int
+
+(** {2 Layer counters} *)
+
+val timer_fires : t -> int
+
+val scheduled : t -> int
+val fired : t -> int
+val cancelled : t -> int
+val rounds_closed : t -> int
+val suspicion_increments : t -> int
+val leader_changes : t -> int
+val ballots : t -> int
+val decisions : t -> int
+
+(** Transfer delays of delivered messages, in microseconds. *)
+val delivery_delay_us : t -> Dstruct.Stats.t
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+type t = {
+  buf : Event.t option array;
+  mutable next : int;  (* slot the next event goes into *)
+  mutable total : int;
+  mask : int;
+}
+
+let create ?(mask = Event.all) ~capacity () =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity None; next = 0; total = 0; mask }
+
+let capacity t = Array.length t.buf
+let total t = t.total
+let length t = min t.total (Array.length t.buf)
+
+let push t ev =
+  t.buf.(t.next) <- Some ev;
+  t.next <- (t.next + 1) mod Array.length t.buf;
+  t.total <- t.total + 1
+
+let sink t = Sink.make ~mask:t.mask (push t)
+
+let contents t =
+  let cap = Array.length t.buf in
+  let len = length t in
+  (* Oldest surviving event sits at [next] once the ring has wrapped, at 0
+     before that. *)
+  let start = if t.total > cap then t.next else 0 in
+  List.init len (fun i ->
+      match t.buf.((start + i) mod cap) with
+      | Some ev -> ev
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.next <- 0;
+  t.total <- 0

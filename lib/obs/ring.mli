@@ -1,0 +1,23 @@
+(** Bounded in-memory event buffer: keeps the last [capacity] events,
+    overwriting the oldest. The cheap always-on choice for interactive
+    debugging — memory use is fixed no matter how long the run. *)
+
+type t
+
+val create : ?mask:int -> capacity:int -> unit -> t
+
+(** Register via {!Sim.Engine.set_sink} (possibly under {!Sink.tee}). *)
+val sink : t -> Sink.t
+
+val capacity : t -> int
+
+(** Events currently held ([<= capacity]). *)
+val length : t -> int
+
+(** Events ever pushed, including overwritten ones. *)
+val total : t -> int
+
+(** Surviving events, oldest first. *)
+val contents : t -> Event.t list
+
+val clear : t -> unit

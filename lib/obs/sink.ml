@@ -1,0 +1,23 @@
+type t = { mask : int; emit : Event.t -> unit }
+
+let null = { mask = 0; emit = ignore }
+let make ~mask emit = { mask; emit }
+let wants t c = t.mask land c <> 0
+let emit t ev = t.emit ev
+let mask t = t.mask
+let is_null t = t.mask = 0
+
+let tee sinks =
+  match List.filter (fun s -> s.mask <> 0) sinks with
+  | [] -> null
+  | [ s ] -> s
+  | sinks ->
+      let arr = Array.of_list sinks in
+      let mask = Array.fold_left (fun acc s -> acc lor s.mask) 0 arr in
+      {
+        mask;
+        emit =
+          (fun ev ->
+            let c = Event.class_of ev in
+            Array.iter (fun s -> if s.mask land c <> 0 then s.emit ev) arr);
+      }

@@ -1,0 +1,33 @@
+(** Event sinks.
+
+    A sink is a mask of event classes it wants plus an [emit] function.
+    The contract that keeps the disabled path free: producers must guard
+
+    {[
+      if Obs.Sink.wants sink Obs.Event.c_net then
+        Obs.Sink.emit sink (Obs.Event.Send { ... })
+    ]}
+
+    so when the mask bit is clear (in particular for {!null}) the cost is a
+    single branch and the event is never allocated. *)
+
+type t
+
+(** Mask [0]: wants nothing, [emit] is [ignore]. The default everywhere. *)
+val null : t
+
+(** [make ~mask f] is a sink consuming the classes in [mask] with [f]. *)
+val make : mask:int -> (Event.t -> unit) -> t
+
+(** [wants t c] — does [t]'s mask intersect class [c]? O(1), no alloc. *)
+val wants : t -> int -> bool
+
+(** Unconditional dispatch; call only under a [wants] guard. *)
+val emit : t -> Event.t -> unit
+
+val mask : t -> int
+val is_null : t -> bool
+
+(** [tee sinks] fans events out to every sink whose mask matches; its mask
+    is the union. Collapses to {!null} / the single member when possible. *)
+val tee : t list -> t

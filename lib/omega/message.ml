@@ -11,6 +11,14 @@ let wire_size = function
   | Alive { susp_level; _ } -> 1 + 4 + (4 * Array.length susp_level)
   | Suspicion { suspects; _ } -> 1 + 4 + 4 + (4 * List.length suspects)
 
+(* Observability classifier for {!Net.Network.create}. [round] is only set
+   for ALIVE, matching {!Scenarios.Scenario.round_of_omega}: SUSPICION
+   carries a round number but no assumption constrains its delivery, and the
+   checker must not mistake it for an ALIVE arrival. *)
+let info = function
+  | Alive { rn; _ } as m -> { Obs.Event.kind = "alive"; round = rn; bytes = wire_size m }
+  | Suspicion _ as m -> { Obs.Event.kind = "susp"; round = -1; bytes = wire_size m }
+
 let pp ppf = function
   | Alive { rn; susp_level } ->
       Format.fprintf ppf "ALIVE(%d, [%a])" rn

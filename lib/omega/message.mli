@@ -24,4 +24,9 @@ val is_alive : t -> bool
     1-byte tag); used by experiment E5 for cost accounting. *)
 val wire_size : t -> int
 
+(** Classifier for {!Net.Network.create}: kind ["alive"]/["susp"],
+    [round = rn] for ALIVE only (the checker's convention, matching
+    {!Scenarios.Scenario.round_of_omega}), [bytes = wire_size]. *)
+val info : t -> Obs.Event.msg_info
+
 val pp : Format.formatter -> t -> unit

@@ -38,6 +38,9 @@ type t = {
   mutable cached_max_susp : int;
   mutable cached_min_susp : int;
   mutable min_susp_stale : bool;
+  (* Last leader estimate reported on the obs sink. Only consulted (and only
+     kept current) while a sink wants omega events; [leader] stays pure. *)
+  mutable last_leader : pid;
   (* observers *)
   mutable current_timeout : Sim.Time.t;
   mutable max_timeout_armed : Sim.Time.t;
@@ -72,7 +75,17 @@ let raise_level t k level =
   if t.susp_level.(k) = t.cached_min_susp then t.min_susp_stale <- true;
   t.susp_level.(k) <- level;
   if level > t.cached_max_susp then t.cached_max_susp <- level;
-  note_level t level
+  note_level t level;
+  let sink = Sim.Engine.sink t.engine in
+  if Obs.Sink.wants sink Obs.Event.c_omega then
+    Obs.Sink.emit sink
+      (Obs.Event.Suspicion
+         {
+           now = Sim.Time.to_us (Sim.Engine.now t.engine);
+           pid = t.me;
+           target = k;
+           level;
+         })
 
 (* Line 11 (+ Section 7's [+ g(r_rn + 1)]), scaled to a duration as per
    DESIGN.md §2. *)
@@ -88,6 +101,33 @@ let arm_timer t =
   if Sim.Time.(duration > t.max_timeout_armed) then
     t.max_timeout_armed <- duration;
   Sim.Timer.set (timer_exn t) duration
+
+(* Lines 19-21: lexicographic minimum of (susp_level.(j), j). *)
+let leader t =
+  let best = ref 0 in
+  for j = 1 to t.cfg.Config.n - 1 do
+    if t.susp_level.(j) < t.susp_level.(!best) then best := j
+  done;
+  !best
+
+(* Leadership is a pure function of [susp_level] (lines 19-21), so there is
+   no code point where it "changes"; instead, re-derive it after every
+   message when a sink cares and report edges. *)
+let maybe_leader_change t =
+  let sink = Sim.Engine.sink t.engine in
+  if Obs.Sink.wants sink Obs.Event.c_omega then begin
+    let l = leader t in
+    if l <> t.last_leader then begin
+      t.last_leader <- l;
+      Obs.Sink.emit sink
+        (Obs.Event.Leader_change
+           {
+             now = Sim.Time.to_us (Sim.Engine.now t.engine);
+             pid = t.me;
+             leader = l;
+           })
+    end
+  end
 
 let fresh_rec_from t () =
   let s = Dstruct.Bitset.create t.cfg.Config.n in
@@ -123,6 +163,20 @@ let rec try_close_round t =
       for dst = 0 to t.cfg.Config.n - 1 do
         t.tr.send ~dst msg
       done;
+      let sink = Sim.Engine.sink t.engine in
+      if Obs.Sink.wants sink Obs.Event.c_omega then begin
+        let now = Sim.Time.to_us (Sim.Engine.now t.engine) in
+        Obs.Sink.emit sink
+          (Obs.Event.Round_close
+             {
+               now;
+               pid = t.me;
+               rn = t.r_rn;
+               suspected = List.length suspects;
+             });
+        Obs.Sink.emit sink
+          (Obs.Event.Round_open { now; pid = t.me; rn = t.r_rn + 1 })
+      end;
       t.r_rn <- t.r_rn + 1;
       arm_timer t;
       prune t;
@@ -209,10 +263,12 @@ let on_suspicion t rn suspects =
   end
 
 let on_message t ~src msg =
-  if not (halted t) then
-    match msg with
+  if not (halted t) then begin
+    (match msg with
     | Message.Alive { rn; susp_level } -> on_alive t ~src rn susp_level
-    | Message.Suspicion { rn; suspects } -> on_suspicion t rn suspects
+    | Message.Suspicion { rn; suspects } -> on_suspicion t rn suspects);
+    maybe_leader_change t
+  end
 
 (* Lines 1-3 (task T1): consecutive broadcasts at most [beta] apart. *)
 let rec sending_task t () =
@@ -256,6 +312,7 @@ let create_with_transport cfg (tr : transport) ~me =
       cached_max_susp = 0;
       cached_min_susp = 0;
       min_susp_stale = false;
+      last_leader = 0;
       current_timeout = cfg.Config.initial_timeout;
       max_timeout_armed = cfg.Config.initial_timeout;
       max_susp_seen = 0;
@@ -288,14 +345,6 @@ let start t =
   ignore
     (Sim.Engine.schedule_after t.engine (Sim.Time.of_us offset)
        (sending_task t))
-
-(* Lines 19-21: lexicographic minimum of (susp_level.(j), j). *)
-let leader t =
-  let best = ref 0 in
-  for j = 1 to t.cfg.Config.n - 1 do
-    if t.susp_level.(j) < t.susp_level.(!best) then best := j
-  done;
-  !best
 
 let susp_level t = Array.copy t.susp_level
 let sending_round t = t.s_rn

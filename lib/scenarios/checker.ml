@@ -21,32 +21,39 @@ let pp_report ppf r =
 
 type arrival = { src : pid; sent_at : Sim.Time.t; received_at : Sim.Time.t }
 
-type 'm t = {
+type t = {
   scenario : Scenario.t;
-  round_of : 'm -> int option;
   (* (dst, rn) -> arrivals in delivery order (stored reversed). *)
   arrivals : (pid * int, arrival list ref) Hashtbl.t;
 }
 
-let create scenario ~round_of =
-  { scenario; round_of; arrivals = Hashtbl.create 1024 }
+let create scenario = { scenario; arrivals = Hashtbl.create 1024 }
 
-let tracer t = function
-  | Net.Network.Delivered { time; sent_at; src; dst; msg; _ } -> (
-      match t.round_of msg with
-      | None -> ()
-      | Some rn ->
-          let key = (dst, rn) in
-          let cell =
-            match Hashtbl.find_opt t.arrivals key with
-            | Some cell -> cell
-            | None ->
-                let cell = ref [] in
-                Hashtbl.add t.arrivals key cell;
-                cell
-          in
-          cell := { src; sent_at; received_at = time } :: !cell)
-  | Net.Network.Sent _ | Net.Network.Dropped _ -> ()
+(* The checker consumes [Deliver] events whose [round >= 0] — by the
+   classifier contract (see {!Net.Network.create}) exactly the
+   assumption-bearing messages, i.e. what [round_of] used to tag. *)
+let on_event t = function
+  | Obs.Event.Deliver { now; sent_at; src; dst; round = rn; _ } when rn >= 0
+    ->
+      let key = (dst, rn) in
+      let cell =
+        match Hashtbl.find_opt t.arrivals key with
+        | Some cell -> cell
+        | None ->
+            let cell = ref [] in
+            Hashtbl.add t.arrivals key cell;
+            cell
+      in
+      cell :=
+        {
+          src;
+          sent_at = Sim.Time.of_us sent_at;
+          received_at = Sim.Time.of_us now;
+        }
+        :: !cell
+  | _ -> ()
+
+let sink t = Obs.Sink.make ~mask:Obs.Event.c_net (on_event t)
 
 (* Position (1-based) of the center's ALIVE(rn) among the messages [q]
    received, and its transfer delay. *)

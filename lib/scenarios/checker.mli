@@ -1,11 +1,20 @@
 (** Trace checker: verifies that a finished run actually satisfied the
     assumption the scenario promised.
 
-    Register {!tracer} on the network before the run; afterwards {!verify}
-    replays the witness: for every round [s ∈ S] up to a horizon and every
-    point [q ∈ Q(s)], property A2 must hold — [q] crashed, or the center's
-    ALIVE(s) was received by [q] within [δ + g s] of its sending, or among
-    the first [n − t] ALIVE(s) messages [q] received.
+    Register {!sink} on the engine (typically under {!Obs.Sink.tee}) before
+    the run; afterwards {!verify} replays the witness: for every round
+    [s ∈ S] up to a horizon and every point [q ∈ Q(s)], property A2 must
+    hold — [q] crashed, or the center's ALIVE(s) was received by [q] within
+    [δ + g s] of its sending, or among the first [n − t] ALIVE(s) messages
+    [q] received.
+
+    The checker consumes the typed {!Obs.Event} stream: [Deliver] events
+    with [round >= 0], which by the classifier contract (the network's
+    [classify], e.g. {!Omega.Message.info}) are exactly the messages the
+    assumption constrains. It is therefore message-type agnostic — any
+    algorithm whose classifier tags its assumption-bearing messages can be
+    checked. The verification horizon is still chosen by the caller from
+    {!Scenario.arrival_bound} (see [Harness.Run.checkable_round]).
 
     This closes the loop on experiment honesty: E1/E2/E7's "the assumption
     held" is a checked fact about the trace, not a property we hope the
@@ -31,14 +40,17 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
-type 'm t
+type t
 
-val create : Scenario.t -> round_of:('m -> int option) -> 'm t
+val create : Scenario.t -> t
 
-(** Feed to {!Net.Network.set_tracer}. *)
-val tracer : 'm t -> 'm Net.Network.trace_event -> unit
+(** Record one event; {!sink} packages this for {!Sim.Engine.set_sink}. *)
+val on_event : t -> Obs.Event.t -> unit
+
+(** A sink with mask {!Obs.Event.c_net} feeding {!on_event}. *)
+val sink : t -> Obs.Sink.t
 
 (** [verify t ~upto_round ~crashed] checks every [s ∈ S] with
     [rn0 <= s <= upto_round]. [crashed q] must say whether [q] crashed
     during the run. *)
-val verify : 'm t -> upto_round:int -> crashed:(pid -> bool) -> report
+val verify : t -> upto_round:int -> crashed:(pid -> bool) -> report

@@ -1,19 +1,19 @@
 (* [live] counts scheduled, not-yet-fired, not-cancelled events. Handles
-   carry a reference to it so [cancel] can decrement eagerly, making
-   [pending] O(1) instead of a sort of the whole queue. [fired] guards the
-   idempotence cases: cancel after the event ran (or after a prior cancel)
-   must not decrement again. *)
-type handle = { mutable cancelled : bool; mutable fired : bool; live : int ref }
-
-type event = { time : Time.t; action : unit -> unit; h : handle }
-
+   carry the engine so [cancel] can decrement eagerly (making [pending] O(1)
+   instead of a sort of the whole queue) and emit into the engine's sink.
+   [fired] guards the idempotence cases: cancel after the event ran (or
+   after a prior cancel) must not decrement again. *)
 type t = {
   queue : event Dstruct.Pqueue.t;
   rng : Dstruct.Rng.t;
   mutable now : Time.t;
   mutable executed : int;
-  live : int ref;  (* scheduled, not fired and not cancelled *)
+  mutable live : int;  (* scheduled, not fired and not cancelled *)
+  mutable sink : Obs.Sink.t;
 }
+
+and handle = { mutable cancelled : bool; mutable fired : bool; eng : t }
+and event = { time : Time.t; action : unit -> unit; h : handle }
 
 let compare_event (a : event) (b : event) = Time.compare a.time b.time
 
@@ -23,20 +23,26 @@ let create ~seed () =
     rng = Dstruct.Rng.create seed;
     now = Time.zero;
     executed = 0;
-    live = ref 0;
+    live = 0;
+    sink = Obs.Sink.null;
   }
 
 let now t = t.now
 let rng t = t.rng
+let sink t = t.sink
+let set_sink t sink = t.sink <- sink
 
 let schedule_at t time action =
   if Time.(time < t.now) then
     invalid_arg
       (Format.asprintf "Engine.schedule_at: %a is before now (%a)" Time.pp
          time Time.pp t.now);
-  let h = { cancelled = false; fired = false; live = t.live } in
+  let h = { cancelled = false; fired = false; eng = t } in
   Dstruct.Pqueue.push t.queue { time; action; h };
-  incr t.live;
+  t.live <- t.live + 1;
+  if Obs.Sink.wants t.sink Obs.Event.c_engine then
+    Obs.Sink.emit t.sink
+      (Obs.Event.Sched { now = Time.to_us t.now; at = Time.to_us time });
   h
 
 let schedule_after t delay action =
@@ -45,11 +51,14 @@ let schedule_after t delay action =
 let cancel h =
   if not (h.cancelled || h.fired) then begin
     h.cancelled <- true;
-    decr h.live
+    let t = h.eng in
+    t.live <- t.live - 1;
+    if Obs.Sink.wants t.sink Obs.Event.c_engine then
+      Obs.Sink.emit t.sink (Obs.Event.Cancel { now = Time.to_us t.now })
   end
 
 let is_cancelled h = h.cancelled
-let pending t = !(t.live)
+let pending t = t.live
 let executed t = t.executed
 
 let step t =
@@ -58,10 +67,12 @@ let step t =
   | Some e ->
       if not e.h.cancelled then begin
         e.h.fired <- true;
-        decr t.live;
+        t.live <- t.live - 1;
         assert (Time.(e.time >= t.now));
         t.now <- e.time;
         t.executed <- t.executed + 1;
+        if Obs.Sink.wants t.sink Obs.Event.c_engine then
+          Obs.Sink.emit t.sink (Obs.Event.Fire { now = Time.to_us t.now });
         e.action ()
       end;
       true

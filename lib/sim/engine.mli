@@ -21,6 +21,17 @@ val now : t -> Time.t
 (** Root PRNG of this engine; use {!Rng.split} to derive sub-streams. *)
 val rng : t -> Dstruct.Rng.t
 
+(** The engine's observability sink ({!Obs.Sink.null} by default). Every
+    layer of one simulation stack — engine, timers, networks, nodes — emits
+    through this single sink, so installing one here observes the whole run.
+    Producers guard on [Obs.Sink.wants], so with the null sink the cost of
+    instrumentation is one branch per site and no allocation. *)
+val sink : t -> Obs.Sink.t
+
+(** [set_sink t s] replaces the sink. Sinks are engine-local state like the
+    RNG: a parallel run farm must give each task its own. *)
+val set_sink : t -> Obs.Sink.t -> unit
+
 (** [schedule_at t time f] runs [f ()] when the clock reaches [time].
     Raises [Invalid_argument] if [time] is in the past. *)
 val schedule_at : t -> Time.t -> (unit -> unit) -> handle

@@ -20,6 +20,10 @@ let set t duration =
   let fire () =
     t.handle <- None;
     t.expired <- true;
+    let sink = Engine.sink t.engine in
+    if Obs.Sink.wants sink Obs.Event.c_timer then
+      Obs.Sink.emit sink
+        (Obs.Event.Timer_fire { now = Time.to_us (Engine.now t.engine) });
     t.on_expire ()
   in
   t.handle <- Some (Engine.schedule_after t.engine duration fire)

@@ -11,12 +11,12 @@ let ms = Sim.Time.of_ms
 module Scenario = Scenarios.Scenario
 
 let run ?(n = 8) ?(t = 3) ?(horizon = sec 30) ?(crashes = [ (0, sec 5) ])
-    ?config_tweak variant regime =
+    ?wire_stats ?config_tweak variant regime =
   let config = Omega.Config.default ~n ~t variant in
   let config = match config_tweak with Some f -> f config | None -> config in
   let params = Scenario.default_params ~n ~t ~beta:(ms 10) in
   let scenario = Scenario.create params regime ~seed:42L in
-  Harness.Run.run ~horizon ~crashes ~config ~scenario ~seed:7L ()
+  Harness.Run.run ~horizon ~crashes ?wire_stats ~config ~scenario ~seed:7L ()
 
 let stabilized result = result.Harness.Run.stabilized_at <> None
 
@@ -236,7 +236,9 @@ let test_full_stack_deterministic () =
 
 (* The harness's own sanity: message accounting is consistent. *)
 let test_harness_accounting () =
-  let result = run Omega.Config.Fig3 (Scenario.Rotating_star { center = 6 }) in
+  let result =
+    run ~wire_stats:true Omega.Config.Fig3 (Scenario.Rotating_star { center = 6 })
+  in
   check bool_t "delivered <= sent" true
     (result.Harness.Run.messages_delivered <= result.Harness.Run.messages_sent);
   check bool_t "bytes counted" true

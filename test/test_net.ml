@@ -99,15 +99,17 @@ let test_counters () =
   check int_t "dropped" 0 (Net.Network.dropped_count net)
 
 let test_tracer_events () =
+  (* The network emits typed Obs events through the engine's sink. *)
   let engine, net = make () in
   ignore (inbox net 1);
   let sent = ref 0 and delivered = ref 0 in
-  Net.Network.set_tracer net (function
-    | Net.Network.Sent _ -> incr sent
-    | Net.Network.Delivered { time; sent_at; _ } ->
-        incr delivered;
-        check int_t "delay recorded" 10 (Sim.Time.sub time sent_at)
-    | Net.Network.Dropped _ -> ());
+  Sim.Engine.set_sink engine
+    (Obs.Sink.make ~mask:Obs.Event.c_net (function
+      | Obs.Event.Send _ -> incr sent
+      | Obs.Event.Deliver { now; sent_at; _ } ->
+          incr delivered;
+          check int_t "delay recorded" 10 (now - sent_at)
+      | _ -> ()));
   Net.Network.send net ~src:0 ~dst:1 (Ping 1);
   Sim.Engine.run_until engine (us 100);
   check int_t "sent traced" 1 !sent;

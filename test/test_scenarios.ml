@@ -297,11 +297,11 @@ let test_checker_detects_violations () =
   let chaos = make Scenario.Chaos in
   let engine = Sim.Engine.create ~seed:3L () in
   let net =
-    Net.Network.create engine ~n:8
+    Net.Network.create ~classify:Omega.Message.info engine ~n:8
       ~oracle:(Scenario.oracle chaos ~round_of:Scenario.round_of_omega)
   in
-  let checker = Checker.create star ~round_of:Scenario.round_of_omega in
-  Net.Network.set_tracer net (fun ev -> Checker.tracer checker ev);
+  let checker = Checker.create star in
+  Sim.Engine.set_sink engine (Checker.sink checker);
   let config = Omega.Config.default ~n:8 ~t:3 Omega.Config.Fig3 in
   let cluster = Omega.Cluster.create config net in
   Omega.Cluster.start cluster;
