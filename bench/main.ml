@@ -73,7 +73,7 @@ let micro_tests =
                  Sim.Engine.schedule_after engine (Sim.Time.of_us (i + 1)) ignore)
            in
            Array.iteri
-             (fun i h -> if i mod 2 = 0 then Sim.Engine.cancel h)
+             (fun i h -> if i mod 2 = 0 then Sim.Engine.cancel engine h)
              handles;
            let acc = ref 0 in
            for _ = 1 to 1_000 do

@@ -1,17 +1,31 @@
-(* Compare two bench/main.exe --json dumps (see BENCH_pr1.json for the
-   format) and report per-benchmark drift of the monotonic-clock estimate.
+(* Compare two bench/main.exe --json dumps (see BENCH_pr2.json for the
+   format) and report per-benchmark drift of the monotonic-clock and
+   minor-allocated estimates.
 
    Usage:
      bench_diff OLD.json NEW.json [--tolerance PCT] [--strict]
+                [--alloc-tolerance PCT] [--strict-alloc PREFIX]
 
-   Prints one line per benchmark; those drifting beyond the tolerance
-   (default 25%) are flagged. Exit status is 0 unless --strict is given and
-   something drifted — CI runs it permissive, so noisy runners warn instead
-   of blocking merges. Benchmarks present on only one side are reported but
-   never fail the comparison (new benches appear, old ones retire). *)
+   Prints one line per benchmark; clock estimates drifting beyond
+   --tolerance (default 25%) and allocation estimates drifting beyond
+   --alloc-tolerance (default 5% — allocation counts are near-deterministic,
+   unlike wall time) are flagged. Exit status is 0 unless:
+
+   - --strict is given and a clock estimate drifted, or
+   - --strict-alloc PREFIX is given and some benchmark whose name starts
+     with PREFIX *increased* its minor-allocated beyond the allocation
+     tolerance. CI runs the clock comparison permissive (shared runners are
+     noisy) but the allocation gate strict for micro:* — allocation on a
+     fixed workload does not wobble with machine load, so a breach is a
+     real regression of the zero-allocation hot path.
+
+   Benchmarks present on only one side are reported but never fail the
+   comparison (new benches appear, old ones retire). *)
 
 let tolerance = ref 25.0
+let alloc_tolerance = ref 5.0
 let strict = ref false
+let strict_alloc_prefix = ref None
 
 (* The dumps are produced by our own writer (bench/main.ml json_dump):
    objects one per line, ASCII names, plain number or null values — a full
@@ -61,12 +75,17 @@ let parse_file path =
          search 0
        in
        match (find_string "name", find_number "monotonic-clock") with
-       | Some name, Some ns -> rows := (name, ns) :: !rows
+       | Some name, Some ns ->
+           rows := (name, (ns, find_number "minor-allocated")) :: !rows
        | _ -> ()
      done
    with End_of_file -> ());
   close_in ic;
   List.rev !rows
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
 
 let () =
   let positional = ref [] in
@@ -82,6 +101,17 @@ let () =
             prerr_endline "bench_diff: --tolerance expects a positive number";
             exit 2);
         parse_args rest
+    | "--alloc-tolerance" :: pct :: rest ->
+        (match float_of_string_opt pct with
+        | Some p when p > 0. -> alloc_tolerance := p
+        | _ ->
+            prerr_endline
+              "bench_diff: --alloc-tolerance expects a positive number";
+            exit 2);
+        parse_args rest
+    | "--strict-alloc" :: prefix :: rest ->
+        strict_alloc_prefix := Some prefix;
+        parse_args rest
     | arg :: rest ->
         positional := arg :: !positional;
         parse_args rest
@@ -92,41 +122,86 @@ let () =
     | [ o; n ] -> (o, n)
     | _ ->
         prerr_endline
-          "usage: bench_diff OLD.json NEW.json [--tolerance PCT] [--strict]";
+          "usage: bench_diff OLD.json NEW.json [--tolerance PCT] [--strict] \
+           [--alloc-tolerance PCT] [--strict-alloc PREFIX]";
         exit 2
   in
   let old_rows = parse_file old_path in
   let new_rows = parse_file new_path in
   let drifted = ref 0 in
-  Printf.printf "%-32s %12s %12s %9s\n" "benchmark" "old" "new" "drift";
-  Printf.printf "%s\n" (String.make 68 '-');
+  let alloc_regressed = ref 0 in
+  let pct_of old_v new_v = (new_v -. old_v) /. old_v *. 100. in
+  Printf.printf "%-32s %12s %12s %9s %12s %12s %9s\n" "benchmark" "old ns"
+    "new ns" "drift" "old words" "new words" "drift";
+  Printf.printf "%s\n" (String.make 104 '-');
   List.iter
-    (fun (name, new_ns) ->
+    (fun (name, (new_ns, new_alloc)) ->
       match List.assoc_opt name old_rows with
-      | None -> Printf.printf "%-32s %12s %12.0f %9s\n" name "-" new_ns "new"
-      | Some old_ns when old_ns = 0. ->
-          Printf.printf "%-32s %12.0f %12.0f %9s\n" name old_ns new_ns "?"
-      | Some old_ns ->
-          let pct = (new_ns -. old_ns) /. old_ns *. 100. in
-          let flag =
-            if Float.abs pct > !tolerance then begin
-              incr drifted;
-              "  <-- beyond tolerance"
+      | None ->
+          Printf.printf "%-32s %12s %12.0f %9s %12s %12s %9s\n" name "-"
+            new_ns "new" "-"
+            (match new_alloc with Some w -> Printf.sprintf "%.0f" w | None -> "-")
+            ""
+      | Some (old_ns, old_alloc) ->
+          let clock_pct, clock_flag =
+            if old_ns = 0. then (0., " ?")
+            else begin
+              let p = pct_of old_ns new_ns in
+              if Float.abs p > !tolerance then begin
+                incr drifted;
+                (p, " <-- clock")
+              end
+              else (p, "")
             end
-            else ""
           in
-          Printf.printf "%-32s %12.0f %12.0f %+8.1f%%%s\n" name old_ns new_ns
-            pct flag)
+          let alloc_cells, alloc_flag =
+            match (old_alloc, new_alloc) with
+            | Some ow, Some nw when ow > 0. ->
+                let p = pct_of ow nw in
+                let gate_applies =
+                  match !strict_alloc_prefix with
+                  | Some prefix -> starts_with ~prefix name
+                  | None -> false
+                in
+                let flag =
+                  if p > !alloc_tolerance then begin
+                    if gate_applies then incr alloc_regressed;
+                    if gate_applies then " <-- ALLOC REGRESSION"
+                    else " <-- alloc"
+                  end
+                  else ""
+                in
+                (Printf.sprintf "%12.0f %12.0f %+8.1f%%" ow nw p, flag)
+            | Some ow, Some nw ->
+                (Printf.sprintf "%12.0f %12.0f %9s" ow nw "?", "")
+            | _ -> (Printf.sprintf "%12s %12s %9s" "-" "-" "", "")
+          in
+          Printf.printf "%-32s %12.0f %12.0f %+8.1f%% %s%s%s\n" name old_ns
+            new_ns clock_pct alloc_cells clock_flag alloc_flag)
     new_rows;
   List.iter
-    (fun (name, old_ns) ->
+    (fun (name, (old_ns, _)) ->
       if not (List.mem_assoc name new_rows) then
         Printf.printf "%-32s %12.0f %12s %9s\n" name old_ns "-" "gone")
     old_rows;
+  let failing = ref false in
   if !drifted > 0 then begin
-    Printf.printf "\n%d benchmark(s) drifted beyond +/-%.0f%%%s\n" !drifted
-      !tolerance
+    Printf.printf "\n%d clock estimate(s) drifted beyond +/-%.0f%%%s\n"
+      !drifted !tolerance
       (if !strict then "" else " (informational; pass --strict to fail)");
-    if !strict then exit 1
+    if !strict then failing := true
   end
-  else Printf.printf "\nAll shared benchmarks within +/-%.0f%%\n" !tolerance
+  else Printf.printf "\nAll shared clock estimates within +/-%.0f%%\n" !tolerance;
+  (match !strict_alloc_prefix with
+  | Some prefix ->
+      if !alloc_regressed > 0 then begin
+        Printf.printf
+          "%d %s* benchmark(s) allocate more than +%.0f%% over baseline\n"
+          !alloc_regressed prefix !alloc_tolerance;
+        failing := true
+      end
+      else
+        Printf.printf "No %s* allocation regressions beyond +%.0f%%\n" prefix
+          !alloc_tolerance
+  | None -> ());
+  if !failing then exit 1

@@ -37,16 +37,14 @@ let on_heartbeat t ~src =
 
 let on_deadline t j () = if not (halted t) then t.suspected.(j) <- true
 
-let rec heartbeat_task t () =
+let rec heartbeat_task t =
   if not (halted t) then begin
     t.epoch <- t.epoch + 1;
     Net.Network.broadcast t.net ~src:t.me (Heartbeat { epoch = t.epoch });
     let beta_us = Sim.Time.to_us t.beta in
     let low = max 1 (beta_us * 4 / 5) in
     let period = Dstruct.Rng.int_in t.rng low beta_us in
-    ignore
-      (Sim.Engine.schedule_after t.engine (Sim.Time.of_us period)
-         (heartbeat_task t))
+    Sim.Engine.call_after t.engine (Sim.Time.of_us period) heartbeat_task t
   end
 
 let create net ~me ~beta ~initial_timeout =
@@ -79,9 +77,7 @@ let start_node t =
     if j <> t.me then arm t j
   done;
   let offset = Dstruct.Rng.int t.rng (max 1 (Sim.Time.to_us t.beta)) in
-  ignore
-    (Sim.Engine.schedule_after t.engine (Sim.Time.of_us offset)
-       (heartbeat_task t))
+  Sim.Engine.call_after t.engine (Sim.Time.of_us offset) heartbeat_task t
 
 let node_leader t =
   let n = Net.Network.n t.net in

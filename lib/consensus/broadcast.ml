@@ -89,7 +89,7 @@ let on_message t ~src msg =
 (* Periodic driver: re-forward my undelivered commands to the current
    leader, and, if I believe I am the leader, propose my pending batch to
    the lowest instance I have not proposed to yet. *)
-let rec driver t () =
+let rec driver t =
   if not (halted t) then begin
     advance_delivery t;
     let leader = t.oracle () in
@@ -112,8 +112,7 @@ let rec driver t () =
     end;
     let period_us = Sim.Time.to_us t.retry_every in
     let period = period_us + Dstruct.Rng.int t.rng (max 1 (period_us / 2)) in
-    ignore
-      (Sim.Engine.schedule_after t.engine (Sim.Time.of_us period) (driver t))
+    Sim.Engine.call_after t.engine (Sim.Time.of_us period) driver t
   end
 
 let create net ~me ~oracle ~retry_every ~crash_bound ~equal =
@@ -140,7 +139,7 @@ let create net ~me ~oracle ~retry_every ~crash_bound ~equal =
 
 let start t =
   let offset = Dstruct.Rng.int t.rng (max 1 (Sim.Time.to_us t.retry_every)) in
-  ignore (Sim.Engine.schedule_after t.engine (Sim.Time.of_us offset) (driver t))
+  Sim.Engine.call_after t.engine (Sim.Time.of_us offset) driver t
 
 let submit t cmd =
   if not (mem t cmd t.submitted) then t.submitted <- cmd :: t.submitted

@@ -167,7 +167,7 @@ let on_message t ~src msg =
 (* Liveness driver: if the oracle elects me and the current ballot made no
    progress since the last check, claim a fresh one. Before Ω stabilizes
    several processes may duel; afterwards only the true leader retries. *)
-let rec retry_task t () =
+let rec retry_task t =
   if not (halted t) then begin
     if
       Option.is_none t.decided
@@ -180,9 +180,7 @@ let rec retry_task t () =
     let period =
       period_us + Dstruct.Rng.int t.rng (max 1 (period_us / 2))
     in
-    ignore
-      (Sim.Engine.schedule_after t.tr.engine (Sim.Time.of_us period)
-         (retry_task t))
+    Sim.Engine.call_after t.tr.engine (Sim.Time.of_us period) retry_task t
   end
 
 let create (tr : 'v transport) ~me ~leader_oracle ~retry_every ~crash_bound =
@@ -220,9 +218,7 @@ let handle t ~src msg = on_message t ~src msg
 
 let start t =
   let offset = Dstruct.Rng.int t.rng (max 1 (Sim.Time.to_us t.retry_every)) in
-  ignore
-    (Sim.Engine.schedule_after t.tr.engine (Sim.Time.of_us offset)
-       (retry_task t))
+  Sim.Engine.call_after t.tr.engine (Sim.Time.of_us offset) retry_task t
 
 let propose t v = if Option.is_none t.proposal then t.proposal <- Some v
 

@@ -63,6 +63,25 @@ let push q x =
 
 let peek q = if q.size = 0 then None else Some q.data.(0)
 
+let peek_exn q =
+  if q.size = 0 then invalid_arg "Pqueue.peek_exn: empty heap";
+  q.data.(0)
+
+(* Remove the minimum without returning it: with [peek_exn], lets hot loops
+   (the engine's event loop) avoid the [Some] box that [pop] allocates per
+   element. *)
+let drop_exn q =
+  if q.size = 0 then invalid_arg "Pqueue.drop_exn: empty heap";
+  q.size <- q.size - 1;
+  if q.size > 0 then begin
+    q.data.(0) <- q.data.(q.size);
+    q.tickets.(0) <- q.tickets.(q.size);
+    sift_down q 0;
+    (* Release the vacated slot's reference so the GC can reclaim popped
+       elements; [data.(0)] is live, so aliasing it leaks nothing. *)
+    q.data.(q.size) <- q.data.(0)
+  end
+
 let pop q =
   if q.size = 0 then None
   else begin
@@ -72,8 +91,6 @@ let pop q =
       q.data.(0) <- q.data.(q.size);
       q.tickets.(0) <- q.tickets.(q.size);
       sift_down q 0;
-      (* Release the vacated slot's reference so the GC can reclaim popped
-         elements; [data.(0)] is live, so aliasing it leaks nothing. *)
       q.data.(q.size) <- q.data.(0)
     end;
     Some top

@@ -18,6 +18,15 @@ val push : 'a t -> 'a -> unit
 (** [peek q] is the minimum element, without removing it. *)
 val peek : 'a t -> 'a option
 
+(** [peek_exn q] is [peek q] but raises [Invalid_argument] on an empty
+    heap; unlike [peek] it allocates no option. *)
+val peek_exn : 'a t -> 'a
+
+(** [drop_exn q] removes the minimum element without returning it. Raises
+    [Invalid_argument] on an empty heap. [peek_exn] + [drop_exn] is the
+    allocation-free rendering of [pop] for hot loops. *)
+val drop_exn : 'a t -> unit
+
 (** [pop q] removes and returns the minimum element.
 
     Regression note: an earlier version wrote the popped element back into

@@ -1,41 +1,90 @@
-type t = { mutable state : int64 }
+(* splitmix64 (Steele, Lea & Flood 2014), with the 64-bit state and the
+   freshly mixed output kept in a 16-byte buffer accessed through the
+   unboxed bytes primitives. Without flambda, ocamlopt unboxes [Int64]
+   arithmetic inside a function body but boxes every value that crosses a
+   function boundary or lands in an ordinary heap field — the historical
+   rendering ([mutable state : int64], [bits64] returning the draw) paid
+   two boxes per draw, ~6 minor words, and the delay oracles draw once or
+   twice per simulated message. Routing state and output through [set64]/
+   [get64] keeps the whole draw path in registers: the multiplies stay
+   single [mulq] instructions and nothing is allocated.
 
-let golden_gamma = 0x9E3779B97F4A7C15L
+   The stream is bit-identical to the original: test/rng_golden.ml pins the
+   first 1000 outputs of three seeds captured before the rewrite. *)
 
-let create seed = { state = seed }
-let copy t = { state = t.state }
+type t = { b : Bytes.t }
+(* offset 0: state; offset 8: last mixed output. *)
 
-(* splitmix64 finalizer (Steele, Lea & Flood 2014). *)
-let mix z =
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+(* Unchecked single-load/store of an unboxed int64; offsets here are the
+   constants 0 and 8 against a fixed 16-byte buffer. *)
+external get64 : bytes -> int -> int64 = "%caml_bytes_get64u"
+external set64 : bytes -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+(* golden gamma and the two finalizer multipliers. *)
+let gamma = 0x9E3779B97F4A7C15L
+let c1 = 0xBF58476D1CE4E5B9L
+let c2 = 0x94D049BB133111EBL
+
+let create seed =
+  let b = Bytes.make 16 '\000' in
+  set64 b 0 seed;
+  { b }
+
+let copy t = { b = Bytes.copy t.b }
+
+(* state += gamma; out = mix state. *)
+let advance t =
+  let s = Int64.add (get64 t.b 0) gamma in
+  set64 t.b 0 s;
+  let z = Int64.logxor s (Int64.shift_right_logical s 30) in
+  let z = Int64.mul z c1 in
+  let z = Int64.logxor z (Int64.shift_right_logical z 27) in
+  let z = Int64.mul z c2 in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  set64 t.b 8 z
 
 let bits64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix t.state
+  advance t;
+  get64 t.b 8
 
-let split t = { state = bits64 t }
+let split t =
+  advance t;
+  create (get64 t.b 8)
+
+(* The draws below must keep producing exactly what they produced
+   historically: [int] consumes [bits64 >> 2] (62 bits, fits an OCaml int),
+   [float] consumes [bits64 >> 11] (53 bits, exact in both int and float).
+   [Int64.to_int] of the shifted output is a plain truncation — no box. *)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  advance t;
   (* Rejection-free modulo is fine here: bounds are tiny vs 2^62. *)
-  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
-  v mod bound
+  Int64.to_int (Int64.shift_right_logical (get64 t.b 8) 2) mod bound
 
 let int_in t lo hi =
   if lo > hi then invalid_arg "Rng.int_in: lo > hi";
   lo + int t (hi - lo + 1)
 
+let[@inline] bits53 t =
+  advance t;
+  Int64.to_int (Int64.shift_right_logical (get64 t.b 8) 11)
+
 let float t bound =
   if bound <= 0. then invalid_arg "Rng.float: bound must be positive";
-  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
-  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+  bound *. (float_of_int (bits53 t) /. 9007199254740992.0 (* 2^53 *))
 
-let bool t = Int64.logand (bits64 t) 1L = 1L
+let bool t =
+  advance t;
+  Int64.to_int (get64 t.b 8) land 1 = 1
 
 let chance t p =
-  if p <= 0. then false else if p >= 1. then true else float t 1.0 < p
+  if p <= 0. then false
+  else if p >= 1. then true
+  else
+    (* = [float t 1.0 < p] without boxing the draw; scaling by 1.0 is
+       exact, so dropping it preserves the comparison bit for bit. *)
+    float_of_int (bits53 t) /. 9007199254740992.0 < p
 
 let exponential t ~mean =
   let u = float t 1.0 in
@@ -43,22 +92,33 @@ let exponential t ~mean =
   let u = if u <= 0. then 1e-300 else u in
   -.mean *. log u
 
+(* List draws go through a scratch array: same draws as the historical list
+   versions (one [int] for [pick], the [n-1] Fisher-Yates draws for
+   [shuffle]/[sample]), without [List.nth] walks or shuffle-then-filter. *)
+
 let pick t = function
   | [] -> invalid_arg "Rng.pick: empty list"
-  | xs -> List.nth xs (int t (List.length xs))
+  | xs ->
+      let a = Array.of_list xs in
+      a.(int t (Array.length a))
 
-let shuffle t xs =
-  let a = Array.of_list xs in
+let shuffle_in_place t a =
   let n = Array.length a in
   for i = n - 1 downto 1 do
     let j = int t (i + 1) in
     let tmp = a.(i) in
     a.(i) <- a.(j);
     a.(j) <- tmp
-  done;
+  done
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  shuffle_in_place t a;
   Array.to_list a
 
 let sample t k xs =
-  if k < 0 || k > List.length xs then invalid_arg "Rng.sample: bad k";
-  let shuffled = shuffle t xs in
-  List.filteri (fun i _ -> i < k) shuffled
+  let a = Array.of_list xs in
+  if k < 0 || k > Array.length a then invalid_arg "Rng.sample: bad k";
+  shuffle_in_place t a;
+  let rec take i acc = if i < 0 then acc else take (i - 1) (a.(i) :: acc) in
+  take (k - 1) []

@@ -23,10 +23,10 @@ let run (algo : Baselines.Registry.algo) ~scenario ~seed ~horizon ~crashes =
       }
       :: !samples;
     if Sim.Time.(Sim.Engine.now engine < horizon) then
-      ignore (Sim.Engine.schedule_after engine sample_every sampler)
+      Sim.Engine.call_after engine sample_every sampler ()
   in
   instance.Baselines.Registry.start ();
-  ignore (Sim.Engine.schedule_after engine sample_every sampler);
+  Sim.Engine.call_after engine sample_every sampler ();
   Sim.Engine.run_until engine horizon;
   let verdict =
     Harness.Stability.judge ~horizon

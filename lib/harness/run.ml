@@ -138,10 +138,10 @@ let run ?(horizon = Sim.Time.of_sec 30) ?(sample_every = Sim.Time.of_ms 100)
       :: !samples;
     if fig3 then observe_nodes () else ignore (observe_nodes ());
     if Sim.Time.(Sim.Engine.now engine < horizon) then
-      ignore (Sim.Engine.schedule_after engine sample_every sampler)
+      Sim.Engine.call_after engine sample_every sampler ()
   in
   Omega.Cluster.start cluster;
-  ignore (Sim.Engine.schedule_after engine sample_every sampler);
+  Sim.Engine.call_after engine sample_every sampler ();
   Sim.Engine.run_until engine horizon;
   let samples = List.rev !samples in
   let verdict =

@@ -46,14 +46,15 @@ let set_handler t i f =
   check_pid t i ~op:"set_handler";
   t.handlers.(i) <- Some f
 
-(* The in-flight message, packed into one record so scheduling a delivery
-   allocates a single block plus a one-field closure, instead of the chain
-   of caml_curry closures a 6-argument partial application costs — [send]
-   is the simulator's hottest allocation site. [finfo] is the message's
-   classification, latched at send time (classifiers are pure, so this is
-   the delivery-time value too — and [classify] runs once per message, not
-   once per event); it is [no_info] when no net sink was live at the send,
-   which is fine because sinks are installed before a run starts. *)
+(* The in-flight message, packed into one record: scheduling a delivery is
+   [Engine.call_after engine delay deliver flight] — one block, no closure,
+   no handle — where the old closure chain cost several blocks per message.
+   [send] is the simulator's hottest allocation site. [finfo] is the
+   message's classification, latched at send time (classifiers are pure, so
+   this is the delivery-time value too — and [classify] runs once per
+   message, not once per event); it is [no_info] when no net sink was live
+   at the send, which is fine because sinks are installed before a run
+   starts. *)
 type 'm flight = {
   net : 'm t;
   sent_at : Sim.Time.t;
@@ -73,83 +74,66 @@ let deliver
     t.delivered <- t.delivered + 1;
     let sink = Sim.Engine.sink t.engine in
     if Obs.Sink.wants sink Obs.Event.c_net then
-      Obs.Sink.emit sink
-        (Obs.Event.Deliver
-           {
-             now = Sim.Time.to_us (Sim.Engine.now t.engine);
-             sent_at = Sim.Time.to_us sent_at;
-             seq;
-             src;
-             dst;
-             kind = finfo.Obs.Event.kind;
-             round = finfo.Obs.Event.round;
-             bytes = finfo.Obs.Event.bytes;
-           });
+      Obs.Sink.emit_deliver sink
+        ~now:(Sim.Time.to_us (Sim.Engine.now t.engine))
+        ~sent_at:(Sim.Time.to_us sent_at) ~seq ~src ~dst finfo;
     match t.handlers.(dst) with
     | Some f -> f ~src msg
     | None -> ()
   end
+
+(* One message onto one link: [now], [traced] and [info] are latched by the
+   caller so [broadcast] classifies once for all n-1 destinations. *)
+let dispatch t ~now ~traced ~info ~src ~dst msg =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  t.sent <- t.sent + 1;
+  let sink = Sim.Engine.sink t.engine in
+  if traced then
+    Obs.Sink.emit_send sink ~now:(Sim.Time.to_us now) ~seq ~src ~dst info;
+  match t.oracle ~now ~seq ~src ~dst msg with
+  | Drop ->
+      t.dropped <- t.dropped + 1;
+      if traced then
+        Obs.Sink.emit_drop sink ~now:(Sim.Time.to_us now) ~seq ~src ~dst info
+  | Deliver_after delay ->
+      if Sim.Time.(delay < Sim.Time.zero) then
+        invalid_arg "Network.send: oracle returned negative delay";
+      let flight =
+        {
+          net = t;
+          sent_at = now;
+          fseq = seq;
+          fsrc = src;
+          fdst = dst;
+          fmsg = msg;
+          finfo = info;
+        }
+      in
+      Sim.Engine.call_after t.engine delay deliver flight
 
 let send t ~src ~dst msg =
   check_pid t src ~op:"send";
   check_pid t dst ~op:"send";
   if not t.crashed.(src) then begin
     let now = Sim.Engine.now t.engine in
-    let seq = t.seq in
-    t.seq <- seq + 1;
-    t.sent <- t.sent + 1;
     let sink = Sim.Engine.sink t.engine in
     let traced = Obs.Sink.wants sink Obs.Event.c_net in
     let info = if traced then t.classify msg else Obs.Event.no_info in
-    if traced then
-      Obs.Sink.emit sink
-        (Obs.Event.Send
-           {
-             now = Sim.Time.to_us now;
-             seq;
-             src;
-             dst;
-             kind = info.Obs.Event.kind;
-             round = info.Obs.Event.round;
-             bytes = info.Obs.Event.bytes;
-           });
-    match t.oracle ~now ~seq ~src ~dst msg with
-    | Drop ->
-        t.dropped <- t.dropped + 1;
-        if traced then
-          Obs.Sink.emit sink
-            (Obs.Event.Drop
-               {
-                 now = Sim.Time.to_us now;
-                 seq;
-                 src;
-                 dst;
-                 kind = info.Obs.Event.kind;
-                 round = info.Obs.Event.round;
-                 bytes = info.Obs.Event.bytes;
-               })
-    | Deliver_after delay ->
-        if Sim.Time.(delay < Sim.Time.zero) then
-          invalid_arg "Network.send: oracle returned negative delay";
-        let flight =
-          {
-            net = t;
-            sent_at = now;
-            fseq = seq;
-            fsrc = src;
-            fdst = dst;
-            fmsg = msg;
-            finfo = info;
-          }
-        in
-        ignore
-          (Sim.Engine.schedule_after t.engine delay (fun () -> deliver flight))
+    dispatch t ~now ~traced ~info ~src ~dst msg
   end
 
 let broadcast t ~src msg =
-  for dst = 0 to t.n - 1 do
-    if dst <> src then send t ~src ~dst msg
-  done
+  check_pid t src ~op:"broadcast";
+  if not t.crashed.(src) then begin
+    let now = Sim.Engine.now t.engine in
+    let sink = Sim.Engine.sink t.engine in
+    let traced = Obs.Sink.wants sink Obs.Event.c_net in
+    let info = if traced then t.classify msg else Obs.Event.no_info in
+    for dst = 0 to t.n - 1 do
+      if dst <> src then dispatch t ~now ~traced ~info ~src ~dst msg
+    done
+  end
 
 let crash t i =
   check_pid t i ~op:"crash";

@@ -115,7 +115,12 @@ let send t ~src ~dst m =
 
 let set_handler t p f = t.handlers.(p) <- Some f
 
-let rec resend_task t me () =
+(* One record per process, allocated at [start] and re-posted with
+   [Engine.call_after] forever after: the periodic resend loop costs no
+   closures, only its event cells. *)
+type 'm resend = { rt : 'm t; me : pid }
+
+let rec resend_step ({ rt = t; me } as r) =
   if not (is_crashed t me) then begin
     for dst = 0 to t.n - 1 do
       if dst <> me && not (Queue.is_empty t.outgoing.(link t me dst).queue)
@@ -123,18 +128,15 @@ let rec resend_task t me () =
     done;
     let period_us = Sim.Time.to_us t.resend_every in
     let period = period_us + Dstruct.Rng.int t.rng (max 1 (period_us / 4)) in
-    ignore
-      (Sim.Engine.schedule_after t.engine (Sim.Time.of_us period)
-         (resend_task t me))
+    Sim.Engine.call_after t.engine (Sim.Time.of_us period) resend_step r
   end
 
 let start t =
   for me = 0 to t.n - 1 do
     Network.set_handler t.net me (fun ~src env -> on_envelope t ~me ~src env);
     let offset = Dstruct.Rng.int t.rng (max 1 (Sim.Time.to_us t.resend_every)) in
-    ignore
-      (Sim.Engine.schedule_after t.engine (Sim.Time.of_us offset)
-         (resend_task t me))
+    Sim.Engine.call_after t.engine (Sim.Time.of_us offset) resend_step
+      { rt = t; me }
   done
 
 let wire_sends t = Network.sent_count t.net

@@ -11,7 +11,15 @@ type t
 (** Default mask: {!Event.all} — digest everything the producers emit. *)
 val create : ?mask:int -> unit -> t
 
+(** The sink is scalar-capable: producers emitting Send/Deliver/Drop
+    through the [Sink.emit_*] helpers feed the fold directly, without
+    allocating event records — the digest value is identical either way. *)
 val sink : t -> Sink.t
+
+(** The record-path fold: what [sink] does to a full event. Exposed so a
+    digest can be attached through a plain [Sink.make] (no scalar lane) —
+    [test_obs] pins that both routes produce the same value. *)
+val add : t -> Event.t -> unit
 
 (** Current fold value. *)
 val value : t -> int64

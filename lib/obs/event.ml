@@ -74,15 +74,21 @@ let name = function
   | Decided _ -> "decided"
 
 (* Small integer tags for digesting; must stay stable across PRs or pinned
-   digests in tests/CI change meaning. Append-only. *)
+   digests in tests/CI change meaning. Append-only. The named constants are
+   for the scalar fast lane (sinks folding Send/Deliver/Drop fields without
+   an event value to pass to [tag]). *)
+let tag_send = 5
+let tag_deliver = 6
+let tag_drop = 7
+
 let tag = function
   | Sched _ -> 1
   | Fire _ -> 2
   | Cancel _ -> 3
   | Timer_fire _ -> 4
-  | Send _ -> 5
-  | Deliver _ -> 6
-  | Drop _ -> 7
+  | Send _ -> tag_send
+  | Deliver _ -> tag_deliver
+  | Drop _ -> tag_drop
   | Duplicate _ -> 8
   | Round_open _ -> 9
   | Round_close _ -> 10

@@ -86,6 +86,13 @@ val name : t -> string
     Append-only: renumbering silently changes every pinned digest. *)
 val tag : t -> int
 
+(** [tag (Send _)], [tag (Deliver _)], [tag (Drop _)] as constants, for
+    scalar-lane consumers that have the fields but no event value. *)
+val tag_send : int
+
+val tag_deliver : int
+val tag_drop : int
+
 (** The [now] field, whichever constructor. *)
 val time : t -> int
 

@@ -1,11 +1,86 @@
-type t = { mask : int; emit : Event.t -> unit }
+(* [scalar] is the fast lane for the three per-message event kinds that
+   dominate a traced run: a scalar-capable sink (the digest) consumes the
+   fields directly and the producer never builds an [Event.t] record.
+   Everything else — rare constructors, record-only sinks — still flows
+   through [emit] with a full event value. *)
 
-let null = { mask = 0; emit = ignore }
-let make ~mask emit = { mask; emit }
+type scalar = {
+  s_send :
+    now:int -> seq:int -> src:int -> dst:int -> Event.msg_info -> unit;
+  s_deliver :
+    now:int ->
+    sent_at:int ->
+    seq:int ->
+    src:int ->
+    dst:int ->
+    Event.msg_info ->
+    unit;
+  s_drop :
+    now:int -> seq:int -> src:int -> dst:int -> Event.msg_info -> unit;
+}
+
+type t = { mask : int; emit : Event.t -> unit; scalar : scalar option }
+
+let null = { mask = 0; emit = ignore; scalar = None }
+let make ?scalar ~mask emit = { mask; emit; scalar }
 let wants t c = t.mask land c <> 0
 let emit t ev = t.emit ev
 let mask t = t.mask
 let is_null t = t.mask = 0
+
+(* Producer helpers for the fast-lane kinds: call only under a
+   [wants t Event.c_net] guard, like [emit]. The [None] branch builds the
+   event exactly as the producer used to, so record sinks see an unchanged
+   stream. *)
+
+let emit_send t ~now ~seq ~src ~dst (info : Event.msg_info) =
+  match t.scalar with
+  | Some s -> s.s_send ~now ~seq ~src ~dst info
+  | None ->
+      t.emit
+        (Event.Send
+           {
+             now;
+             seq;
+             src;
+             dst;
+             kind = info.kind;
+             round = info.round;
+             bytes = info.bytes;
+           })
+
+let emit_deliver t ~now ~sent_at ~seq ~src ~dst (info : Event.msg_info) =
+  match t.scalar with
+  | Some s -> s.s_deliver ~now ~sent_at ~seq ~src ~dst info
+  | None ->
+      t.emit
+        (Event.Deliver
+           {
+             now;
+             sent_at;
+             seq;
+             src;
+             dst;
+             kind = info.kind;
+             round = info.round;
+             bytes = info.bytes;
+           })
+
+let emit_drop t ~now ~seq ~src ~dst (info : Event.msg_info) =
+  match t.scalar with
+  | Some s -> s.s_drop ~now ~seq ~src ~dst info
+  | None ->
+      t.emit
+        (Event.Drop
+           {
+             now;
+             seq;
+             src;
+             dst;
+             kind = info.kind;
+             round = info.round;
+             bytes = info.bytes;
+           })
 
 let tee sinks =
   match List.filter (fun s -> s.mask <> 0) sinks with
@@ -14,10 +89,85 @@ let tee sinks =
   | sinks ->
       let arr = Array.of_list sinks in
       let mask = Array.fold_left (fun acc s -> acc lor s.mask) 0 arr in
-      {
-        mask;
-        emit =
-          (fun ev ->
-            let c = Event.class_of ev in
-            Array.iter (fun s -> if s.mask land c <> 0 then s.emit ev) arr);
-      }
+      let emit ev =
+        let c = Event.class_of ev in
+        Array.iter (fun s -> if s.mask land c <> 0 then s.emit ev) arr
+      in
+      (* The tee keeps the fast lane open iff some member can use it: scalar
+         members get the fields, and one event record is built for all the
+         record-only members together (they all want [c_net] by
+         construction, so no per-member class check is needed). *)
+      let net = List.filter (fun s -> s.mask land Event.c_net <> 0) sinks in
+      let scalars = Array.of_list (List.filter_map (fun s -> s.scalar) net) in
+      let recs =
+        Array.of_list (List.filter (fun s -> Option.is_none s.scalar) net)
+      in
+      let scalar =
+        if Array.length scalars = 0 then None
+        else
+          Some
+            {
+              s_send =
+                (fun ~now ~seq ~src ~dst info ->
+                  Array.iter
+                    (fun s -> s.s_send ~now ~seq ~src ~dst info)
+                    scalars;
+                  if Array.length recs > 0 then begin
+                    let ev =
+                      Event.Send
+                        {
+                          now;
+                          seq;
+                          src;
+                          dst;
+                          kind = info.Event.kind;
+                          round = info.Event.round;
+                          bytes = info.Event.bytes;
+                        }
+                    in
+                    Array.iter (fun s -> s.emit ev) recs
+                  end);
+              s_deliver =
+                (fun ~now ~sent_at ~seq ~src ~dst info ->
+                  Array.iter
+                    (fun s -> s.s_deliver ~now ~sent_at ~seq ~src ~dst info)
+                    scalars;
+                  if Array.length recs > 0 then begin
+                    let ev =
+                      Event.Deliver
+                        {
+                          now;
+                          sent_at;
+                          seq;
+                          src;
+                          dst;
+                          kind = info.Event.kind;
+                          round = info.Event.round;
+                          bytes = info.Event.bytes;
+                        }
+                    in
+                    Array.iter (fun s -> s.emit ev) recs
+                  end);
+              s_drop =
+                (fun ~now ~seq ~src ~dst info ->
+                  Array.iter
+                    (fun s -> s.s_drop ~now ~seq ~src ~dst info)
+                    scalars;
+                  if Array.length recs > 0 then begin
+                    let ev =
+                      Event.Drop
+                        {
+                          now;
+                          seq;
+                          src;
+                          dst;
+                          kind = info.Event.kind;
+                          round = info.Event.round;
+                          bytes = info.Event.bytes;
+                        }
+                    in
+                    Array.iter (fun s -> s.emit ev) recs
+                  end);
+            }
+      in
+      { mask; emit; scalar }

@@ -270,8 +270,10 @@ let on_message t ~src msg =
     maybe_leader_change t
   end
 
-(* Lines 1-3 (task T1): consecutive broadcasts at most [beta] apart. *)
-let rec sending_task t () =
+(* Lines 1-3 (task T1): consecutive broadcasts at most [beta] apart. The
+   task re-posts itself packed ([call_after] with [t] as the argument), so
+   the periodic loop allocates no closures. *)
+let rec sending_task t =
   if not (halted t) then begin
     t.s_rn <- t.s_rn + 1;
     let msg =
@@ -286,9 +288,7 @@ let rec sending_task t () =
       int_of_float (float_of_int beta_us *. (1. -. t.cfg.Config.send_jitter))
     in
     let period = Dstruct.Rng.int_in t.rng (max 1 low) beta_us in
-    ignore
-      (Sim.Engine.schedule_after t.engine (Sim.Time.of_us period)
-         (sending_task t))
+    Sim.Engine.call_after t.engine (Sim.Time.of_us period) sending_task t
   end
 
 let create_with_transport cfg (tr : transport) ~me =
@@ -342,9 +342,7 @@ let start t =
   (* Processes start their sending tasks at unrelated instants (§3: no
      relation between send times of different processes). *)
   let offset = Dstruct.Rng.int t.rng (max 1 (Sim.Time.to_us t.cfg.Config.beta)) in
-  ignore
-    (Sim.Engine.schedule_after t.engine (Sim.Time.of_us offset)
-       (sending_task t))
+  Sim.Engine.call_after t.engine (Sim.Time.of_us offset) sending_task t
 
 let susp_level t = Array.copy t.susp_level
 let sending_round t = t.s_rn

@@ -63,6 +63,11 @@ let default_params ~n ~t ~beta =
    accessors and checker all see the same pseudo-random draw. *)
 type round_plan = { in_s : bool; q : (pid * mode) array }
 
+(* Shared by every round with no star point: plans are immutable, so rounds
+   outside S (and rounds before rn0) all alias this one record instead of
+   allocating fresh three-word copies on the oracle path. *)
+let empty_plan = { in_s = false; q = [||] }
+
 type t = {
   p : params;
   regime : regime;
@@ -70,6 +75,8 @@ type t = {
   delay_rng : Dstruct.Rng.t;  (* jitter stream: order-insensitive use *)
   fixed_q : (pid * mode) array;  (* for fixed-set regimes *)
   plans : (int, round_plan) Hashtbl.t;
+  mutable memo_rn : int;  (* round of [memo_plan]; 0 = the rn < 1 plan *)
+  mutable memo_plan : round_plan;
   mutable s_generated_upto : int;  (* rounds < this have plans (intermittent) *)
   mutable s_next : int;  (* next round to be put in S (intermittent) *)
   mutable block_starts : int array;  (* block_starts.(k) = first rn of block k *)
@@ -90,6 +97,21 @@ let center_at_round regime rn =
   | Growing_gaps { center; _ } -> Some center
   | Failover { first; second; switch } ->
       Some (if rn < switch then first else second)
+
+(* [center_at_round] without the option box, for the per-message oracle
+   path; only called for regimes that have a center. *)
+let center_pid regime rn =
+  match regime with
+  | T_source { center }
+  | Moving_source { center }
+  | Message_pattern { center }
+  | Combined { center }
+  | Rotating_star { center }
+  | Intermittent_star { center; _ }
+  | Growing_star { center; _ }
+  | Growing_gaps { center; _ } -> center
+  | Failover { first; second; switch } -> if rn < switch then first else second
+  | Full_timely | Chaos -> invalid_arg "Scenario.center_pid: no center"
 
 let center_of_regime regime = center_at_round regime 1
 
@@ -141,6 +163,8 @@ let create p regime ~seed =
     delay_rng;
     fixed_q;
     plans = Hashtbl.create 256;
+    memo_rn = 0;
+    memo_plan = empty_plan;
     s_generated_upto = 1;
     s_next = p.rn0;
     block_starts;
@@ -167,14 +191,13 @@ let fresh_rotating_q t ~center =
 let generate_intermittent_upto t ~center ~bound_at rn =
   while t.s_generated_upto <= rn do
     let this = t.s_generated_upto in
-    if this < t.p.rn0 then
-      Hashtbl.replace t.plans this { in_s = false; q = [||] }
+    if this < t.p.rn0 then Hashtbl.replace t.plans this empty_plan
     else if this = t.s_next then begin
       Hashtbl.replace t.plans this
         { in_s = true; q = fresh_rotating_q t ~center };
       t.s_next <- this + Dstruct.Rng.int_in t.plan_rng 1 (max 1 (bound_at this))
     end
-    else Hashtbl.replace t.plans this { in_s = false; q = [||] };
+    else Hashtbl.replace t.plans this empty_plan;
     t.s_generated_upto <- this + 1
   done
 
@@ -185,7 +208,7 @@ let generate_moving t ~center_of rn =
   while t.s_generated_upto <= rn do
     let this = t.s_generated_upto in
     let plan =
-      if this < t.p.rn0 then { in_s = false; q = [||] }
+      if this < t.p.rn0 then empty_plan
       else begin
         let q = fresh_rotating_q t ~center:(center_of this) in
         let q =
@@ -200,18 +223,24 @@ let generate_moving t ~center_of rn =
     t.s_generated_upto <- this + 1
   done
 
+(* The memo caches the last round looked up: the oracle asks once per
+   message and messages cluster by round, so most lookups skip the
+   [Hashtbl.find_opt] (and its [Some] box) entirely. *)
 let plan_for t rn =
-  if rn < 1 then { in_s = false; q = [||] }
-  else
-    match Hashtbl.find_opt t.plans rn with
-    | Some plan -> plan
-    | None ->
+  if rn < 1 then empty_plan
+  else if rn = t.memo_rn then t.memo_plan
+  else begin
+    let plan =
+      match Hashtbl.find_opt t.plans rn with
+      | Some plan -> plan
+      | None ->
         let plan =
           match t.regime with
-          | Full_timely -> { in_s = rn >= t.p.rn0; q = [||] }
-          | Chaos -> { in_s = false; q = [||] }
+          | Full_timely ->
+              if rn >= t.p.rn0 then { in_s = true; q = [||] } else empty_plan
+          | Chaos -> empty_plan
           | T_source _ | Moving_source _ | Message_pattern _ | Combined _
-            when rn < t.p.rn0 -> { in_s = false; q = [||] }
+            when rn < t.p.rn0 -> empty_plan
           | T_source _ | Message_pattern _ | Combined _ ->
               { in_s = true; q = t.fixed_q }
           | Moving_source { center } ->
@@ -224,8 +253,7 @@ let plan_for t rn =
               Hashtbl.find t.plans rn
           | Failover _ ->
               generate_moving t
-                ~center_of:(fun this ->
-                  Option.get (center_at_round t.regime this))
+                ~center_of:(fun this -> center_pid t.regime this)
                 rn;
               Hashtbl.find t.plans rn
           | Intermittent_star { center; d } | Growing_star { center; d; _ } ->
@@ -239,6 +267,11 @@ let plan_for t rn =
         in
         Hashtbl.replace t.plans rn plan;
         plan
+    in
+    t.memo_rn <- rn;
+    t.memo_plan <- plan;
+    plan
+  end
 
 let in_s t rn = (plan_for t rn).in_s
 
@@ -375,42 +408,49 @@ let winning_competitor_delay t ~now ~base rn =
   in
   max base (target - us now)
 
+(* Direct scan — no closure, no ref; the common miss case allocates
+   nothing. ([Some m] on a hit is the one box left; hits are only the t
+   star points of each round's n-1 destinations.) *)
 let mode_of_point plan dst =
-  let found = ref None in
-  Array.iter (fun (q, m) -> if q = dst then found := Some m) plan.q;
-  !found
+  let q = plan.q in
+  let len = Array.length q in
+  let rec scan i =
+    if i >= len then None
+    else
+      let p, m = q.(i) in
+      if p = dst then Some m else scan (i + 1)
+  in
+  scan 0
 
 (* Unconstrained ALIVE(rn): victims look crashed, everyone else is merely
-   asynchronous. [extra_victim] marks the center when the round is outside
-   S (intermittent regimes leave it unprotected there). *)
+   asynchronous. [center] is [-1] for the center-less regimes (the option
+   box would cost two words per message on the oracle path). *)
 let background_delay t ~now ~src ~center rn =
   if rn < t.p.rn0 then
     if src = victim_all t rn then victim_delay_us t rn else async_delay t ~now
-  else
-    match center with
-    | None -> if src = victim_all t rn then victim_delay_us t rn else async_delay t ~now
-    | Some c ->
-        if src <> c && src = victim_among_others t ~center:c rn then
-          victim_delay_us t rn
-        else async_delay t ~now
+  else if center < 0 then
+    if src = victim_all t rn then victim_delay_us t rn else async_delay t ~now
+  else if src <> center && src = victim_among_others t ~center rn then
+    victim_delay_us t rn
+  else async_delay t ~now
 
 let alive_delay t ~now ~src ~dst rn =
   match t.regime with
   | Full_timely ->
       if rn >= t.p.rn0 then timely_delay t rn
-      else background_delay t ~now ~src ~center:None rn
-  | Chaos -> background_delay t ~now ~src ~center:None rn
+      else background_delay t ~now ~src ~center:(-1) rn
+  | Chaos -> background_delay t ~now ~src ~center:(-1) rn
   | T_source _ | Moving_source _ | Message_pattern _ | Combined _
   | Rotating_star _ | Intermittent_star _ | Growing_star _ | Growing_gaps _
   | Failover _ -> (
-      let center = Option.get (center_at_round t.regime rn) in
+      let center = center_pid t.regime rn in
       let plan = plan_for t rn in
       if plan.in_s then begin
         match mode_of_point plan dst with
         | Some Timely when src = center -> timely_delay t rn
         | Some Winning when src = center -> winning_center_delay t ~now rn
         | Some Winning ->
-            let base = background_delay t ~now ~src ~center:(Some center) rn in
+            let base = background_delay t ~now ~src ~center rn in
             winning_competitor_delay t ~now ~base rn
         | Some Timely | None ->
             if src = center then begin
@@ -424,13 +464,13 @@ let alive_delay t ~now ~src ~dst rn =
                   victim_delay_us t rn
               | _ -> async_delay t ~now
             end
-            else background_delay t ~now ~src ~center:(Some center) rn
+            else background_delay t ~now ~src ~center rn
       end
       else if rn >= t.p.rn0 && src = center then
         (* Outside S the assumption is silent about the center: the adversary
            victimizes it, which is exactly what separates A from A'. *)
         victim_delay_us t rn
-      else background_delay t ~now ~src ~center:(Some center) rn)
+      else background_delay t ~now ~src ~center rn)
 
 let oracle t ~round_of ~now ~seq ~src ~dst msg =
   ignore seq;

@@ -1,8 +1,20 @@
-(* [live] counts scheduled, not-yet-fired, not-cancelled events. Handles
-   carry the engine so [cancel] can decrement eagerly (making [pending] O(1)
-   instead of a sort of the whole queue) and emit into the engine's sink.
-   [fired] guards the idempotence cases: cancel after the event ran (or
-   after a prior cancel) must not decrement again. *)
+(* [live] counts scheduled, not-yet-fired, not-cancelled events. [fired]
+   guards the idempotence cases: cancel after the event ran (or after a
+   prior cancel) must not decrement again.
+
+   Events are packed [(fn, arg)] pairs rather than closures: a closure
+   capturing k variables costs k+2 words per schedule, while [call_after]
+   with a static [fn] and a pre-existing [arg] costs only the event cell
+   itself. The existential keeps the engine polymorphic in the payload
+   without boxing it into a variant. Fire-and-forget events all share the
+   engine's [anon] handle (never exposed, never cancelled), so only
+   cancellable schedules allocate a handle. *)
+
+type handle = { mutable cancelled : bool; mutable fired : bool }
+
+type event =
+  | E : { time : Time.t; fn : 'a -> unit; arg : 'a; h : handle } -> event
+
 type t = {
   queue : event Dstruct.Pqueue.t;
   rng : Dstruct.Rng.t;
@@ -10,12 +22,11 @@ type t = {
   mutable executed : int;
   mutable live : int;  (* scheduled, not fired and not cancelled *)
   mutable sink : Obs.Sink.t;
+  anon : handle;  (* shared by all fire-and-forget events *)
 }
 
-and handle = { mutable cancelled : bool; mutable fired : bool; eng : t }
-and event = { time : Time.t; action : unit -> unit; h : handle }
-
-let compare_event (a : event) (b : event) = Time.compare a.time b.time
+let compare_event e1 e2 =
+  match (e1, e2) with E a, E b -> Time.compare a.time b.time
 
 let create ~seed () =
   {
@@ -25,6 +36,7 @@ let create ~seed () =
     executed = 0;
     live = 0;
     sink = Obs.Sink.null;
+    anon = { cancelled = false; fired = false };
   }
 
 let now t = t.now
@@ -32,26 +44,40 @@ let rng t = t.rng
 let sink t = t.sink
 let set_sink t sink = t.sink <- sink
 
-let schedule_at t time action =
+let enqueue : type a. t -> Time.t -> (a -> unit) -> a -> handle -> unit =
+ fun t time fn arg h ->
   if Time.(time < t.now) then
     invalid_arg
-      (Format.asprintf "Engine.schedule_at: %a is before now (%a)" Time.pp
-         time Time.pp t.now);
-  let h = { cancelled = false; fired = false; eng = t } in
-  Dstruct.Pqueue.push t.queue { time; action; h };
+      (Format.asprintf "Engine.schedule: %a is before now (%a)" Time.pp time
+         Time.pp t.now);
+  Dstruct.Pqueue.push t.queue (E { time; fn; arg; h });
   t.live <- t.live + 1;
   if Obs.Sink.wants t.sink Obs.Event.c_engine then
     Obs.Sink.emit t.sink
-      (Obs.Event.Sched { now = Time.to_us t.now; at = Time.to_us time });
+      (Obs.Event.Sched { now = Time.to_us t.now; at = Time.to_us time })
+
+(* Static trampoline for the closure API: the closure is the [arg]. *)
+let call_thunk (f : unit -> unit) = f ()
+
+let schedule_at t time action =
+  let h = { cancelled = false; fired = false } in
+  enqueue t time call_thunk action h;
   h
 
 let schedule_after t delay action =
   schedule_at t (Time.add t.now delay) action
 
-let cancel h =
+let call_at t time fn arg = enqueue t time fn arg t.anon
+let call_after t delay fn arg = enqueue t (Time.add t.now delay) fn arg t.anon
+
+let schedule_call_after t delay fn arg =
+  let h = { cancelled = false; fired = false } in
+  enqueue t (Time.add t.now delay) fn arg h;
+  h
+
+let cancel t h =
   if not (h.cancelled || h.fired) then begin
     h.cancelled <- true;
-    let t = h.eng in
     t.live <- t.live - 1;
     if Obs.Sink.wants t.sink Obs.Event.c_engine then
       Obs.Sink.emit t.sink (Obs.Event.Cancel { now = Time.to_us t.now })
@@ -61,10 +87,9 @@ let is_cancelled h = h.cancelled
 let pending t = t.live
 let executed t = t.executed
 
-let step t =
-  match Dstruct.Pqueue.pop t.queue with
-  | None -> false
-  | Some e ->
+let exec t ev =
+  match ev with
+  | E e ->
       if not e.h.cancelled then begin
         e.h.fired <- true;
         t.live <- t.live - 1;
@@ -73,32 +98,35 @@ let step t =
         t.executed <- t.executed + 1;
         if Obs.Sink.wants t.sink Obs.Event.c_engine then
           Obs.Sink.emit t.sink (Obs.Event.Fire { now = Time.to_us t.now });
-        e.action ()
-      end;
-      true
+        e.fn e.arg
+      end
 
 let run_until t limit =
   let rec loop () =
-    match Dstruct.Pqueue.peek t.queue with
-    | Some e when Time.(e.time <= limit) ->
-        ignore (step t);
-        loop ()
-    | Some _ | None -> ()
+    if not (Dstruct.Pqueue.is_empty t.queue) then
+      match Dstruct.Pqueue.peek_exn t.queue with
+      | E { time; _ } as ev when Time.(time <= limit) ->
+          Dstruct.Pqueue.drop_exn t.queue;
+          exec t ev;
+          loop ()
+      | E _ -> ()
   in
   loop ();
   t.now <- Time.max t.now limit
 
 let run_until_idle ?limit t =
   let rec loop () =
-    match Dstruct.Pqueue.peek t.queue with
-    | None -> `Idle
-    | Some e -> (
-        match limit with
-        | Some l when Time.(e.time > l) ->
-            t.now <- Time.max t.now l;
-            `Limit
-        | Some _ | None ->
-            ignore (step t);
-            loop ())
+    if Dstruct.Pqueue.is_empty t.queue then `Idle
+    else
+      match Dstruct.Pqueue.peek_exn t.queue with
+      | E { time; _ } as ev -> (
+          match limit with
+          | Some l when Time.(time > l) ->
+              t.now <- Time.max t.now l;
+              `Limit
+          | Some _ | None ->
+              Dstruct.Pqueue.drop_exn t.queue;
+              exec t ev;
+              loop ())
   in
   loop ()

@@ -1,8 +1,16 @@
 (** Deterministic discrete-event engine.
 
-    Events are closures scheduled at virtual times. Events with equal times
+    Events are actions scheduled at virtual times. Events with equal times
     fire in scheduling order (FIFO), so a run is a pure function of the seed
     and the program — the property every test and experiment relies on.
+
+    Two scheduling families share one queue and one FIFO order:
+
+    - the closure API ({!schedule_at} / {!schedule_after}), convenient for
+      tests, examples and cold paths;
+    - the packed API ({!call_at} / {!call_after} / {!schedule_call_after}),
+      which takes a static function and its argument separately so the hot
+      path (one event per simulated message) never allocates a closure.
 
     The engine deliberately has no notion of processes or messages; those
     live in {!Net} and above. *)
@@ -39,9 +47,24 @@ val schedule_at : t -> Time.t -> (unit -> unit) -> handle
 (** [schedule_after t delay f] is [schedule_at t (now t + delay)]. *)
 val schedule_after : t -> Time.t -> (unit -> unit) -> handle
 
-(** [cancel h] prevents the event from firing. Idempotent; no effect if the
-    event already fired. *)
-val cancel : handle -> unit
+(** [call_at t time fn arg] runs [fn arg] when the clock reaches [time].
+    Fire-and-forget: no handle is allocated and the event cannot be
+    cancelled. With a statically allocated [fn], the only allocation is the
+    event cell itself. Raises [Invalid_argument] if [time] is in the past. *)
+val call_at : t -> Time.t -> ('a -> unit) -> 'a -> unit
+
+(** [call_after t delay fn arg] is [call_at t (now t + delay) fn arg]. *)
+val call_after : t -> Time.t -> ('a -> unit) -> 'a -> unit
+
+(** [schedule_call_after t delay fn arg] is {!call_after} with a handle:
+    one handle record is the only allocation beyond the event cell. *)
+val schedule_call_after : t -> Time.t -> ('a -> unit) -> 'a -> handle
+
+(** [cancel t h] prevents the event from firing. Idempotent; no effect if
+    the event already fired. [t] must be the engine that issued [h]
+    (handles don't carry an engine pointer, precisely so that scheduling
+    stays cheap). *)
+val cancel : t -> handle -> unit
 
 val is_cancelled : handle -> bool
 

@@ -140,6 +140,26 @@ let test_digest_pinned () =
   check str_t "pinned digest for seed 7" "e1280e13ce38d45d"
     (Obs.Digest.to_hex (digest_of ~seed:7L))
 
+let test_digest_scalar_matches_record () =
+  (* One run, two digests under the same tee: the default [~digest:true]
+     one is scalar-capable (Send/Deliver/Drop fold field-by-field, no event
+     record built for it), the extra [?sink] one folds through [Digest.add]
+     and therefore receives constructed events. The fast lane is only
+     correct if both land on the pinned value. *)
+  let record = Obs.Digest.create () in
+  let result =
+    Harness.Run.run ~horizon:(sec 2) ~digest:true ~config
+      ~scenario:(scenario 42L) ~seed:7L
+      ~sink:(Obs.Sink.make ~mask:Obs.Event.all (Obs.Digest.add record))
+      ()
+  in
+  check str_t "scalar fast lane matches pin" "e1280e13ce38d45d"
+    (Obs.Digest.to_hex (Option.get result.Harness.Run.digest));
+  check str_t "record path matches pin" "e1280e13ce38d45d"
+    (Obs.Digest.to_hex (Obs.Digest.value record));
+  check bool_t "both folded the same number of events" true
+    (Obs.Digest.events record > 0)
+
 let test_metrics_on_run () =
   (* Metrics ride a full harness run without perturbing it: the same run
      with and without metrics yields the same digest, and the aggregator's
@@ -184,5 +204,7 @@ let () =
           Alcotest.test_case "pool-size invariant" `Slow
             test_digest_jobs_invariant;
           Alcotest.test_case "pinned regression" `Slow test_digest_pinned;
+          Alcotest.test_case "scalar lane = record path" `Slow
+            test_digest_scalar_matches_record;
         ] );
     ]

@@ -132,8 +132,8 @@ let test_pending_interleavings () =
         | l ->
             let victim = Dstruct.Rng.int rng (List.length l) in
             let id, h = List.nth l victim in
-            Sim.Engine.cancel h;
-            Sim.Engine.cancel h;
+            Sim.Engine.cancel engine h;
+            Sim.Engine.cancel engine h;
             (* idempotent *)
             live := List.filter (fun (i, _) -> i <> id) !live)
     | _ ->
@@ -152,7 +152,7 @@ let test_pending_interleavings () =
   let h = Sim.Engine.schedule_after engine (Sim.Time.of_us 1) ignore in
   Sim.Engine.run_until engine (Sim.Time.add (Sim.Engine.now engine) (ms 1));
   check int_t "idle" 0 (Sim.Engine.pending engine);
-  Sim.Engine.cancel h;
+  Sim.Engine.cancel engine h;
   check int_t "cancel after fire is a no-op" 0 (Sim.Engine.pending engine)
 
 let () =

@@ -57,7 +57,7 @@ let test_engine_cancel () =
   let fired = ref false in
   let h = Sim.Engine.schedule_at engine (us 10) (fun () -> fired := true) in
   check bool_t "not cancelled yet" false (Sim.Engine.is_cancelled h);
-  Sim.Engine.cancel h;
+  Sim.Engine.cancel engine h;
   check bool_t "cancelled" true (Sim.Engine.is_cancelled h);
   Sim.Engine.run_until engine (us 100);
   check bool_t "cancelled event did not fire" false !fired;
@@ -115,7 +115,7 @@ let test_engine_pending () =
   let h1 = Sim.Engine.schedule_at engine (us 10) ignore in
   ignore (Sim.Engine.schedule_at engine (us 20) ignore);
   check int_t "two pending" 2 (Sim.Engine.pending engine);
-  Sim.Engine.cancel h1;
+  Sim.Engine.cancel engine h1;
   check int_t "one pending after cancel" 1 (Sim.Engine.pending engine)
 
 let prop_engine_deterministic =
