@@ -15,19 +15,16 @@ open Toolkit
 let sim_run ?(digest = false) ~variant ~n ~horizon_ms () =
   let t = (n - 1) / 2 in
   let config = Omega.Config.default ~n ~t variant in
-  let params =
-    Scenarios.Scenario.default_params ~n ~t ~beta:config.Omega.Config.beta
-  in
-  let scenario =
-    Scenarios.Scenario.create params
+  let env =
+    Scenarios.Env.make config
       (Scenarios.Scenario.Rotating_star { center = n - 2 })
-      ~seed:42L
   in
-  let result =
-    Harness.Run.run ~check:false ~digest
-      ~horizon:(Sim.Time.of_ms horizon_ms)
-      ~config ~scenario ~seed:7L ()
+  let spec =
+    Harness.Run.Spec.(
+      default |> with_check false |> with_digest digest
+      |> with_horizon (Sim.Time.of_ms horizon_ms))
   in
+  let result = Harness.Run.run ~spec ~env ~seed:7L () in
   result.Harness.Run.messages_sent
 
 (* Silence the tables while timing the experiment functions. *)

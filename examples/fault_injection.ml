@@ -1,0 +1,72 @@
+(* Programmable fault injection: the declarative Plan -> Spec -> Run API.
+
+   One validated environment (a rotating t-star centered at process 6),
+   one fault plan applied to it three ways:
+
+   - a partition that isolates the center for 4 seconds, then heals;
+   - a crash of the center with a later recovery (the node rejoins with
+     its persisted suspicion levels and re-enters the current round);
+   - an adaptive adversary that re-targets its victim blocks at whichever
+     leader the processes agree on — and still loses, because the star's
+     protected links are out of its reach.
+
+     dune exec examples/fault_injection.exe *)
+
+let sec = Sim.Time.of_sec
+
+let describe label result =
+  let open Harness.Run in
+  Format.printf
+    "%-24s leader=%s stabilized=%s re-elections=%d epochs=%d moves=%d \
+     downtime=%a@."
+    label
+    (match result.final_leader with Some l -> string_of_int l | None -> "-")
+    (match result.stabilized_at with
+    | Some t -> Format.asprintf "%a" Sim.Time.pp t
+    | None -> "never")
+    result.re_elections result.leadership_epochs result.adversary_moves
+    Sim.Time.pp result.partition_downtime
+
+let () =
+  let n = 8 and t = 3 and center = 6 in
+  (* [initial_timeout = beta] keeps receiving rounds tracking sending
+     rounds, so a fault's effect on elections shows up promptly instead of
+     echoing seconds later through the receive-side round buffer
+     (DESIGN.md §12). *)
+  let config =
+    {
+      (Omega.Config.default ~n ~t Omega.Config.Fig3) with
+      Omega.Config.initial_timeout = Sim.Time.of_ms 10;
+    }
+  in
+  let env =
+    Scenarios.Env.make config (Scenarios.Scenario.Rotating_star { center })
+  in
+  let run ~label plan =
+    let spec =
+      Harness.Run.Spec.(
+        default |> with_horizon (sec 40) |> with_plan plan)
+    in
+    describe label (Harness.Run.run ~spec ~env ~seed:7L ())
+  in
+  Format.printf
+    "n=%d t=%d rotating star centered at %d, fig3, horizon 40s@.@." n t center;
+
+  run ~label:"no faults" Fault.Plan.empty;
+
+  (* Cut the center off for 4s: the survivors churn (the adversary still
+     victimizes all of them), and after the heal the center wins again. *)
+  run ~label:"partition center 8s-12s"
+    Fault.Plan.(
+      empty |> partition ~at:(sec 8) ~heal_at:(sec 12) [ [ center ] ]);
+
+  (* Crash and recover: the recovered node keeps its suspicion levels (the
+     paper's stable storage assumption) and catches up to the live round. *)
+  run ~label:"crash 8s, recover 12s"
+    Fault.Plan.(empty |> crash center ~at:(sec 8) |> recover center ~at:(sec 12));
+
+  (* The adaptive adversary chases the agreed leader with victim blocks.
+     The chase ends at the center: its star links are protected by the
+     assumption, so its suspicion levels freeze and it stays elected. *)
+  run ~label:"adaptive adversary"
+    Fault.Plan.(empty |> adaptive ~from:(sec 2))

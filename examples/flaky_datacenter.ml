@@ -15,20 +15,11 @@ let run variant label =
   let n = 6 and t = 2 and center = 4 and d = 8 in
   let engine = Sim.Engine.create ~seed:21L () in
   let config = Omega.Config.default ~n ~t variant in
-  let params =
-    Scenarios.Scenario.default_params ~n ~t ~beta:config.Omega.Config.beta
-  in
-  let scenario =
-    Scenarios.Scenario.create params
+  let env =
+    Scenarios.Env.make ~scenario_seed:33L config
       (Scenarios.Scenario.Intermittent_star { center; d })
-      ~seed:33L
   in
-  let net =
-    Net.Network.create engine ~n
-      ~oracle:
-        (Scenarios.Scenario.oracle scenario
-           ~round_of:Scenarios.Scenario.round_of_omega)
-  in
+  let _scenario, net = Scenarios.Env.build env engine in
   let cluster = Omega.Cluster.create config net in
   Omega.Cluster.start cluster;
   Format.printf "@.--- %s ---@." label;

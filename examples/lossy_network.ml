@@ -69,10 +69,11 @@ let () =
   Sim.Engine.run_until engine (Sim.Time.of_sec 10);
   Format.printf
     "wire envelopes: %d (of which retransmissions and acks), payloads \
-     delivered: %d, outstanding backlog: %d@."
+     delivered: %d, outstanding backlog: %d, shed by the pending bound: %d@."
     (Net.Retransmit.wire_sends layer)
     (Net.Retransmit.delivered layer)
-    (Net.Retransmit.backlog layer);
+    (Net.Retransmit.backlog layer)
+    (Net.Retransmit.shed layer);
   let leaders =
     List.filter_map
       (fun p -> if crashed.(p) then None else Some (Omega.Node.leader nodes.(p)))

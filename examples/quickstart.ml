@@ -11,24 +11,16 @@ let () =
   (* 1. The virtual world: a deterministic discrete-event engine. *)
   let engine = Sim.Engine.create ~seed:1L () in
 
-  (* 2. A delay oracle satisfying assumption A: process 3 is the center of
-     an intermittent rotating t-star (gaps of at most 6 rounds between
-     covered rounds); everything else is adversarially asynchronous. *)
+  (* 2. A validated environment: process 3 is the center of an intermittent
+     rotating t-star (gaps of at most 6 rounds between covered rounds);
+     everything else is adversarially asynchronous. [Env.make] checks the
+     config/params consistency once; [build] wires scenario + network. *)
   let config = Omega.Config.default ~n ~t Omega.Config.Fig3 in
-  let params =
-    Scenarios.Scenario.default_params ~n ~t ~beta:config.Omega.Config.beta
-  in
-  let scenario =
-    Scenarios.Scenario.create params
+  let env =
+    Scenarios.Env.make ~scenario_seed:2L config
       (Scenarios.Scenario.Intermittent_star { center = 3; d = 6 })
-      ~seed:2L
   in
-  let net =
-    Net.Network.create engine ~n
-      ~oracle:
-        (Scenarios.Scenario.oracle scenario
-           ~round_of:Scenarios.Scenario.round_of_omega)
-  in
+  let _scenario, net = Scenarios.Env.build env engine in
 
   (* 3. One Figure-3 node per process; crash process 0 after 4 seconds. *)
   let cluster = Omega.Cluster.create config net in

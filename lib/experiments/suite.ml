@@ -11,6 +11,25 @@ let scenario ~n ~t ?(tweak = Fun.id) regime =
 
 let config ~n ~t variant = Omega.Config.default ~n ~t variant
 
+(* Fault experiments (e9/e10) run with [initial_timeout = beta] so receiving
+   rounds track sending rounds. Under the default config the receive side
+   lags the tags by an ever-growing buffer, so a fault's effect on elections
+   surfaces seconds after the wall-clock event and stretched by the skew —
+   and, for the adversary, victim delays that grow with the round tag
+   eventually land *before* the laggard receivers close those rounds,
+   quietly disarming the victimization late in a run (DESIGN.md §12). *)
+let fault_config ~n ~t variant =
+  {
+    (config ~n ~t variant) with
+    Omega.Config.initial_timeout = Sim.Time.of_ms 10;
+  }
+
+(* Env.make's default params equal [Scenario.default_params ~n ~t ~beta]
+   derived from the config, i.e. exactly what the [scenario] helper builds
+   — scenario seed 42L is Env's default too. *)
+let env ~n ~t ?scenario_seed variant regime =
+  Scenarios.Env.make ?scenario_seed (config ~n ~t variant) regime
+
 let violations result =
   match result.Run.checker with
   | Some report -> List.length report.Scenarios.Checker.violations
@@ -35,13 +54,17 @@ let no_obs = { trace = None; metrics = false }
    note naming the run so the JSONL stream is self-describing. Tracing
    requires a sequential pool — the writer is shared across runs — which
    bin/experiments.exe enforces by forcing [--jobs 1]. *)
-let obs_run ~obs ~label ?horizon ?crashes ?wire_stats ~config ~scenario ~seed
-    () =
+let obs_run ~obs ~label ?(spec = Run.Spec.default) ~env ~seed () =
   (match obs.trace with Some j -> Obs.Jsonl.note j label | None -> ());
-  Run.run ?horizon ?crashes ?wire_stats ~metrics:obs.metrics
-    ~digest:obs.metrics
-    ?sink:(Option.map Obs.Jsonl.sink obs.trace)
-    ~config ~scenario ~seed ()
+  let spec =
+    { spec with Run.Spec.metrics = obs.metrics; digest = obs.metrics }
+  in
+  let spec =
+    match obs.trace with
+    | Some j -> Run.Spec.with_sink (Obs.Jsonl.sink j) spec
+    | None -> spec
+  in
+  Run.run ~spec ~env ~seed ()
 
 let obs_header obs header =
   if obs.metrics then header @ [ "digest" ] else header
@@ -89,9 +112,10 @@ let e1 ~pool ~quick ~obs =
                    ~label:
                      (Printf.sprintf "e1 n=%d %s" n
                         (Omega.Config.variant_name variant))
-                   ~horizon ~crashes ~config:(config ~n ~t variant)
-                   ~scenario:
-                     (scenario ~n ~t (Scenario.Rotating_star { center }))
+                   ~spec:
+                     Run.Spec.(
+                       default |> with_horizon horizon |> with_crashes crashes)
+                   ~env:(env ~n ~t variant (Scenario.Rotating_star { center }))
                    ~seed:7L ()
                in
                obs_cells obs result
@@ -141,9 +165,12 @@ let e2 ~pool ~quick ~obs =
                    ~label:
                      (Printf.sprintf "e2 D=%d %s" d
                         (Omega.Config.variant_name variant))
-                   ~horizon ~crashes ~config:(config ~n ~t variant)
-                   ~scenario:
-                     (scenario ~n ~t (Scenario.Intermittent_star { center; d }))
+                   ~spec:
+                     Run.Spec.(
+                       default |> with_horizon horizon |> with_crashes crashes)
+                   ~env:
+                     (env ~n ~t variant
+                        (Scenario.Intermittent_star { center; d }))
                    ~seed:7L ()
                in
                obs_cells obs result
@@ -196,8 +223,10 @@ let e3 ~pool ~quick ~obs =
                  (Printf.sprintf "e3 %s %s"
                     (Omega.Config.variant_name variant)
                     (Scenario.regime_name regime))
-               ~horizon ~crashes ~config:(config ~n ~t variant)
-               ~scenario:(scenario ~n ~t regime) ~seed:7L ()
+               ~spec:
+                 Run.Spec.(
+                   default |> with_horizon horizon |> with_crashes crashes)
+               ~env:(env ~n ~t variant regime) ~seed:7L ()
            in
            obs_cells obs result
              [
@@ -303,10 +332,13 @@ let e5 ~pool ~quick ~obs =
                let result =
                  obs_run ~obs
                    ~label:(Printf.sprintf "e5 n=%d crash=%s" n label)
-                   ~horizon ~crashes ~wire_stats:true
-                   ~config:(config ~n ~t Omega.Config.Fig3)
-                   ~scenario:
-                     (scenario ~n ~t (Scenario.Rotating_star { center }))
+                   ~spec:
+                     Run.Spec.(
+                       default |> with_horizon horizon |> with_crashes crashes
+                       |> with_wire_stats true)
+                   ~env:
+                     (env ~n ~t Omega.Config.Fig3
+                        (Scenario.Rotating_star { center }))
                    ~seed:7L ()
                in
                let seconds = Sim.Time.to_ms_float horizon /. 1000. in
@@ -508,9 +540,9 @@ let e7 ~pool ~quick ~obs =
         let result =
           obs_run ~obs
             ~label:(Printf.sprintf "e7a %s" label)
-            ~horizon ~crashes:[]
-            ~config:(tweak (config ~n ~t variant))
-            ~scenario:(scenario ~n ~t regime) ~seed:7L ()
+            ~spec:Run.Spec.(default |> with_horizon horizon)
+            ~env:(Scenarios.Env.make (tweak (config ~n ~t variant)) regime)
+            ~seed:7L ()
         in
         obs_cells obs result
           [
@@ -539,10 +571,11 @@ let e7 ~pool ~quick ~obs =
         let result =
           obs_run ~obs
             ~label:(Printf.sprintf "e7b %s" label)
-            ~horizon:horizon_b
-            ~crashes:[ (0, sec 5) ]
-            ~config:(config ~n ~t variant)
-            ~scenario:(Scenario.create params regime_b ~seed:42L)
+            ~spec:
+              Run.Spec.(
+                default |> with_horizon horizon_b
+                |> with_crashes [ (0, sec 5) ])
+            ~env:(env ~n ~t variant regime_b)
             ~seed:7L ()
         in
         obs_cells obs result
@@ -605,14 +638,13 @@ let e8 ~pool ~quick ~obs =
                      (Printf.sprintf "e8 %s seed=%Ld"
                         (Omega.Config.variant_name variant)
                         seed)
-                   ~horizon
-                   ~crashes:[ (first, crash_time) ]
-                   ~config:(config ~n ~t variant)
-                   ~scenario:
-                     (Scenario.create
-                        (Scenario.default_params ~n ~t ~beta:(ms 10))
-                        (Scenario.Failover { first; second; switch })
-                        ~seed)
+                   ~spec:
+                     Run.Spec.(
+                       default |> with_horizon horizon
+                       |> with_crashes [ (first, crash_time) ])
+                   ~env:
+                     (env ~n ~t ~scenario_seed:seed variant
+                        (Scenario.Failover { first; second; switch }))
                    ~seed ()
                in
                let relect =
@@ -661,6 +693,149 @@ let e8 ~pool ~quick ~obs =
          ])
     rows
 
+(* ------------------------------------------------------------------ E9 *)
+
+let e9 ~pool ~quick ~obs =
+  let n = 8 and t = 3 and center = 6 in
+  let fault_at = if quick then sec 8 else sec 15 in
+  let durations = if quick then [ 2; 4 ] else [ 2; 4; 8 ] in
+  let fault_cfg = fault_config ~n ~t Omega.Config.Fig3 in
+  (* Horizon leaves a post-heal tail longer than min_stable (horizon/5) plus
+     the re-stabilization transient, so a healed run can prove itself (the
+     stability judge also wants the final third of the rounds agreed). *)
+  let horizon d =
+    Sim.Time.add fault_at (sec ((if quick then 20 else 30) + (2 * d)))
+  in
+  let faults =
+    [
+      (* Isolating the center severs its ALIVEs both ways: the majority side
+         churns leaderless (the rotating adversary victimizes everyone else),
+         and after the heal the center must win re-election. *)
+      ( "partition center",
+        fun d ->
+          Fault.Plan.(
+            empty
+            |> partition ~at:fault_at
+                 ~heal_at:(Sim.Time.add fault_at (sec d))
+                 [ [ center ] ]) );
+      ( "crash+recover center",
+        fun d ->
+          Fault.Plan.(
+            empty
+            |> crash center ~at:fault_at
+            |> recover center ~at:(Sim.Time.add fault_at (sec d))) );
+    ]
+  in
+  let rows =
+    on pool
+    @@ List.concat_map
+         (fun (label, plan_of) ->
+           List.map
+             (fun d () ->
+               let horizon = horizon d in
+               let result =
+                 obs_run ~obs
+                   ~label:(Printf.sprintf "e9 %s D=%ds" label d)
+                   ~spec:
+                     Run.Spec.(
+                       default |> with_horizon horizon
+                       |> with_plan (plan_of d))
+                   ~env:
+                     (Scenarios.Env.make fault_cfg
+                        (Scenario.Rotating_star { center }))
+                   ~seed:7L ()
+               in
+               obs_cells obs result
+                 [
+                   label;
+                   Printf.sprintf "%ds" d;
+                   Format.asprintf "%a" Sim.Time.pp horizon;
+                   stab_cell result;
+                   leader_cell result;
+                   Table.yesno (result.Run.final_leader = Some center);
+                   Table.intc result.Run.re_elections;
+                   Table.intc result.Run.leadership_epochs;
+                   Format.asprintf "%a" Sim.Time.pp
+                     result.Run.partition_downtime;
+                   Table.intc (violations result);
+                 ])
+             durations)
+         faults
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "E9: partition / crash-recovery of the center for D seconds \
+          (fig3, rotating star, n=8, t=3, fault@%ds) [stabilization must \
+          recover after the heal]"
+         (Sim.Time.to_us fault_at / 1_000_000))
+    ~header:
+      (obs_header obs
+         [
+           "fault"; "D"; "horizon"; "stabilized"; "leader"; "=center";
+           "re-elect"; "epochs"; "downtime"; "viol";
+         ])
+    rows
+
+(* ----------------------------------------------------------------- E10 *)
+
+let e10 ~pool ~quick ~obs =
+  let n = 8 and t = 3 and center = 6 in
+  let horizon = if quick then sec 20 else sec 60 in
+  let adaptive_plan = Fault.Plan.(empty |> adaptive ~from:(sec 2)) in
+  let cases =
+    [
+      (Scenario.Rotating_star { center }, "static", Fault.Plan.empty);
+      (Scenario.Rotating_star { center }, "adaptive", adaptive_plan);
+      (Scenario.Chaos, "static", Fault.Plan.empty);
+      (Scenario.Chaos, "adaptive", adaptive_plan);
+    ]
+  in
+  let rows =
+    on pool
+    @@ List.map
+         (fun (regime, adversary, plan) () ->
+           let result =
+             obs_run ~obs
+               ~label:
+                 (Printf.sprintf "e10 %s %s"
+                    (Scenario.regime_name regime)
+                    adversary)
+               ~spec:
+                 Run.Spec.(
+                   default |> with_horizon horizon |> with_plan plan)
+               ~env:
+                 (Scenarios.Env.make
+                    (fault_config ~n ~t Omega.Config.Fig3)
+                    regime)
+               ~seed:7L ()
+           in
+           obs_cells obs result
+             [
+               Scenario.regime_name regime;
+               adversary;
+               stab_cell result;
+               leader_cell result;
+               Table.yesno (result.Run.final_leader = Some center);
+               Table.intc result.Run.adversary_moves;
+               Table.intc result.Run.re_elections;
+               Table.intc result.Run.max_susp_level;
+             ])
+         cases
+  in
+  Table.print
+    ~title:
+      "E10: static victim blocks vs leader-chasing adaptive adversary \
+       (fig3, n=8, t=3) [the star's protected center survives the chase; \
+       under chaos the chase never ends]"
+    ~header:
+      (obs_header obs
+         [
+           "regime"; "adversary"; "stabilized"; "leader"; "=center"; "moves";
+           "re-elect"; "max_susp";
+         ])
+    rows
+
 let all =
   [
     ("e1", "Theorem 1: rotating star stabilization vs n", e1);
@@ -671,4 +846,6 @@ let all =
     ("e6", "Theorem 5: consensus and atomic broadcast", e6);
     ("e7", "Section 7: growing timeliness bounds", e7);
     ("e8", "Section 1.1: crash of the leader, re-election", e8);
+    ("e9", "Fault plans: partition and crash-recovery of the center", e9);
+    ("e10", "Fault plans: adaptive leader-chasing adversary", e10);
   ]

@@ -1,0 +1,174 @@
+type pid = int
+
+type t = {
+  engine : Sim.Engine.t;
+  net : Omega.Message.t Net.Network.t;
+  cluster : Omega.Cluster.t;
+  scenario : Scenarios.Scenario.t;
+  n : int;
+  (* Last leader estimate each process reported via [Leader_change]; 0
+     initially, matching the nodes' own initial estimate (lines 19-21 of an
+     all-zero [susp_level] elect process 0). *)
+  leaders : int array;
+  mutable adaptive_on : bool;
+  mutable target : pid;  (* current victim override; -1 = none yet *)
+  mutable moves : int;
+  mutable recoveries : int;
+  mutable partitions : int;
+}
+
+let now_us inj = Sim.Time.to_us (Sim.Engine.now inj.engine)
+
+(* Fault events are rare (a handful per run), but they still go through the
+   guarded-emission discipline of every other site. *)
+let emit_fault inj ev =
+  let sink = Sim.Engine.sink inj.engine in
+  if Obs.Sink.wants sink Obs.Event.c_fault then Obs.Sink.emit sink ev
+
+(* ---- plan actions, as packed [call_at] events ---- *)
+
+type partition_ev = {
+  p_inj : t;
+  p_groups : int array option;
+  p_count : int;
+  (* On heal ([p_groups = None]): processes whose group was too small to
+     retain an [alpha]-quorum while the partition was in force. Their
+     receiving rounds are stranded — the ALIVEs tagged with cut-window
+     rounds are gone for good — so the heal re-seats them at the next live
+     round ({!Omega.Node.resync}), mirroring crash recovery. Computed at
+     [attach] from the plan, so it costs nothing per event. *)
+  p_resync : pid array;
+}
+
+let apply_partition { p_inj = inj; p_groups; p_count; p_resync } =
+  Net.Network.set_partition inj.net p_groups;
+  if p_groups <> None then inj.partitions <- inj.partitions + 1;
+  Array.iter
+    (fun p ->
+      if not (Net.Network.is_crashed inj.net p) then
+        Omega.Node.resync (Omega.Cluster.node inj.cluster p))
+    p_resync;
+  emit_fault inj
+    (Obs.Event.Partition { now = now_us inj; groups = p_count })
+
+type pid_ev = { a_inj : t; a_pid : pid }
+
+let apply_crash { a_inj = inj; a_pid } = Net.Network.crash inj.net a_pid
+
+let apply_recover { a_inj = inj; a_pid } =
+  Omega.Cluster.recover inj.cluster a_pid;
+  inj.recoveries <- inj.recoveries + 1;
+  emit_fault inj (Obs.Event.Recover { now = now_us inj; pid = a_pid })
+
+type dup_ev = { d_inj : t; d_until : Sim.Time.t; d_extra : Sim.Time.t }
+
+let apply_dup { d_inj = inj; d_until; d_extra } =
+  Net.Network.set_dup_burst inj.net ~until:d_until ~extra:d_extra
+
+(* ---- the adaptive adversary ---- *)
+
+(* Re-target when every non-crashed process currently believes in the same
+   leader and it differs from the current victim: the strongest reactive
+   generalization of the static victim rotation. Under a star regime the
+   chase must end at the center — the assumption's protected arms are
+   untouched by the override, so the center's suspicion level freezes while
+   every other leader the processes converge on gets blocked away. Under
+   Chaos nothing is protected and the chase never ends. *)
+let try_retarget inj =
+  if inj.adaptive_on then begin
+    let l = ref (-1) in
+    let agree = ref true in
+    for p = 0 to inj.n - 1 do
+      if not (Net.Network.is_crashed inj.net p) then begin
+        let lp = inj.leaders.(p) in
+        if !l < 0 then l := lp else if lp <> !l then agree := false
+      end
+    done;
+    if !agree && !l >= 0 && !l <> inj.target then begin
+      inj.target <- !l;
+      Scenarios.Scenario.set_victim_override inj.scenario !l;
+      inj.moves <- inj.moves + 1;
+      emit_fault inj
+        (Obs.Event.Adversary_move { now = now_us inj; target = !l })
+    end
+  end
+
+let activate inj =
+  inj.adaptive_on <- true;
+  try_retarget inj
+
+let on_event inj = function
+  | Obs.Event.Leader_change { pid; leader; _ } ->
+      inj.leaders.(pid) <- leader;
+      try_retarget inj
+  | _ -> ()
+
+(* The injector's own sink: it consumes omega events (leader changes) to
+   drive the adaptive adversary. Tee'd with the run's other sinks by the
+   harness; an adaptive plan therefore turns on [c_omega] emission even in
+   otherwise unobserved runs — the override it installs perturbs the run by
+   design, so there is nothing to keep unperturbed. *)
+let sink inj = Obs.Sink.make ~mask:Obs.Event.c_omega (on_event inj)
+
+let attach plan ~cluster ~scenario =
+  let net = Omega.Cluster.net cluster in
+  let engine = Omega.Cluster.engine cluster in
+  let n = Omega.Cluster.n cluster in
+  Plan.validate ~n plan;
+  let inj =
+    {
+      engine;
+      net;
+      cluster;
+      scenario;
+      n;
+      leaders = Array.make n 0;
+      adaptive_on = false;
+      target = -1;
+      moves = 0;
+      recoveries = 0;
+      partitions = 0;
+    }
+  in
+  List.iter
+    (fun action ->
+      match action with
+      | Plan.Partition { at; heal_at; groups } ->
+          let g, count = Plan.groups_array ~n groups in
+          let alpha =
+            (Omega.Node.config (Omega.Cluster.node cluster 0))
+              .Omega.Config.alpha
+          in
+          let sizes = Array.make count 0 in
+          Array.iter (fun id -> sizes.(id) <- sizes.(id) + 1) g;
+          let stranded =
+            Array.of_seq
+              (Seq.filter
+                 (fun p -> sizes.(g.(p)) < alpha)
+                 (Seq.init n Fun.id))
+          in
+          Sim.Engine.call_at engine at apply_partition
+            { p_inj = inj; p_groups = Some g; p_count = count; p_resync = [||] };
+          Sim.Engine.call_at engine heal_at apply_partition
+            { p_inj = inj; p_groups = None; p_count = 1; p_resync = stranded }
+      | Plan.Crash { pid; at } ->
+          Sim.Engine.call_at engine at apply_crash { a_inj = inj; a_pid = pid }
+      | Plan.Recover { pid; at } ->
+          Sim.Engine.call_at engine at apply_recover
+            { a_inj = inj; a_pid = pid }
+      | Plan.Adaptive { from } -> Sim.Engine.call_at engine from activate inj
+      | Plan.Dup_burst { at; until; extra } ->
+          Sim.Engine.call_at engine at apply_dup
+            { d_inj = inj; d_until = until; d_extra = extra })
+    (Plan.actions plan);
+  inj
+
+let adaptive_in_plan plan =
+  List.exists
+    (function Plan.Adaptive _ -> true | _ -> false)
+    (Plan.actions plan)
+
+let moves inj = inj.moves
+let recoveries inj = inj.recoveries
+let partitions_applied inj = inj.partitions
+let target inj = inj.target

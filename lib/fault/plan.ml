@@ -1,0 +1,116 @@
+type pid = int
+
+type action =
+  | Partition of { at : Sim.Time.t; heal_at : Sim.Time.t; groups : pid list list }
+  | Crash of { pid : pid; at : Sim.Time.t }
+  | Recover of { pid : pid; at : Sim.Time.t }
+  | Adaptive of { from : Sim.Time.t }
+  | Dup_burst of { at : Sim.Time.t; until : Sim.Time.t; extra : Sim.Time.t }
+
+type t = { actions : action list }
+
+let empty = { actions = [] }
+let is_empty t = t.actions = []
+let actions t = t.actions
+let add a t = { actions = t.actions @ [ a ] }
+
+let partition ~at ~heal_at groups t = add (Partition { at; heal_at; groups }) t
+let crash pid ~at t = add (Crash { pid; at }) t
+let recover pid ~at t = add (Recover { pid; at }) t
+let adaptive ~from t = add (Adaptive { from }) t
+let dup_burst ~at ~until ~extra t = add (Dup_burst { at; until; extra }) t
+
+(* [groups.(p)] = connectivity group of [p]; processes not named by any
+   explicit group share one implicit remainder group, so e.g.
+   [partition [[center]]] isolates the center from everyone else. Also
+   returns the group count (what the [Partition] event reports). *)
+let groups_array ~n groups =
+  let g = Array.make n (-1) in
+  List.iteri
+    (fun gi members ->
+      List.iter
+        (fun p ->
+          if p < 0 || p >= n then
+            invalid_arg "Fault.Plan: partition pid out of range";
+          if g.(p) >= 0 then
+            invalid_arg "Fault.Plan: pid in two partition groups";
+          g.(p) <- gi)
+        members)
+    groups;
+  let explicit = List.length groups in
+  let rest = Array.exists (fun x -> x < 0) g in
+  if rest then
+    Array.iteri (fun i x -> if x < 0 then g.(i) <- explicit) g;
+  (g, explicit + if rest then 1 else 0)
+
+let check_pid ~n p op =
+  if p < 0 || p >= n then
+    invalid_arg (Printf.sprintf "Fault.Plan: %s pid %d out of range" op p)
+
+let validate ~n t =
+  if n <= 0 then invalid_arg "Fault.Plan.validate: n must be positive";
+  (* Per-pid crash/recover alternation: a recover must rejoin a process the
+     plan crashed earlier (Harness.Run's [crashes] are permanent). *)
+  let crashed_at = Array.make n Sim.Time.zero in
+  let down = Array.make n false in
+  List.iter
+    (fun a ->
+      match a with
+      | Partition { at; heal_at; groups } ->
+          if Sim.Time.(heal_at <= at) then
+            invalid_arg "Fault.Plan: partition heals before it forms";
+          ignore (groups_array ~n groups)
+      | Crash { pid; at } ->
+          check_pid ~n pid "crash";
+          if down.(pid) then invalid_arg "Fault.Plan: crash of a down process";
+          down.(pid) <- true;
+          crashed_at.(pid) <- at
+      | Recover { pid; at } ->
+          check_pid ~n pid "recover";
+          if not down.(pid) then
+            invalid_arg "Fault.Plan: recover without a preceding crash";
+          if Sim.Time.(at <= crashed_at.(pid)) then
+            invalid_arg "Fault.Plan: recover before the crash";
+          down.(pid) <- false
+      | Adaptive _ -> ()
+      | Dup_burst { at; until; extra } ->
+          if Sim.Time.(until <= at) then
+            invalid_arg "Fault.Plan: duplication burst ends before it starts";
+          if Sim.Time.(extra < Sim.Time.zero) then
+            invalid_arg "Fault.Plan: negative duplicate extra delay")
+    t.actions
+
+let partition_windows t =
+  List.filter_map
+    (function
+      | Partition { at; heal_at; _ } -> Some (at, heal_at) | _ -> None)
+    t.actions
+
+(* Windows during which link or process outages may lose messages: every
+   partition, plus every crash window that ends in a recovery (a permanent
+   crash is not an outage window — the checker's [crashed] predicate covers
+   it, per A2(1)). Used to mask assumption checking; see Harness.Run. *)
+let outage_windows t =
+  let crashes =
+    List.filter_map
+      (fun a ->
+        match a with
+        | Crash { pid; at } ->
+            let rec first_recover = function
+              | [] -> None
+              | Recover { pid = p; at = r } :: _
+                when p = pid && Sim.Time.(at < r) -> Some (at, r)
+              | _ :: rest -> first_recover rest
+            in
+            first_recover t.actions
+        | _ -> None)
+      t.actions
+  in
+  partition_windows t @ crashes
+
+let partition_downtime ~horizon t =
+  List.fold_left
+    (fun acc (at, heal_at) ->
+      let hi = Sim.Time.min heal_at horizon in
+      if Sim.Time.(hi <= at) then acc else Sim.Time.add acc (Sim.Time.sub hi at))
+    Sim.Time.zero (partition_windows t)

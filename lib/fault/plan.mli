@@ -1,0 +1,76 @@
+(** Declarative fault plans.
+
+    A plan is pure data: a list of timed fault actions that
+    {!Injector.attach} compiles onto a simulation stack. Plans are
+    deterministic by construction — they hold no randomness of their own
+    (any randomness an action needs flows from the engine-seeded
+    {!Dstruct.Rng} streams of the layers it drives), so the same
+    [(seed, plan)] pair always produces the same run, whatever the pool
+    size. Build with the [|>]-chainable constructors:
+
+    {[
+      Fault.Plan.(
+        empty
+        |> partition ~at:(sec 1) ~heal_at:(sec 3) [ [ center ] ]
+        |> crash 0 ~at:(sec 2)
+        |> recover 0 ~at:(sec 4)
+        |> adaptive ~from:(sec 1))
+    ]} *)
+
+type pid = int
+
+type action =
+  | Partition of {
+      at : Sim.Time.t;
+      heal_at : Sim.Time.t;
+      groups : pid list list;
+          (** explicit connectivity groups; processes not named share one
+              implicit remainder group, so [[ [c] ]] isolates [c] *)
+    }
+  | Crash of { pid : pid; at : Sim.Time.t }
+  | Recover of { pid : pid; at : Sim.Time.t }
+      (** rejoin a process the plan crashed earlier, with its persisted
+          state ({!Omega.Node.recover}) *)
+  | Adaptive of { from : Sim.Time.t }
+      (** from [from] on, re-target the victim blocks at whichever leader
+          the processes agree on ({!Scenario.set_victim_override}) *)
+  | Dup_burst of { at : Sim.Time.t; until : Sim.Time.t; extra : Sim.Time.t }
+      (** every message sent in [[at, until)] is delivered twice, the
+          duplicate [extra] later ({!Net.Network.set_dup_burst}) *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+(** Actions in the order they were added. *)
+val actions : t -> action list
+
+val partition : at:Sim.Time.t -> heal_at:Sim.Time.t -> pid list list -> t -> t
+val crash : pid -> at:Sim.Time.t -> t -> t
+val recover : pid -> at:Sim.Time.t -> t -> t
+val adaptive : from:Sim.Time.t -> t -> t
+val dup_burst : at:Sim.Time.t -> until:Sim.Time.t -> extra:Sim.Time.t -> t -> t
+
+(** Raises [Invalid_argument] on out-of-range pids, a pid in two groups of
+    one partition, a window that ends before it starts, a crash of an
+    already-down process, or a recover without a preceding crash. *)
+val validate : n:int -> t -> unit
+
+(** [(groups.(p), count)] rendering of one partition's group lists; exposed
+    for the injector and tests. *)
+val groups_array : n:int -> pid list list -> int array * int
+
+(** The [(at, heal_at)] window of every partition action. *)
+val partition_windows : t -> (Sim.Time.t * Sim.Time.t) list
+
+(** Windows during which the plan may lose messages: every partition window
+    plus every crash window that ends in a recovery (permanent crashes are
+    covered by the checker's [crashed] predicate instead). [Harness.Run]
+    masks assumption checking for rounds whose messages could be in flight
+    during one of these. *)
+val outage_windows : t -> (Sim.Time.t * Sim.Time.t) list
+
+(** Total partition time within [[0, horizon]] (overlaps count double —
+    plans with overlapping partitions rarely need this statistic). *)
+val partition_downtime : horizon:Sim.Time.t -> t -> Sim.Time.t

@@ -24,7 +24,52 @@ type result = {
   horizon : Sim.Time.t;
   digest : int64 option;
   metrics : Obs.Metrics.t option;
+  re_elections : int;
+  leadership_epochs : int;
+  partition_downtime : Sim.Time.t;
+  adversary_moves : int;
+  recoveries : int;
 }
+
+module Spec = struct
+  type t = {
+    horizon : Sim.Time.t;
+    sample_every : Sim.Time.t;
+    min_stable : Sim.Time.t option;
+    crashes : (pid * Sim.Time.t) list;
+    plan : Fault.Plan.t;
+    check : bool;
+    wire_stats : bool;
+    metrics : bool;
+    digest : bool;
+    sink : Obs.Sink.t option;
+  }
+
+  let default =
+    {
+      horizon = Sim.Time.of_sec 30;
+      sample_every = Sim.Time.of_ms 100;
+      min_stable = None;
+      crashes = [];
+      plan = Fault.Plan.empty;
+      check = true;
+      wire_stats = false;
+      metrics = false;
+      digest = false;
+      sink = None;
+    }
+
+  let with_horizon horizon t = { t with horizon }
+  let with_sample_every sample_every t = { t with sample_every }
+  let with_min_stable w t = { t with min_stable = Some w }
+  let with_crashes crashes t = { t with crashes }
+  let with_plan plan t = { t with plan }
+  let with_check check t = { t with check }
+  let with_wire_stats wire_stats t = { t with wire_stats }
+  let with_metrics metrics t = { t with metrics }
+  let with_digest digest t = { t with digest }
+  let with_sink sink t = { t with sink = Some sink }
+end
 
 (* The largest round whose every non-victim message is guaranteed delivered
    by [horizon] (Scenario.arrival_bound is monotone in the round number). *)
@@ -48,20 +93,75 @@ let checkable_round scenario horizon =
     max 0 (bisect 1 hi - 2)
   end
 
-let run ?(horizon = Sim.Time.of_sec 30) ?(sample_every = Sim.Time.of_ms 100)
-    ?min_stable ?(crashes = []) ?(check = true) ?(wire_stats = false)
-    ?(metrics = false) ?(digest = false) ?sink ~config ~scenario ~seed () =
+(* Round [rn] is excused from assumption checking iff a message of round
+   [rn] could have been sent or in flight during one of the plan's outage
+   windows: sends start no earlier than [(rn-1) * (1-jitter) * beta]
+   (period >= (1-jitter)*beta, first offset > 0) and non-victim arrivals
+   end by [arrival_bound rn]. Conservative in both directions — masking a
+   round the outage never touched only shrinks checked coverage, never
+   forges a violation. *)
+let masked_rounds ~plan ~config ~scenario =
+  match Fault.Plan.outage_windows plan with
+  | [] -> fun _ -> false
+  | windows ->
+      let beta = Sim.Time.to_us config.Omega.Config.beta in
+      let jitter = config.Omega.Config.send_jitter in
+      fun rn ->
+        let lo =
+          int_of_float (float_of_int ((rn - 1) * beta) *. (1. -. jitter))
+        in
+        let hi =
+          Sim.Time.to_us (Scenarios.Scenario.arrival_bound scenario rn)
+        in
+        List.exists
+          (fun (a, b) -> lo <= Sim.Time.to_us b && Sim.Time.to_us a <= hi)
+          windows
+
+(* Leadership history statistics over the sampled [agreed] sequence:
+   [epochs] counts maximal stretches of one constant agreed leader
+   (delimited by anarchy or a change), [re_elections] counts changes of
+   agreed leader (anarchy gaps between two reigns of the same leader do
+   not count — nobody else was elected in between). *)
+let leadership_stats samples =
+  let rec walk epochs changes last_epoch last_leader = function
+    | [] -> (epochs, changes)
+    | { agreed = None; _ } :: rest ->
+        walk epochs changes None last_leader rest
+    | { agreed = Some l; _ } :: rest ->
+        if last_epoch = Some l then walk epochs changes last_epoch last_leader rest
+        else
+          let changes =
+            match last_leader with
+            | Some l' when l' <> l -> changes + 1
+            | _ -> changes
+          in
+          walk (epochs + 1) changes (Some l) (Some l) rest
+  in
+  walk 0 0 None None samples
+
+let run ?(spec = Spec.default) ~env ~seed () =
+  let {
+    Spec.horizon;
+    sample_every;
+    min_stable;
+    crashes;
+    plan;
+    check;
+    wire_stats;
+    metrics;
+    digest;
+    sink;
+  } =
+    spec
+  in
+  let config = Scenarios.Env.config env in
   let min_stable =
     match min_stable with
     | Some w -> w
     | None -> Sim.Time.of_us (Sim.Time.to_us horizon / 5)
   in
   let engine = Sim.Engine.create ~seed () in
-  let oracle = Scenarios.Scenario.oracle scenario ~round_of:Scenarios.Scenario.round_of_omega in
-  let net =
-    Net.Network.create ~classify:Omega.Message.info engine
-      ~n:config.Omega.Config.n ~oracle
-  in
+  let scenario, net = Scenarios.Env.build env engine in
   let checker =
     if check && Option.is_some (Scenarios.Scenario.center scenario) then
       Some (Scenarios.Checker.create scenario)
@@ -88,6 +188,15 @@ let run ?(horizon = Sim.Time.of_sec 30) ?(sample_every = Sim.Time.of_ms 100)
   in
   let metrics_agg = if metrics then Some (Obs.Metrics.create ()) else None in
   let digest_st = if digest then Some (Obs.Digest.create ()) else None in
+  (* The cluster exists before the sink is installed (creation emits
+     nothing, it only splits RNG streams) because the fault injector needs
+     it; the injector's action scheduling likewise pre-dates the sink, so
+     plan-free digests see exactly the event stream they always did. *)
+  let cluster = Omega.Cluster.create config net in
+  let injector =
+    if Fault.Plan.is_empty plan then None
+    else Some (Fault.Injector.attach plan ~cluster ~scenario)
+  in
   Sim.Engine.set_sink engine
     (Obs.Sink.tee
        (List.concat
@@ -102,9 +211,12 @@ let run ?(horizon = Sim.Time.of_sec 30) ?(sample_every = Sim.Time.of_ms 100)
             (match digest_st with
             | Some d -> [ Obs.Digest.sink d ]
             | None -> []);
+            (match injector with
+            | Some inj when Fault.Injector.adaptive_in_plan plan ->
+                [ Fault.Injector.sink inj ]
+            | Some _ | None -> []);
             (match sink with Some s -> [ s ] | None -> []);
           ]));
-  let cluster = Omega.Cluster.create config net in
   List.iter (fun (p, time) -> Omega.Cluster.crash_at cluster p time) crashes;
   let samples = ref [] in
   let lattice_violations = ref 0 in
@@ -177,10 +289,12 @@ let run ?(horizon = Sim.Time.of_sec 30) ?(sample_every = Sim.Time.of_ms 100)
     Option.map
       (fun c ->
         Scenarios.Checker.verify c
+          ~masked:(masked_rounds ~plan ~config ~scenario)
           ~upto_round:(min (checkable_round scenario horizon) min_sending_round)
           ~crashed:(Net.Network.is_crashed net))
       checker
   in
+  let leadership_epochs, re_elections = leadership_stats samples in
   {
     stabilized_at;
     final_leader;
@@ -198,6 +312,13 @@ let run ?(horizon = Sim.Time.of_sec 30) ?(sample_every = Sim.Time.of_ms 100)
     horizon;
     digest = Option.map Obs.Digest.value digest_st;
     metrics = metrics_agg;
+    re_elections;
+    leadership_epochs;
+    partition_downtime = Fault.Plan.partition_downtime ~horizon plan;
+    adversary_moves =
+      (match injector with Some i -> Fault.Injector.moves i | None -> 0);
+    recoveries =
+      (match injector with Some i -> Fault.Injector.recoveries i | None -> 0);
   }
 
 let stabilization_ms result =

@@ -1,5 +1,10 @@
 (** Single-run experiment driver: engine + network + scenario + cluster,
-    with leader sampling, stabilization detection and assumption checking. *)
+    with leader sampling, stabilization detection, fault injection and
+    assumption checking.
+
+    The world under test is a {!Scenarios.Env.t} (validated once, shared
+    across runs); everything about {e this} run — horizon, crashes, fault
+    plan, which observers to attach — is a {!Spec.t}. *)
 
 type pid = int
 
@@ -22,7 +27,7 @@ type result = {
   messages_sent : int;
   messages_delivered : int;
   alive_bytes : int;
-      (** total wire bytes of ALIVE messages ([0] unless [~wire_stats]) *)
+      (** total wire bytes of ALIVE messages ([0] unless [wire_stats]) *)
   suspicion_bytes : int;  (** ditto, SUSPICION messages *)
   max_susp_level : int;  (** max over correct nodes, end of run *)
   max_timeout : Sim.Time.t;  (** largest timeout any correct node armed *)
@@ -33,47 +38,74 @@ type result = {
       (** peak live round-indexed entries on any node (memory boundedness) *)
   min_sending_round : int;  (** slowest correct process's final s_rn *)
   checker : Scenarios.Checker.report option;
-      (** assumption-compliance report, when [~check:true] *)
+      (** assumption-compliance report, when [check] (rounds overlapping a
+          plan outage window are masked, see {!Scenarios.Checker.verify}) *)
   horizon : Sim.Time.t;
   digest : int64 option;
-      (** FNV fold over the run's full event stream, when [~digest:true].
-          Same seed ⇒ same digest, whatever the pool size — the
+      (** FNV fold over the run's full event stream, when [digest]. Same
+          seed (and same plan) ⇒ same digest, whatever the pool size — the
           determinism oracle (see {!Obs.Digest}). *)
   metrics : Obs.Metrics.t option;
-      (** per-run counters/histograms, when [~metrics:true] *)
+      (** per-run counters/histograms, when [metrics] *)
+  re_elections : int;
+      (** changes of agreed leader over the sampled history (anarchy gaps
+          between two reigns of the {e same} leader do not count) *)
+  leadership_epochs : int;
+      (** maximal sampled stretches of one constant agreed leader *)
+  partition_downtime : Sim.Time.t;
+      (** total time (within the horizon) some plan partition was in force *)
+  adversary_moves : int;  (** adaptive-adversary re-targetings *)
+  recoveries : int;  (** plan recoveries applied *)
 }
 
-(** [run ~config ~scenario ~seed ()] executes one simulation.
+(** Per-run knobs, separated from the environment. Build one with
+    functional updates over {!Spec.default}:
+    {[
+      Run.Spec.(default |> with_horizon (Sim.Time.of_sec 10)
+                        |> with_plan plan |> with_digest true)
+    ]}
+    The setters take the record {e last} so they chain with [|>]. *)
+module Spec : sig
+  type t = {
+    horizon : Sim.Time.t;  (** default 30 sim-s *)
+    sample_every : Sim.Time.t;  (** default 100 sim-ms *)
+    min_stable : Sim.Time.t option;  (** default [horizon / 5] *)
+    crashes : (pid * Sim.Time.t) list;  (** permanent process failures *)
+    plan : Fault.Plan.t;  (** default {!Fault.Plan.empty} — zero cost *)
+    check : bool;  (** attach an assumption {!Scenarios.Checker} (default) *)
+    wire_stats : bool;  (** count ALIVE/SUSPICION wire bytes (E5) *)
+    metrics : bool;  (** attach an {!Obs.Metrics} aggregator *)
+    digest : bool;  (** attach an {!Obs.Digest} over the event stream *)
+    sink : Obs.Sink.t option;
+        (** extra consumer (e.g. an {!Obs.Jsonl} writer for [--trace]) *)
+  }
 
-    [crashes] schedules process failures. [horizon] defaults to 30 sim-s;
-    [sample_every] to 100 sim-ms. With [check:true] (default), a
-    {!Checker} is attached and verified over the prefix of rounds whose
-    messages are guaranteed delivered by the horizon.
+  val default : t
+  val with_horizon : Sim.Time.t -> t -> t
+  val with_sample_every : Sim.Time.t -> t -> t
+  val with_min_stable : Sim.Time.t -> t -> t
+  val with_crashes : (pid * Sim.Time.t) list -> t -> t
+  val with_plan : Fault.Plan.t -> t -> t
+  val with_check : bool -> t -> t
+  val with_wire_stats : bool -> t -> t
+  val with_metrics : bool -> t -> t
+  val with_digest : bool -> t -> t
+  val with_sink : Obs.Sink.t -> t -> t
+end
 
-    Observability: [wire_stats:true] counts ALIVE/SUSPICION wire bytes
-    (the [alive_bytes]/[suspicion_bytes] fields — E5's columns),
-    [metrics:true] attaches an {!Obs.Metrics} aggregator, [digest:true] an
-    {!Obs.Digest} over the full event stream (engine events included), and
-    [sink] any extra consumer (e.g. an {!Obs.Jsonl} writer for [--trace]);
-    all compose under one {!Obs.Sink.tee} on the run's engine. None of
-    them perturbs the simulation — results are bit-identical with or
-    without — and with all off (and [check:false]) the engine keeps its
-    null sink: the whole layer costs one branch per event site. *)
-val run :
-  ?horizon:Sim.Time.t ->
-  ?sample_every:Sim.Time.t ->
-  ?min_stable:Sim.Time.t ->
-  ?crashes:(pid * Sim.Time.t) list ->
-  ?check:bool ->
-  ?wire_stats:bool ->
-  ?metrics:bool ->
-  ?digest:bool ->
-  ?sink:Obs.Sink.t ->
-  config:Omega.Config.t ->
-  scenario:Scenarios.Scenario.t ->
-  seed:int64 ->
-  unit ->
-  result
+(** [run ~env ~seed ()] executes one simulation of [env] under [spec]
+    (default {!Spec.default}).
+
+    The run owns its whole stack: a fresh engine seeded with [seed], the
+    scenario and network built by {!Scenarios.Env.build}, the cluster, and
+    — when [spec.plan] is non-empty — a {!Fault.Injector} compiled onto
+    the engine. All observers ([wire_stats], [check], [metrics], [digest],
+    [sink], the adaptive adversary's sink) compose under one
+    {!Obs.Sink.tee}; none perturbs the simulation, and with all off the
+    engine keeps its null sink (the whole layer costs one branch per event
+    site). An empty plan adds nothing to the event stream: digests of
+    plan-free runs are byte-identical to the pre-fault-API ones. *)
+val run : ?spec:Spec.t -> env:Scenarios.Env.t -> seed:int64 -> unit -> result
 
 (** Stabilization latency [stabilized_at] as float ms, or [nan]. *)
 val stabilization_ms : result -> float

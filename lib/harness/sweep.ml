@@ -9,25 +9,22 @@ type aggregate = {
   digests : int64 list;
   suspicion_churn : Dstruct.Stats.t;
   timer_fires : Dstruct.Stats.t;
+  re_elections : Dstruct.Stats.t;
 }
 
-let run ?(pool = Parallel.Pool.sequential) ?horizon ?crashes ?check
-    ?(metrics = false) ?(digest = false) ~seeds ~config ~scenario_of () =
+let run ?(pool = Parallel.Pool.sequential) ?spec ~seeds ~env_of () =
   (* Each seed's run is an independent simulation (own engine, RNG streams,
-     event queue — and its own obs sinks), so the runs fan out across the
-     pool; the fold below walks the results in seed-list order, so every
-     [Stats.add] happens in exactly the sequence the sequential code
-     produced — aggregates (and the digests list) are identical whatever
-     the pool size. *)
+     event queue — and its own obs sinks and fault injector), so the runs
+     fan out across the pool; the fold below walks the results in seed-list
+     order, so every [Stats.add] happens in exactly the sequence the
+     sequential code produced — aggregates (and the digests list) are
+     identical whatever the pool size. *)
   let results =
     Parallel.Pool.map pool
       (fun seed ->
-        let scenario = scenario_of seed in
-        let result =
-          Run.run ?horizon ?crashes ?check ~metrics ~digest ~config ~scenario
-            ~seed ()
-        in
-        (result, Scenarios.Scenario.center_at scenario max_int))
+        let env = env_of seed in
+        let result = Run.run ?spec ~env ~seed () in
+        (result, Scenarios.Env.center_at env max_int))
       seeds
   in
   let agg =
@@ -42,6 +39,7 @@ let run ?(pool = Parallel.Pool.sequential) ?horizon ?crashes ?check
       digests = [];
       suspicion_churn = Dstruct.Stats.create ();
       timer_fires = Dstruct.Stats.create ();
+      re_elections = Dstruct.Stats.create ();
     }
   in
   let agg =
@@ -53,6 +51,8 @@ let run ?(pool = Parallel.Pool.sequential) ?horizon ?crashes ?check
         Dstruct.Stats.add agg.messages (float_of_int result.Run.messages_sent);
         Dstruct.Stats.add agg.max_susp_level
           (float_of_int result.Run.max_susp_level);
+        Dstruct.Stats.add agg.re_elections
+          (float_of_int result.Run.re_elections);
         (match result.Run.metrics with
         | Some m ->
             Dstruct.Stats.add agg.suspicion_churn

@@ -11,32 +11,29 @@ type aggregate = {
   max_susp_level : Dstruct.Stats.t;
   violations : int;  (** total checker violations across runs *)
   digests : int64 list;
-      (** per-run digests in seed-list order, when [~digest:true] *)
+      (** per-run digests in seed-list order, when [spec.digest] *)
   suspicion_churn : Dstruct.Stats.t;
-      (** per-run SUSPICION increments, when [~metrics:true] *)
+      (** per-run SUSPICION increments, when [spec.metrics] *)
   timer_fires : Dstruct.Stats.t;  (** per-run timer fires, ditto *)
+  re_elections : Dstruct.Stats.t;  (** per-run agreed-leader changes *)
 }
 
-(** [run ~seeds ~config ~scenario_of ...] replicates {!Run.run}. Both the
-    engine seed and the scenario seed vary: [scenario_of seed] must build a
-    fresh scenario (plans are stateful).
+(** [run ~seeds ~env_of ()] replicates {!Run.run} under [spec] (default
+    {!Run.Spec.default}). Both the engine seed and the environment vary:
+    [env_of seed] picks the world for that seed — return a shared
+    environment for pure engine-seed replication, or derive the scenario
+    seed from [seed] to vary the adversary's plan too.
 
     [pool] (default {!Parallel.Pool.sequential}) fans the seeds out across
     domains; results are folded in seed-list order, so the aggregate —
-    including [digests] — is identical for every pool size.
-
-    [metrics]/[digest] (default false) thread through to {!Run.run}; each
-    pooled run owns its own sinks, like its RNG. *)
+    including [digests] — is identical for every pool size. Each pooled
+    run owns its whole stack (engine, sinks, fault injector), like its
+    RNG. *)
 val run :
   ?pool:Parallel.Pool.t ->
-  ?horizon:Sim.Time.t ->
-  ?crashes:(int * Sim.Time.t) list ->
-  ?check:bool ->
-  ?metrics:bool ->
-  ?digest:bool ->
+  ?spec:Run.Spec.t ->
   seeds:int64 list ->
-  config:Omega.Config.t ->
-  scenario_of:(int64 -> Scenarios.Scenario.t) ->
+  env_of:(int64 -> Scenarios.Env.t) ->
   unit ->
   aggregate
 

@@ -16,6 +16,13 @@ type 'm t = {
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  (* Fault-plan state, all inert by default: [groups.(i)] is process [i]'s
+     connectivity group while a partition is in force ([None] = connected),
+     and sends during a duplication burst ([now < dup_until]) schedule a
+     second delivery [dup_extra] later than the first. *)
+  mutable groups : int array option;
+  mutable dup_until : Sim.Time.t;
+  mutable dup_extra : Sim.Time.t;
 }
 
 let default_classify _ = Obs.Event.no_info
@@ -33,6 +40,9 @@ let create ?(classify = default_classify) engine ~n ~oracle =
     sent = 0;
     delivered = 0;
     dropped = 0;
+    groups = None;
+    dup_until = Sim.Time.zero;
+    dup_extra = Sim.Time.zero;
   }
 
 let n t = t.n
@@ -91,26 +101,42 @@ let dispatch t ~now ~traced ~info ~src ~dst msg =
   let sink = Sim.Engine.sink t.engine in
   if traced then
     Obs.Sink.emit_send sink ~now:(Sim.Time.to_us now) ~seq ~src ~dst info;
-  match t.oracle ~now ~seq ~src ~dst msg with
-  | Drop ->
-      t.dropped <- t.dropped + 1;
-      if traced then
-        Obs.Sink.emit_drop sink ~now:(Sim.Time.to_us now) ~seq ~src ~dst info
-  | Deliver_after delay ->
-      if Sim.Time.(delay < Sim.Time.zero) then
-        invalid_arg "Network.send: oracle returned negative delay";
-      let flight =
-        {
-          net = t;
-          sent_at = now;
-          fseq = seq;
-          fsrc = src;
-          fdst = dst;
-          fmsg = msg;
-          finfo = info;
-        }
-      in
-      Sim.Engine.call_after t.engine delay deliver flight
+  (* A partition cuts the link before the oracle is consulted: messages
+     across a group boundary are dropped without drawing delay randomness,
+     so the same plan gives the same stream whatever the oracle. *)
+  let cut =
+    match t.groups with Some g -> g.(src) <> g.(dst) | None -> false
+  in
+  if cut then begin
+    t.dropped <- t.dropped + 1;
+    if traced then
+      Obs.Sink.emit_drop sink ~now:(Sim.Time.to_us now) ~seq ~src ~dst info
+  end
+  else
+    match t.oracle ~now ~seq ~src ~dst msg with
+    | Drop ->
+        t.dropped <- t.dropped + 1;
+        if traced then
+          Obs.Sink.emit_drop sink ~now:(Sim.Time.to_us now) ~seq ~src ~dst info
+    | Deliver_after delay ->
+        if Sim.Time.(delay < Sim.Time.zero) then
+          invalid_arg "Network.send: oracle returned negative delay";
+        let flight =
+          {
+            net = t;
+            sent_at = now;
+            fseq = seq;
+            fsrc = src;
+            fdst = dst;
+            fmsg = msg;
+            finfo = info;
+          }
+        in
+        Sim.Engine.call_after t.engine delay deliver flight;
+        if Sim.Time.(now < t.dup_until) then
+          Sim.Engine.call_after t.engine
+            (Sim.Time.add delay t.dup_extra)
+            deliver flight
 
 let send t ~src ~dst msg =
   check_pid t src ~op:"send";
@@ -138,6 +164,23 @@ let broadcast t ~src msg =
 let crash t i =
   check_pid t i ~op:"crash";
   t.crashed.(i) <- true
+
+let recover t i =
+  check_pid t i ~op:"recover";
+  t.crashed.(i) <- false
+
+let set_partition t groups =
+  (match groups with
+  | Some g when Array.length g <> t.n ->
+      invalid_arg "Network.set_partition: groups must have length n"
+  | _ -> ());
+  t.groups <- groups
+
+let set_dup_burst t ~until ~extra =
+  if Sim.Time.(extra < Sim.Time.zero) then
+    invalid_arg "Network.set_dup_burst: negative extra delay";
+  t.dup_until <- until;
+  t.dup_extra <- extra
 
 let is_crashed t i =
   check_pid t i ~op:"is_crashed";

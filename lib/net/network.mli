@@ -55,10 +55,29 @@ val send : 'm t -> src:pid -> dst:pid -> 'm -> unit
     algorithms in the paper send "to each j <> i"). *)
 val broadcast : 'm t -> src:pid -> 'm -> unit
 
-(** [crash t i] halts process [i] immediately and permanently. *)
+(** [crash t i] halts process [i] immediately. A crashed process neither
+    sends nor receives until (and unless) {!recover} is called. *)
 val crash : 'm t -> pid -> unit
 
+(** [recover t i] lets a crashed process send and receive again. Messages
+    consumed while it was down stay lost (the paper's crash–recovery
+    discussion: only persisted process state survives, not the link). *)
+val recover : 'm t -> pid -> unit
+
 val is_crashed : 'm t -> pid -> bool
+
+(** [set_partition t (Some groups)] cuts every link whose endpoints are in
+    different connectivity groups ([Array.length groups] must be [n]);
+    messages on cut links are dropped {e before} the delay oracle runs, so
+    no delay randomness is drawn for them. [set_partition t None] heals.
+    In-flight messages scheduled before the cut still arrive (links lose
+    messages, they do not destroy ones already travelling). *)
+val set_partition : 'm t -> int array option -> unit
+
+(** [set_dup_burst t ~until ~extra] makes every send with [now < until]
+    deliver twice, the duplicate [extra] after the original — the fair-lossy
+    model's "finite duplication" exercised en masse (see {!Retransmit}). *)
+val set_dup_burst : 'm t -> until:Sim.Time.t -> extra:Sim.Time.t -> unit
 
 (** Ids of processes that have not crashed. *)
 val correct : 'm t -> pid list

@@ -15,12 +15,16 @@ type 'm t = {
   outgoing : 'm outgoing array;  (* indexed src*n + dst *)
   expected : int array;  (* receiver side: next in-order seq, per src*n+dst *)
   handlers : (src:pid -> 'm -> unit) option array;
+  max_pending : int;
   mutable delivered : int;
+  mutable shed : int;
 }
 
 let link t src dst = (src * t.n) + dst
 
-let create engine ~n ~oracle ~resend_every =
+let create ?(max_pending = 256) engine ~n ~oracle ~resend_every =
+  if max_pending <= 0 then
+    invalid_arg "Retransmit.create: max_pending must be positive";
   {
     net = Network.create engine ~n ~oracle;
     engine;
@@ -31,7 +35,9 @@ let create engine ~n ~oracle ~resend_every =
       Array.init (n * n) (fun _ -> { head_seq = 0; queue = Queue.create () });
     expected = Array.make (n * n) 0;
     handlers = Array.make n None;
+    max_pending;
     delivered = 0;
+    shed = 0;
   }
 
 let is_crashed t p = Network.is_crashed t.net p
@@ -109,8 +115,17 @@ let on_envelope t ~me ~src env =
 let send t ~src ~dst m =
   if not (is_crashed t src) then begin
     let out = t.outgoing.(link t src dst) in
-    Queue.push m out.queue;
-    transmit t ~src ~dst
+    (* Bound the unacknowledged queue: during a long partition the peer acks
+       nothing, and every envelope carries the whole queue, so an unbounded
+       queue means quadratic wire bytes and a retransmission storm at heal
+       time. Shedding must refuse the NEWEST payload — the receiver's
+       [expected] cursor only advances over a contiguous prefix, so dropping
+       the oldest unacked payload would wedge the link forever. *)
+    if Queue.length out.queue >= t.max_pending then t.shed <- t.shed + 1
+    else begin
+      Queue.push m out.queue;
+      transmit t ~src ~dst
+    end
   end
 
 let set_handler t p f = t.handlers.(p) <- Some f
@@ -139,8 +154,10 @@ let start t =
       { rt = t; me }
   done
 
+let set_partition t groups = Network.set_partition t.net groups
 let wire_sends t = Network.sent_count t.net
 let delivered t = t.delivered
+let shed t = t.shed
 
 let backlog t =
   Array.fold_left (fun acc out -> acc + Queue.length out.queue) 0 t.outgoing

@@ -26,8 +26,17 @@ type 'm envelope = {
 type 'm t
 
 (** [create engine ~n ~oracle ~resend_every] builds the layer and its
-    internal network. *)
+    internal network.
+
+    [max_pending] (default 256) bounds each directed link's unacknowledged
+    queue: once full — as happens under a long partition, when the peer acks
+    nothing — further [send]s on that link refuse the {e new} payload and
+    count it in {!shed} instead of queueing. Refusing the newest (rather
+    than evicting the oldest) keeps the queue a contiguous seq range, which
+    the receiver's in-order cursor requires; shed payloads are simply lost,
+    as on any fair-lossy link, and callers that need them re-offer. *)
 val create :
+  ?max_pending:int ->
   Sim.Engine.t ->
   n:int ->
   oracle:'m envelope Network.delay_oracle ->
@@ -42,6 +51,11 @@ val set_handler : 'm t -> pid -> (src:pid -> 'm -> unit) -> unit
 val crash : 'm t -> pid -> unit
 val is_crashed : 'm t -> pid -> bool
 
+(** Partition the internal network (see {!Network.set_partition}). The
+    retransmission tasks keep running, so queued payloads flow again as
+    soon as the partition heals. *)
+val set_partition : 'm t -> int array option -> unit
+
 (** Envelopes put on the wire (including retransmissions). *)
 val wire_sends : 'm t -> int
 
@@ -50,3 +64,6 @@ val delivered : 'm t -> int
 
 (** Current total backlog of unacknowledged payloads (boundedness probe). *)
 val backlog : 'm t -> int
+
+(** Payloads refused because their link's queue was at [max_pending]. *)
+val shed : 'm t -> int

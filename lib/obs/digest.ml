@@ -105,6 +105,15 @@ let add t ev =
       mix_int t now;
       mix_int t pid;
       mix_int t ballot
+  | Event.Partition { now; groups } ->
+      mix_int t now;
+      mix_int t groups
+  | Event.Recover { now; pid } ->
+      mix_int t now;
+      mix_int t pid
+  | Event.Adversary_move { now; target } ->
+      mix_int t now;
+      mix_int t target
 
 (* The scalar lane folds exactly what [add] folds for the corresponding
    event — same tag, same field order — without the event ever existing. *)

@@ -42,13 +42,19 @@ type t =
   | Leader_change of { now : int; pid : int; leader : int }
   | Ballot_open of { now : int; pid : int; ballot : int }
   | Decided of { now : int; pid : int; ballot : int }
+  | Partition of { now : int; groups : int }
+  | Recover of { now : int; pid : int }
+  | Adversary_move of { now : int; target : int }
 
 let c_engine = 1
 let c_timer = 2
 let c_net = 4
 let c_omega = 8
 let c_consensus = 16
-let all = c_engine lor c_timer lor c_net lor c_omega lor c_consensus
+let c_fault = 32
+
+let all =
+  c_engine lor c_timer lor c_net lor c_omega lor c_consensus lor c_fault
 
 let class_of = function
   | Sched _ | Fire _ | Cancel _ -> c_engine
@@ -56,6 +62,7 @@ let class_of = function
   | Send _ | Deliver _ | Drop _ | Duplicate _ -> c_net
   | Round_open _ | Round_close _ | Suspicion _ | Leader_change _ -> c_omega
   | Ballot_open _ | Decided _ -> c_consensus
+  | Partition _ | Recover _ | Adversary_move _ -> c_fault
 
 let name = function
   | Sched _ -> "sched"
@@ -72,6 +79,9 @@ let name = function
   | Leader_change _ -> "leader_change"
   | Ballot_open _ -> "ballot_open"
   | Decided _ -> "decided"
+  | Partition _ -> "partition"
+  | Recover _ -> "recover"
+  | Adversary_move _ -> "adversary_move"
 
 (* Small integer tags for digesting; must stay stable across PRs or pinned
    digests in tests/CI change meaning. Append-only. The named constants are
@@ -96,6 +106,9 @@ let tag = function
   | Leader_change _ -> 12
   | Ballot_open _ -> 13
   | Decided _ -> 14
+  | Partition _ -> 15
+  | Recover _ -> 16
+  | Adversary_move _ -> 17
 
 let time = function
   | Sched { now; _ }
@@ -111,7 +124,10 @@ let time = function
   | Suspicion { now; _ }
   | Leader_change { now; _ }
   | Ballot_open { now; _ }
-  | Decided { now; _ } -> now
+  | Decided { now; _ }
+  | Partition { now; _ }
+  | Recover { now; _ }
+  | Adversary_move { now; _ } -> now
 
 let pp ppf ev =
   match ev with
@@ -144,6 +160,11 @@ let pp ppf ev =
       Format.fprintf ppf "[%d] p%d ballot_open b=%d" now pid ballot
   | Decided { now; pid; ballot } ->
       Format.fprintf ppf "[%d] p%d decided b=%d" now pid ballot
+  | Partition { now; groups } ->
+      Format.fprintf ppf "[%d] partition groups=%d" now groups
+  | Recover { now; pid } -> Format.fprintf ppf "[%d] p%d recovered" now pid
+  | Adversary_move { now; target } ->
+      Format.fprintf ppf "[%d] adversary target=%d" now target
 
 (* One JSON object per event, written without a trailing newline. All field
    values are ints or static ASCII kind strings, so no escaping is needed. *)
@@ -202,5 +223,8 @@ let to_json buf ev =
       field buf "leader" leader
   | Ballot_open { pid; ballot; _ } | Decided { pid; ballot; _ } ->
       field buf "pid" pid;
-      field buf "ballot" ballot);
+      field buf "ballot" ballot
+  | Partition { groups; _ } -> field buf "groups" groups
+  | Recover { pid; _ } -> field buf "pid" pid
+  | Adversary_move { target; _ } -> field buf "target" target);
   add_string buf "}"

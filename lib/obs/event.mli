@@ -61,6 +61,13 @@ type t =
   | Ballot_open of { now : int; pid : int; ballot : int }
   | Decided of { now : int; pid : int; ballot : int }
       (** [ballot = -1] when learned from a DECIDE relay *)
+  | Partition of { now : int; groups : int }
+      (** fault plan: the partition in force changed; [groups] is the number
+          of connectivity groups ([1] = fully healed) *)
+  | Recover of { now : int; pid : int }
+      (** fault plan: a crashed process rejoined with its persisted state *)
+  | Adversary_move of { now : int; target : int }
+      (** the adaptive adversary re-targeted its victim blocks at [target] *)
 
 (** {2 Event classes}
 
@@ -73,6 +80,7 @@ val c_timer : int
 val c_net : int
 val c_omega : int
 val c_consensus : int
+val c_fault : int
 
 (** Union of every class. *)
 val all : int

@@ -19,6 +19,9 @@ type t = {
   mutable leader_changes : int;
   mutable ballots : int;
   mutable decisions : int;
+  mutable partitions : int;
+  mutable recoveries : int;
+  mutable adversary_moves : int;
 }
 
 (* Counters + one delay histogram: everything the sink touches is O(1) per
@@ -38,6 +41,9 @@ let create ?(mask = Event.all) () =
     leader_changes = 0;
     ballots = 0;
     decisions = 0;
+    partitions = 0;
+    recoveries = 0;
+    adversary_moves = 0;
   }
 
 let kind_cell t kind =
@@ -72,6 +78,9 @@ let add t ev =
   | Event.Leader_change _ -> t.leader_changes <- t.leader_changes + 1
   | Event.Ballot_open _ -> t.ballots <- t.ballots + 1
   | Event.Decided _ -> t.decisions <- t.decisions + 1
+  | Event.Partition _ -> t.partitions <- t.partitions + 1
+  | Event.Recover _ -> t.recoveries <- t.recoveries + 1
+  | Event.Adversary_move _ -> t.adversary_moves <- t.adversary_moves + 1
 
 let sink t = Sink.make ~mask:t.mask (add t)
 
@@ -101,6 +110,9 @@ let suspicion_increments t = t.suspicion_increments
 let leader_changes t = t.leader_changes
 let ballots t = t.ballots
 let decisions t = t.decisions
+let partitions t = t.partitions
+let recoveries t = t.recoveries
+let adversary_moves t = t.adversary_moves
 let delivery_delay_us t = t.delivery_delay_us
 
 let pp_summary ppf t =
@@ -118,6 +130,9 @@ let pp_summary ppf t =
     t.rounds_closed t.suspicion_increments t.leader_changes t.timer_fires;
   if t.ballots > 0 || t.decisions > 0 then
     Format.fprintf ppf "@,ballots=%d decisions=%d" t.ballots t.decisions;
+  if t.partitions > 0 || t.recoveries > 0 || t.adversary_moves > 0 then
+    Format.fprintf ppf "@,faults: partitions=%d recoveries=%d adversary=%d"
+      t.partitions t.recoveries t.adversary_moves;
   if t.scheduled > 0 then
     Format.fprintf ppf "@,engine: scheduled=%d fired=%d cancelled=%d"
       t.scheduled t.fired t.cancelled;

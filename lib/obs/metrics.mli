@@ -42,6 +42,13 @@ val leader_changes : t -> int
 val ballots : t -> int
 val decisions : t -> int
 
+(** {2 Fault-plan counters} *)
+
+val partitions : t -> int
+
+val recoveries : t -> int
+val adversary_moves : t -> int
+
 (** Transfer delays of delivered messages, in microseconds. *)
 val delivery_delay_us : t -> Dstruct.Stats.t
 

@@ -22,6 +22,13 @@ let crash_at t p time =
     (Sim.Engine.schedule_at t.engine time (fun () ->
          Net.Network.crash t.net p))
 
+let recover t p =
+  Net.Network.recover t.net p;
+  Node.recover t.nodes.(p)
+
+let recover_at t p time =
+  ignore (Sim.Engine.schedule_at t.engine time (fun () -> recover t p))
+
 let leaders t =
   List.map
     (fun p -> (p, Node.leader t.nodes.(p)))

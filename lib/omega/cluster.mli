@@ -17,6 +17,14 @@ val n : t -> int
 (** [crash_at t p time] schedules a crash of process [p]. *)
 val crash_at : t -> pid -> Sim.Time.t -> unit
 
+(** [recover t p] rejoins crashed process [p] immediately: un-crashes the
+    network endpoint, then restarts the node with its persisted state
+    ({!Node.recover}). *)
+val recover : t -> pid -> unit
+
+(** [recover_at t p time] schedules a {!recover}. *)
+val recover_at : t -> pid -> Sim.Time.t -> unit
+
 (** Current [leader ()] output of every non-crashed process. *)
 val leaders : t -> (pid * pid) list
 

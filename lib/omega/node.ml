@@ -41,6 +41,15 @@ type t = {
   (* Last leader estimate reported on the obs sink. Only consulted (and only
      kept current) while a sink wants omega events; [leader] stays pure. *)
   mutable last_leader : pid;
+  (* Crash–recovery state (inert unless [recover] is called). [catch_up]
+     marks a freshly recovered process whose [r_rn] is stale: rec_from for
+     those old rounds can never reach [alpha] again (the peers moved on), so
+     the next ALIVE from a live round re-seats [r_rn] there. [sending_epoch]
+     invalidates the previous incarnation's sending task: a pending
+     pre-crash event would otherwise find [halted () = false] after recovery
+     and resume, duplicating the loop [recover] restarts. *)
+  mutable catch_up : bool;
+  mutable sending_epoch : int;
   (* observers *)
   mutable current_timeout : Sim.Time.t;
   mutable max_timeout_armed : Sim.Time.t;
@@ -140,6 +149,12 @@ let fresh_suspicions t () =
     credited = Array.make t.cfg.Config.n false;
   }
 
+(* How far past the delivered-tag frontier a catch-up re-seats [r_rn]: must
+   exceed the number of ALIVE tags a sender can have in flight (delay bound
+   over minimum send period — some tens of ms over ~8 ms here). Rounds are
+   ~10 ms, so the skip costs a recovered process well under a second. *)
+let catch_up_margin = 32
+
 (* Lines 9-12, fired once the conjunction of line 8 holds. *)
 let rec try_close_round t =
   if not (halted t) then begin
@@ -178,6 +193,16 @@ let rec try_close_round t =
           (Obs.Event.Round_open { now; pid = t.me; rn = t.r_rn + 1 })
       end;
       t.r_rn <- t.r_rn + 1;
+      (* A catch-up (see [on_alive]) is complete only once the node closes
+         rounds *at the live frontier*. A recovered process often replays a
+         stretch of pre-crash buffered rounds first — those closes say
+         nothing about reaching the senders, so clearing on them would leave
+         the node stranded at the first buffer gap. *)
+      if t.catch_up then begin
+        match Dstruct.Rounds.max_round t.rec_from with
+        | Some m when m > t.r_rn + catch_up_margin -> ()
+        | Some _ | None -> t.catch_up <- false
+      end;
       arm_timer t;
       prune t;
       (* The next round may already satisfy line 8 if the timeout was zero
@@ -201,6 +226,50 @@ let on_alive t ~src rn sl =
   for k = 0 to t.cfg.Config.n - 1 do
     if sl.(k) > t.susp_level.(k) then raise_level t k sl.(k)
   done;
+  (* Recovery catch-up: resume receiving past the live frontier. Waiting for
+     the stale [r_rn] to close would block forever — line 8 needs [alpha]
+     ALIVEs tagged with that round, and no correct process sends them
+     anymore. Re-seating at [rn] itself is equally wrong: send jitter spreads
+     the senders' current tags over tens of rounds (and [rn] may even be a
+     stale victim-delayed tag), so if fewer than [alpha] senders still have
+     the target round ahead of them it can never close either. The target is
+     therefore placed [catch_up_margin] past the highest tag ever delivered
+     ([rec_from]'s max — the leading sender's position minus in-flight
+     messages, which the margin covers): every sender then still has the
+     whole target round ahead of it, and the quorum must fill. The flag
+     stays armed until a round demonstrably closes at the frontier
+     ({!try_close_round}): one re-seat can still land short when the first
+     evidence itself was stale, and new evidence (a tag a full margin past
+     [r_rn]) then re-fires the jump. Requiring a margin-sized gap keeps a
+     successfully re-seated node from chasing the senders it now trails by
+     design. *)
+  if t.catch_up && rn > t.r_rn + catch_up_margin then begin
+    let frontier =
+      match Dstruct.Rounds.max_round t.rec_from with
+      | Some m -> max m rn
+      | None -> rn
+    in
+    t.r_rn <- frontier + catch_up_margin;
+    (* The paper has one round counter; this rendering paces [s_rn] and
+       [r_rn] independently, so a recovered process would otherwise resume
+       broadcasting tags from before the crash — all below its peers'
+       receiving rounds, hence discarded, leaving it suspected for as long
+       as its stale sending round needs to overtake them. Re-seat the
+       sending side with the receiving side: the skipped tags were never
+       sent and cannot be retroactively useful to anyone. *)
+    if t.s_rn < t.r_rn then t.s_rn <- t.r_rn;
+    let sink = Sim.Engine.sink t.engine in
+    if Obs.Sink.wants sink Obs.Event.c_omega then
+      Obs.Sink.emit sink
+        (Obs.Event.Round_open
+           {
+             now = Sim.Time.to_us (Sim.Engine.now t.engine);
+             pid = t.me;
+             rn = t.r_rn;
+           });
+    arm_timer t;
+    prune t
+  end;
   if rn >= t.r_rn then begin
     let received =
       Dstruct.Rounds.find_or_add t.rec_from rn ~default:(fresh_rec_from t)
@@ -271,10 +340,13 @@ let on_message t ~src msg =
   end
 
 (* Lines 1-3 (task T1): consecutive broadcasts at most [beta] apart. The
-   task re-posts itself packed ([call_after] with [t] as the argument), so
-   the periodic loop allocates no closures. *)
-let rec sending_task t =
-  if not (halted t) then begin
+   task re-posts itself packed ([call_after] with one record per incarnation
+   as the argument), so the periodic loop allocates no closures. The epoch
+   check retires tasks of previous incarnations after a recovery. *)
+type task = { node : t; epoch : int }
+
+let rec sending_task ({ node = t; epoch } as task) =
+  if (not (halted t)) && epoch = t.sending_epoch then begin
     t.s_rn <- t.s_rn + 1;
     let msg =
       Message.Alive { rn = t.s_rn; susp_level = Array.copy t.susp_level }
@@ -288,7 +360,7 @@ let rec sending_task t =
       int_of_float (float_of_int beta_us *. (1. -. t.cfg.Config.send_jitter))
     in
     let period = Dstruct.Rng.int_in t.rng (max 1 low) beta_us in
-    Sim.Engine.call_after t.engine (Sim.Time.of_us period) sending_task t
+    Sim.Engine.call_after t.engine (Sim.Time.of_us period) sending_task task
   end
 
 let create_with_transport cfg (tr : transport) ~me =
@@ -313,6 +385,8 @@ let create_with_transport cfg (tr : transport) ~me =
       cached_min_susp = 0;
       min_susp_stale = false;
       last_leader = 0;
+      catch_up = false;
+      sending_epoch = 0;
       current_timeout = cfg.Config.initial_timeout;
       max_timeout_armed = cfg.Config.initial_timeout;
       max_susp_seen = 0;
@@ -342,7 +416,30 @@ let start t =
   (* Processes start their sending tasks at unrelated instants (§3: no
      relation between send times of different processes). *)
   let offset = Dstruct.Rng.int t.rng (max 1 (Sim.Time.to_us t.cfg.Config.beta)) in
-  Sim.Engine.call_after t.engine (Sim.Time.of_us offset) sending_task t
+  Sim.Engine.call_after t.engine (Sim.Time.of_us offset) sending_task
+    { node = t; epoch = t.sending_epoch }
+
+(* Crash–recovery (paper §1.3): the process rejoins with its persisted
+   state — [susp_level], round counters, suspicion history all survive the
+   crash untouched; only [r_rn] is re-seated by the catch-up rule above.
+   The caller must un-crash the transport first ([Net.Network.recover]). *)
+let recover t =
+  t.catch_up <- true;
+  t.sending_epoch <- t.sending_epoch + 1;
+  Sim.Timer.set (timer_exn t) t.cfg.Config.initial_timeout;
+  let offset = Dstruct.Rng.int t.rng (max 1 (Sim.Time.to_us t.cfg.Config.beta)) in
+  Sim.Engine.call_after t.engine (Sim.Time.of_us offset) sending_task
+    { node = t; epoch = t.sending_epoch }
+
+(* A partition survivor can strand the same way a crashed process does, only
+   slower: sending rounds run ahead of receiving rounds, so [rec_from] holds a
+   deep buffer of future-tagged ALIVEs and the node keeps closing rounds from
+   it long after the cut. The rounds whose ALIVEs were sent *during* the cut
+   form a gap that buffer never covers — when [r_rn] reaches the first gap
+   round, line 8's quorum is unreachable forever. The heal therefore re-seats
+   [r_rn] with the same catch-up rule recovery uses; the sending task never
+   stopped, so nothing else needs restarting. *)
+let resync t = t.catch_up <- true
 
 let susp_level t = Array.copy t.susp_level
 let sending_round t = t.s_rn

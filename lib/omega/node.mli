@@ -59,6 +59,27 @@ val handle : t -> src:pid -> Message.t -> unit
 (** Schedules the first ALIVE broadcast and arms the initial timer. *)
 val start : t -> unit
 
+(** [recover t] rejoins a crashed process with its persisted state (the
+    paper's crash–recovery discussion, §1.3): [susp_level], sending round
+    and suspicion history all survive untouched. Two recovery rules keep the
+    algorithm live: (1) the stale receiving round can never close again
+    (line 8 needs [alpha] ALIVEs tagged with it, and the correct processes
+    have moved on), so the node re-seats [r_rn] at the first live round an
+    incoming ALIVE exhibits; (2) the previous incarnation's sending task is
+    retired by an epoch counter, so a pre-crash pending event cannot
+    duplicate the loop this call restarts. The caller must un-crash the
+    transport first ({!Net.Network.recover}); see {!Cluster.recover}. *)
+val recover : t -> unit
+
+(** [resync t] applies recovery rule (1) alone — re-seat the receiving round
+    at the next live round an incoming ALIVE exhibits — to a process that
+    never crashed. A partition survivor needs it: ALIVEs tagged with rounds
+    sent while its links were cut are gone for good, so once its (buffered)
+    receiving round reaches that gap, line 8's quorum is unreachable forever.
+    The fault injector calls this on heal for every process whose group was
+    too small to retain an [alpha]-quorum; plan-free runs never reach it. *)
+val resync : t -> unit
+
 (** Line 19-21: the current leader estimate. *)
 val leader : t -> pid
 

@@ -9,15 +9,17 @@ type report = {
   points_winning : int;
   points_crashed : int;
   points_skipped : int;
+  rounds_masked : int;
   violations : violation list;
 }
 
 let pp_report ppf r =
   Format.fprintf ppf
     "rounds=%d points=%d timely=%d winning=%d crashed=%d skipped=%d \
-     violations=%d"
+     masked=%d violations=%d"
     r.rounds_checked r.points_checked r.points_timely r.points_winning
-    r.points_crashed r.points_skipped (List.length r.violations)
+    r.points_crashed r.points_skipped r.rounds_masked
+    (List.length r.violations)
 
 type arrival = { src : pid; sent_at : Sim.Time.t; received_at : Sim.Time.t }
 
@@ -71,7 +73,7 @@ let center_arrival t ~q ~rn ~center =
       in
       scan 1 in_order
 
-let verify t ~upto_round ~crashed =
+let verify ?(masked = fun _ -> false) t ~upto_round ~crashed =
   let p = Scenario.params t.scenario in
   let winning_rank = p.Scenario.n - p.Scenario.t in
   let rounds_checked = ref 0 in
@@ -80,13 +82,19 @@ let verify t ~upto_round ~crashed =
   let winning = ref 0 in
   let crashed_ok = ref 0 in
   let skipped = ref 0 in
+  let masked_rounds = ref 0 in
   let violations = ref [] in
   (match Scenario.center t.scenario with
   | None -> ()
   | Some _ ->
       for rn = p.Scenario.rn0 to upto_round do
         let center = Option.get (Scenario.center_at t.scenario rn) in
-        if Scenario.in_s t.scenario rn then begin
+        (* Fault plans suspend the assumption: a round whose messages could
+           be in flight during a partition or crash window is excused (the
+           paper's assumptions are promises about eventually-good periods,
+           and a partition is by construction not one). *)
+        if masked rn then incr masked_rounds
+        else if Scenario.in_s t.scenario rn then begin
           incr rounds_checked;
           List.iter
             (fun (q, _mode) ->
@@ -144,5 +152,6 @@ let verify t ~upto_round ~crashed =
     points_winning = !winning;
     points_crashed = !crashed_ok;
     points_skipped = !skipped;
+    rounds_masked = !masked_rounds;
     violations = List.rev !violations;
   }

@@ -35,6 +35,7 @@ type report = {
   points_winning : int;  (** satisfied via A2(3) but not A2(2) *)
   points_crashed : int;  (** satisfied via A2(1) *)
   points_skipped : int;  (** not judgeable (round incomplete at horizon) *)
+  rounds_masked : int;  (** excused by the caller's [masked] predicate *)
   violations : violation list;
 }
 
@@ -52,5 +53,10 @@ val sink : t -> Obs.Sink.t
 
 (** [verify t ~upto_round ~crashed] checks every [s ∈ S] with
     [rn0 <= s <= upto_round]. [crashed q] must say whether [q] crashed
-    during the run. *)
-val verify : t -> upto_round:int -> crashed:(pid -> bool) -> report
+    during the run. [masked rn] (default: never) excuses round [rn]
+    entirely — used by fault plans for rounds whose messages could be in
+    flight during a partition or crash–recovery window, when the
+    assumption's promise is deliberately suspended (see
+    [Harness.Run]). Masked rounds are counted in [rounds_masked]. *)
+val verify :
+  ?masked:(int -> bool) -> t -> upto_round:int -> crashed:(pid -> bool) -> report

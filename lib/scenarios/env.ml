@@ -1,0 +1,75 @@
+type pid = int
+
+type t = {
+  config : Omega.Config.t;
+  params : Scenario.params;
+  regime : Scenario.regime;
+  scenario_seed : int64;
+  lossy : (float * int) option;
+  classify : Omega.Message.t -> Obs.Event.msg_info;
+}
+
+let make ?params ?lossy ?(classify = Omega.Message.info)
+    ?(scenario_seed = 42L) config regime =
+  Omega.Config.validate config;
+  let params =
+    match params with
+    | Some p -> p
+    | None ->
+        Scenario.default_params ~n:config.Omega.Config.n
+          ~t:(config.Omega.Config.n - config.Omega.Config.alpha)
+          ~beta:config.Omega.Config.beta
+  in
+  (* The consistency checks hand-wired setups kept getting wrong, now
+     rejected in one place before anything runs. *)
+  if params.Scenario.n <> config.Omega.Config.n then
+    invalid_arg "Env.make: params.n differs from config.n";
+  if config.Omega.Config.alpha <> params.Scenario.n - params.Scenario.t then
+    invalid_arg "Env.make: config.alpha must equal n - t";
+  if params.Scenario.beta <> config.Omega.Config.beta then
+    invalid_arg "Env.make: params.beta differs from config.beta";
+  (match lossy with
+  | Some (loss, burst) ->
+      if loss < 0. || loss >= 1. then
+        invalid_arg "Env.make: loss must be in [0, 1)";
+      if burst < 1 then invalid_arg "Env.make: burst must be >= 1"
+  | None -> ());
+  (* Surface regime errors (center range, failover switch <= rn0) eagerly
+     rather than at first [build] inside a pool task. *)
+  ignore (Scenario.create params regime ~seed:scenario_seed);
+  { config; params; regime; scenario_seed; lossy; classify }
+
+let config t = t.config
+let params t = t.params
+let regime t = t.regime
+let scenario_seed t = t.scenario_seed
+let center t = Scenario.center_of_regime t.regime
+let center_at t rn = Scenario.center_at_round t.regime rn
+
+(* Fresh per engine: scenarios and networks hold run-local mutable state
+   (plan memoization, counters, fault surfaces), so a pool task must build
+   its own from the shared immutable [t]. The lossy RNG is split off the
+   engine only when a wrapper is requested — a lossless [build] leaves the
+   engine's stream exactly where hand-wiring left it, which keeps plan-free
+   digests byte-identical across the API migration. *)
+let build t engine =
+  let scenario =
+    Scenario.create t.params t.regime ~seed:t.scenario_seed
+  in
+  let oracle = Scenario.oracle scenario ~round_of:Scenario.round_of_omega in
+  let oracle =
+    match t.lossy with
+    | None -> oracle
+    | Some (loss, burst) ->
+        Net.Lossy.wrap ~loss ~burst
+          ~rng:(Dstruct.Rng.split (Sim.Engine.rng engine))
+          ~n:t.config.Omega.Config.n oracle
+  in
+  let net =
+    Net.Network.create ~classify:t.classify engine
+      ~n:t.config.Omega.Config.n ~oracle
+  in
+  (scenario, net)
+
+let describe t =
+  Scenario.describe (Scenario.create t.params t.regime ~seed:t.scenario_seed)

@@ -1,0 +1,59 @@
+(** Validated run environment: everything about a simulated world except
+    the engine seed and the fault plan.
+
+    [Env.make] assembles algorithm config, scenario regime and params,
+    optional fair-lossy wrapper and message classifier in one step, and
+    rejects inconsistent combinations ([params.n <> config.n],
+    [alpha <> n - t], mismatched [beta], out-of-range loss, bad regime
+    centers) up front — the checks hand-wired setups kept scattering over
+    [Network.create] + [Lossy.wrap] + oracle plumbing in three different
+    orders. An [Env.t] is immutable and shareable; [build] instantiates
+    the run-local scenario and network for one engine (pool tasks each
+    build their own, per the engine-local-state rule).
+
+    Fault plans deliberately ride [Harness.Run.Spec], not the environment:
+    [Fault] sits above [Scenarios] in the library order (the adaptive
+    adversary drives {!Scenario.set_victim_override}), so this module
+    cannot name {!Fault.Plan.t} — and a plan is per-run churn, not part of
+    the world's definition. *)
+
+type pid = int
+type t
+
+(** [make config regime] validates and freezes an environment.
+
+    [params] default to
+    [Scenario.default_params ~n ~t:(n - alpha) ~beta] derived from
+    [config]; [lossy] is an optional [(loss, burst)] pair for
+    {!Net.Lossy.wrap}; [classify] (default {!Omega.Message.info}) feeds
+    the network's observability events; [scenario_seed] (default [42L])
+    fixes the scenario plan, independently of any run seed.
+    Raises [Invalid_argument] on any inconsistency. *)
+val make :
+  ?params:Scenario.params ->
+  ?lossy:float * int ->
+  ?classify:(Omega.Message.t -> Obs.Event.msg_info) ->
+  ?scenario_seed:int64 ->
+  Omega.Config.t ->
+  Scenario.regime ->
+  t
+
+val config : t -> Omega.Config.t
+val params : t -> Scenario.params
+val regime : t -> Scenario.regime
+val scenario_seed : t -> int64
+
+(** The regime's center (initial one for [Failover]); no scenario needed. *)
+val center : t -> pid option
+
+(** The center in charge of round [rn]. *)
+val center_at : t -> int -> pid option
+
+(** [build t engine] instantiates the scenario and network for one engine.
+    Both are run-local: call once per simulation stack. When [lossy] is
+    set, one RNG stream is split off the engine for the wrapper; a
+    lossless build draws nothing from the engine. *)
+val build :
+  t -> Sim.Engine.t -> Scenario.t * Omega.Message.t Net.Network.t
+
+val describe : t -> string

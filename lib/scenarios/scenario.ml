@@ -81,6 +81,13 @@ type t = {
   mutable s_next : int;  (* next round to be put in S (intermittent) *)
   mutable block_starts : int array;  (* block_starts.(k) = first rn of block k *)
   mutable blocks : int;  (* number of valid entries in block_starts *)
+  (* Adaptive adversary hook (Fault.Injector): when >= 0, this process is
+     the victim instead of the block rotation — its ALIVEs are delayed
+     beyond the horizon to every receiver. The assumption's protected
+     arms (timely/winning star points) are untouched, so under A'-style
+     regimes the adversary can chase leaders but never violate the
+     promise about the center. *)
+  mutable victim_override : pid;
 }
 
 (* The center in charge of round [rn] (failover switches centers). *)
@@ -169,12 +176,20 @@ let create p regime ~seed =
     s_next = p.rn0;
     block_starts;
     blocks = 1;
+    victim_override = -1;
   }
 
 let params t = t.p
 let regime t = t.regime
 let center t = center_of_regime t.regime
 let center_at t rn = center_at_round t.regime rn
+
+let set_victim_override t p =
+  if p < -1 || p >= t.p.n then
+    invalid_arg "Scenario.set_victim_override: pid out of range";
+  t.victim_override <- p
+
+let victim_override t = t.victim_override
 
 let fresh_rotating_q t ~center =
   Array.of_list
@@ -426,7 +441,10 @@ let mode_of_point plan dst =
    asynchronous. [center] is [-1] for the center-less regimes (the option
    box would cost two words per message on the oracle path). *)
 let background_delay t ~now ~src ~center rn =
-  if rn < t.p.rn0 then
+  if t.victim_override >= 0 then
+    if src = t.victim_override then victim_delay_us t rn
+    else async_delay t ~now
+  else if rn < t.p.rn0 then
     if src = victim_all t rn then victim_delay_us t rn else async_delay t ~now
   else if center < 0 then
     if src = victim_all t rn then victim_delay_us t rn else async_delay t ~now
@@ -454,15 +472,20 @@ let alive_delay t ~now ~src ~dst rn =
             winning_competitor_delay t ~now ~base rn
         | Some Timely | None ->
             if src = center then begin
-              match t.regime with
-              | Message_pattern _ | Growing_star _ ->
-                  (* The purely time-free adversary: outside the star's
-                     points the center's messages are arbitrarily late, so
-                     nothing timer-based can be learned about it. (Round
-                     closure still reaches n-t ALIVEs: the receiver itself
-                     plus the n-2-t other non-victim senders.) *)
-                  victim_delay_us t rn
-              | _ -> async_delay t ~now
+              if t.victim_override = center then
+                (* Adaptive adversary targeting the center: only its
+                   non-protected messages can be delayed. *)
+                victim_delay_us t rn
+              else
+                match t.regime with
+                | Message_pattern _ | Growing_star _ ->
+                    (* The purely time-free adversary: outside the star's
+                       points the center's messages are arbitrarily late, so
+                       nothing timer-based can be learned about it. (Round
+                       closure still reaches n-t ALIVEs: the receiver itself
+                       plus the n-2-t other non-victim senders.) *)
+                    victim_delay_us t rn
+                | _ -> async_delay t ~now
             end
             else background_delay t ~now ~src ~center rn
       end

@@ -113,6 +113,25 @@ val center : t -> pid option
     [Failover] switch). *)
 val center_at : t -> int -> pid option
 
+(** {!center} / {!center_at} as pure functions of the regime, for callers
+    (e.g. {!Env}) that have not instantiated a scenario. *)
+val center_of_regime : regime -> pid option
+
+val center_at_round : regime -> int -> pid option
+
+(** [set_victim_override t p] redirects the adversary at process [p]: from
+    now on [p]'s ALIVEs are victim-delayed to every receiver and the block
+    rotation is suspended, until [set_victim_override t (-1)] restores it.
+    The assumption's protected arms are untouched — a timely or winning
+    star point of the center stays timely or winning even when the center
+    is the target — so an adaptive adversary ({!Fault.Injector}) can chase
+    leaders without ever violating the regime's promise. Raises
+    [Invalid_argument] unless [-1 <= p < n]. *)
+val set_victim_override : t -> pid -> unit
+
+(** Current override, [-1] when the block rotation is in force. *)
+val victim_override : t -> pid
+
 (** Is round [rn] in the constrained sequence [S]? (True for every
     [rn >= rn0] in non-intermittent regimes.) *)
 val in_s : t -> int -> bool

@@ -103,15 +103,14 @@ let test_sweep_aggregates () =
   let n = 5 and t = 2 in
   let config = Omega.Config.default ~n ~t Omega.Config.Fig3 in
   let agg =
-    Harness.Sweep.run ~horizon:(sec 15)
-      ~crashes:[ (0, sec 3) ]
+    Harness.Sweep.run
+      ~spec:
+        Harness.Run.Spec.(
+          default |> with_horizon (sec 15) |> with_crashes [ (0, sec 3) ])
       ~seeds:[ 1L; 2L; 3L ]
-      ~config
-      ~scenario_of:(fun seed ->
-        Scenarios.Scenario.create
-          (Scenarios.Scenario.default_params ~n ~t ~beta:(ms 10))
-          (Scenarios.Scenario.Rotating_star { center = 3 })
-          ~seed)
+      ~env_of:(fun seed ->
+        Scenarios.Env.make ~scenario_seed:seed config
+          (Scenarios.Scenario.Rotating_star { center = 3 }))
       ()
   in
   check Alcotest.int "three runs" 3 agg.Harness.Sweep.runs;

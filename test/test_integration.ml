@@ -11,12 +11,16 @@ let ms = Sim.Time.of_ms
 module Scenario = Scenarios.Scenario
 
 let run ?(n = 8) ?(t = 3) ?(horizon = sec 30) ?(crashes = [ (0, sec 5) ])
-    ?wire_stats ?config_tweak variant regime =
+    ?(wire_stats = false) ?config_tweak variant regime =
   let config = Omega.Config.default ~n ~t variant in
   let config = match config_tweak with Some f -> f config | None -> config in
-  let params = Scenario.default_params ~n ~t ~beta:(ms 10) in
-  let scenario = Scenario.create params regime ~seed:42L in
-  Harness.Run.run ~horizon ~crashes ?wire_stats ~config ~scenario ~seed:7L ()
+  let env = Scenarios.Env.make config regime in
+  let spec =
+    Harness.Run.Spec.(
+      default |> with_horizon horizon |> with_crashes crashes
+      |> with_wire_stats wire_stats)
+  in
+  Harness.Run.run ~spec ~env ~seed:7L ()
 
 let stabilized result = result.Harness.Run.stabilized_at <> None
 

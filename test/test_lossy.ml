@@ -132,6 +132,44 @@ let test_retransmit_no_loss_low_overhead () =
      flight. *)
   check bool_t "bounded overhead" true (Net.Retransmit.wire_sends layer < 450)
 
+let test_retransmit_partition_bounds_queue () =
+  (* Regression for the unbounded-backlog bug: during a 10-sim-s partition
+     the sender keeps producing payloads, and before the [max_pending]
+     bound its per-link queue (and the piggyback envelope size) grew
+     without limit. Now the newest payload is refused once the queue is
+     full — dropping the oldest instead would wedge the receiver's
+     in-order cursor forever — and traffic resumes after the heal. *)
+  let engine = Sim.Engine.create ~seed:3L () in
+  let layer =
+    Net.Retransmit.create engine ~max_pending:64 ~n:2 ~oracle:(flat 100)
+      ~resend_every:(ms 5)
+  in
+  Net.Retransmit.start layer;
+  let received = ref 0 and last = ref 0 and in_order = ref true in
+  Net.Retransmit.set_handler layer 1 (fun ~src:_ m ->
+      incr received;
+      if m <= !last then in_order := false;
+      last := m);
+  Net.Retransmit.set_partition layer (Some [| 0; 1 |]);
+  ignore
+    (Sim.Engine.schedule_at engine (Sim.Time.of_sec 10) (fun () ->
+         Net.Retransmit.set_partition layer None));
+  (* One payload per 10 ms for 20 sim-s: 1000 into the partition, 1000
+     after the heal. *)
+  let rec feed i () =
+    Net.Retransmit.send layer ~src:0 ~dst:1 i;
+    if i < 2000 then ignore (Sim.Engine.schedule_after engine (ms 10) (feed (i + 1)))
+  in
+  feed 1 ();
+  Sim.Engine.run_until engine (Sim.Time.of_sec 30);
+  let shed = Net.Retransmit.shed layer in
+  check bool_t "the bound shed most of the partition's payloads" true
+    (shed > 800);
+  check int_t "every accepted payload delivered after the heal"
+    (2000 - shed) !received;
+  check bool_t "delivered in submission order" true !in_order;
+  check int_t "queues drained" 0 (Net.Retransmit.backlog layer)
+
 (* ---------------------------- omega over fair-lossy links (footnote 2) *)
 
 let test_omega_over_lossy_links () =
@@ -243,6 +281,8 @@ let () =
           Alcotest.test_case "crash halts" `Quick test_retransmit_crash_halts;
           Alcotest.test_case "low overhead without loss" `Quick
             test_retransmit_no_loss_low_overhead;
+          Alcotest.test_case "partition bounds the pending queue" `Quick
+            test_retransmit_partition_bounds_queue;
         ] );
       ( "end-to-end",
         [

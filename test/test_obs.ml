@@ -7,7 +7,6 @@ let int_t = Alcotest.int
 let bool_t = Alcotest.bool
 let str_t = Alcotest.string
 let sec = Sim.Time.of_sec
-let ms = Sim.Time.of_ms
 let us = Sim.Time.of_us
 
 (* ------------------------------------------------------------ sinks *)
@@ -93,17 +92,14 @@ let test_metrics_counts () =
 
 let config = Omega.Config.default ~n:4 ~t:1 Omega.Config.Fig3
 
-let scenario seed =
-  Scenarios.Scenario.create
-    (Scenarios.Scenario.default_params ~n:4 ~t:1 ~beta:(ms 10))
-    (Scenarios.Scenario.Rotating_star { center = 2 })
-    ~seed
+let env =
+  Scenarios.Env.make config (Scenarios.Scenario.Rotating_star { center = 2 })
+
+let digest_spec =
+  Harness.Run.Spec.(default |> with_horizon (sec 2) |> with_digest true)
 
 let digest_of ~seed =
-  let result =
-    Harness.Run.run ~horizon:(sec 2) ~digest:true ~config ~scenario:(scenario 42L)
-      ~seed ()
-  in
+  let result = Harness.Run.run ~spec:digest_spec ~env ~seed () in
   Option.get result.Harness.Run.digest
 
 let test_digest_deterministic () =
@@ -119,9 +115,7 @@ let test_digest_jobs_invariant () =
      1 or 2 domains must produce identical digest lists. *)
   let seeds = [ 3L; 5L; 7L; 11L ] in
   let sweep pool =
-    (Harness.Sweep.run ~pool ~digest:true ~horizon:(sec 2) ~seeds ~config
-       ~scenario_of:(fun _ -> scenario 42L)
-       ())
+    (Harness.Sweep.run ~pool ~spec:digest_spec ~seeds ~env_of:(fun _ -> env) ())
       .Harness.Sweep.digests
   in
   let sequential = sweep Parallel.Pool.sequential in
@@ -148,10 +142,12 @@ let test_digest_scalar_matches_record () =
      correct if both land on the pinned value. *)
   let record = Obs.Digest.create () in
   let result =
-    Harness.Run.run ~horizon:(sec 2) ~digest:true ~config
-      ~scenario:(scenario 42L) ~seed:7L
-      ~sink:(Obs.Sink.make ~mask:Obs.Event.all (Obs.Digest.add record))
-      ()
+    Harness.Run.run
+      ~spec:
+        Harness.Run.Spec.(
+          digest_spec
+          |> with_sink (Obs.Sink.make ~mask:Obs.Event.all (Obs.Digest.add record)))
+      ~env ~seed:7L ()
   in
   check str_t "scalar fast lane matches pin" "e1280e13ce38d45d"
     (Obs.Digest.to_hex (Option.get result.Harness.Run.digest));
@@ -165,8 +161,9 @@ let test_metrics_on_run () =
      with and without metrics yields the same digest, and the aggregator's
      totals match the network's own counters. *)
   let with_metrics =
-    Harness.Run.run ~horizon:(sec 2) ~digest:true ~metrics:true ~config
-      ~scenario:(scenario 42L) ~seed:7L ()
+    Harness.Run.run
+      ~spec:Harness.Run.Spec.(digest_spec |> with_metrics true)
+      ~env ~seed:7L ()
   in
   let m = Option.get with_metrics.Harness.Run.metrics in
   check bool_t "observation does not perturb" true

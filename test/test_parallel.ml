@@ -66,15 +66,14 @@ let test_pool_first_exception () =
 let sweep ?pool () =
   let n = 5 and t = 2 in
   let config = Omega.Config.default ~n ~t Omega.Config.Fig3 in
-  Harness.Sweep.run ?pool ~horizon:(sec 15)
-    ~crashes:[ (0, sec 3) ]
+  Harness.Sweep.run ?pool
+    ~spec:
+      Harness.Run.Spec.(
+        default |> with_horizon (sec 15) |> with_crashes [ (0, sec 3) ])
     ~seeds:[ 1L; 2L; 3L; 4L; 5L; 6L ]
-    ~config
-    ~scenario_of:(fun seed ->
-      Scenarios.Scenario.create
-        (Scenarios.Scenario.default_params ~n ~t ~beta:(ms 10))
-        (Scenarios.Scenario.Rotating_star { center = 3 })
-        ~seed)
+    ~env_of:(fun seed ->
+      Scenarios.Env.make ~scenario_seed:seed config
+        (Scenarios.Scenario.Rotating_star { center = 3 }))
     ()
 
 let check_stats name a b =

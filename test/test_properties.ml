@@ -19,16 +19,19 @@ let prop_eventual_leadership =
     (fun (d, seed) ->
       let n = 8 and t = 3 in
       let config = Omega.Config.default ~n ~t Omega.Config.Fig2 in
-      let scenario =
-        Scenario.create
-          (Scenario.default_params ~n ~t ~beta:(ms 10))
+      let env =
+        Scenarios.Env.make
+          ~scenario_seed:(Int64.of_int seed)
+          config
           (Scenario.Intermittent_star { center = 6; d })
-          ~seed:(Int64.of_int seed)
       in
       let result =
-        Harness.Run.run ~horizon:(sec 25)
-          ~crashes:[ (0, sec 4) ]
-          ~config ~scenario
+        Harness.Run.run
+          ~spec:
+            Harness.Run.Spec.(
+              default |> with_horizon (sec 25)
+              |> with_crashes [ (0, sec 4) ])
+          ~env
           ~seed:(Int64.of_int (seed * 31))
           ()
       in
@@ -51,16 +54,19 @@ let prop_lattice_full_stack =
     (fun seed ->
       let n = 6 and t = 2 in
       let config = Omega.Config.default ~n ~t Omega.Config.Fig3 in
-      let scenario =
-        Scenario.create
-          (Scenario.default_params ~n ~t ~beta:(ms 10))
+      let env =
+        Scenarios.Env.make
+          ~scenario_seed:(Int64.of_int seed)
+          config
           (Scenario.Rotating_star { center = 4 })
-          ~seed:(Int64.of_int seed)
       in
       let result =
-        Harness.Run.run ~horizon:(sec 12)
-          ~crashes:[ (0, sec 3) ]
-          ~config ~scenario
+        Harness.Run.run
+          ~spec:
+            Harness.Run.Spec.(
+              default |> with_horizon (sec 12)
+              |> with_crashes [ (0, sec 3) ])
+          ~env
           ~seed:(Int64.of_int (seed * 17))
           ()
       in

@@ -111,17 +111,14 @@ let test_draws_do_not_allocate () =
    raising the number. *)
 let test_null_sink_run_budget () =
   let config = Omega.Config.default ~n:4 ~t:1 Omega.Config.Fig3 in
-  let scenario () =
-    Scenarios.Scenario.create
-      (Scenarios.Scenario.default_params ~n:4 ~t:1 ~beta:(Sim.Time.of_ms 10))
-      (Scenarios.Scenario.Rotating_star { center = 2 })
-      ~seed:42L
+  let env =
+    Scenarios.Env.make config (Scenarios.Scenario.Rotating_star { center = 2 })
   in
-  let run () =
-    ignore
-      (Harness.Run.run ~check:false ~horizon:(Sim.Time.of_sec 2) ~config
-         ~scenario:(scenario ()) ~seed:7L ())
+  let spec =
+    Harness.Run.Spec.(
+      default |> with_check false |> with_horizon (Sim.Time.of_sec 2))
   in
+  let run () = ignore (Harness.Run.run ~spec ~env ~seed:7L ()) in
   run () (* warm-up: first run pays one-time lazy setup *);
   let words = minor_words_of run in
   check Alcotest.bool

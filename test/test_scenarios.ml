@@ -261,10 +261,14 @@ let test_self_messages_fast () =
 let run_and_check regime variant =
   let n = 8 and t = 3 in
   let config = Omega.Config.default ~n ~t variant in
-  let scenario = make regime in
-  Harness.Run.run ~horizon:(Sim.Time.of_sec 15)
-    ~crashes:[ (0, Sim.Time.of_sec 4) ]
-    ~config ~scenario ~seed:7L ()
+  let env = Scenarios.Env.make config regime in
+  Harness.Run.run
+    ~spec:
+      Harness.Run.Spec.(
+        default
+        |> with_horizon (Sim.Time.of_sec 15)
+        |> with_crashes [ (0, Sim.Time.of_sec 4) ])
+    ~env ~seed:7L ()
 
 let test_checker_no_violations_star_regimes () =
   List.iter
