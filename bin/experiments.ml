@@ -52,7 +52,7 @@ let ids_term =
   Cmdliner.Arg.(
     value & pos_all string []
     & info [] ~docv:"EXPERIMENT"
-        ~doc:"Experiment ids to run (e1..e10). Default: all.")
+        ~doc:"Experiment ids to run (e1..e11). Default: all.")
 
 let run list quick jobs metrics trace ids =
   if list then begin

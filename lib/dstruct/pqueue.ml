@@ -81,6 +81,14 @@ let drop_exn q =
        elements; [data.(0)] is live, so aliasing it leaks nothing. *)
     q.data.(q.size) <- q.data.(0)
   end
+  else begin
+    (* The pop that empties the heap has no live element to alias the slot
+       to, and the heap is polymorphic so there is no dummy to write
+       either: drop the backing arrays. The next push re-grows from the
+       minimum capacity — an O(1) cost paid only on the empty transition. *)
+    q.data <- [||];
+    q.tickets <- [||]
+  end
 
 let pop q =
   if q.size = 0 then None
@@ -92,6 +100,10 @@ let pop q =
       q.tickets.(0) <- q.tickets.(q.size);
       sift_down q 0;
       q.data.(q.size) <- q.data.(0)
+    end
+    else begin
+      q.data <- [||];
+      q.tickets <- [||]
     end;
     Some top
   end

@@ -32,9 +32,11 @@ val drop_exn : 'a t -> unit
     Regression note: an earlier version wrote the popped element back into
     the vacated backing slot, keeping every popped element GC-reachable
     until its slot was reused by a later [push]. The slot is now aliased to
-    a live element instead. The single remaining exception is the pop that
-    empties the heap: its element stays referenced by [data.(0)] until the
-    next [push] — an O(1) bound, unlike the old O(capacity) one. *)
+    a live element instead, and the pop that empties the heap (which has no
+    live element to alias, and no dummy to write — the heap is polymorphic)
+    drops the backing arrays entirely, so an empty heap retains no element
+    at all. The next push after an empty transition re-grows from the
+    minimum capacity; steady non-empty traffic never re-allocates. *)
 val pop : 'a t -> 'a option
 
 (** [pop_exn q] is [pop q] but raises [Invalid_argument] on an empty heap. *)

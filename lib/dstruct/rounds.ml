@@ -11,11 +11,14 @@ let check_live t rn ~op =
 
 let find t rn = if rn < t.floor then None else Hashtbl.find_opt t.table rn
 
+(* Exception-based lookup: [Hashtbl.find_opt] boxes a [Some] per call, and
+   this runs once per received message. The hit path here is allocation-free
+   ([Not_found] is only constructed on a miss, once per round). *)
 let find_or_add t rn ~default =
   check_live t rn ~op:"find_or_add";
-  match Hashtbl.find_opt t.table rn with
-  | Some v -> v
-  | None ->
+  match Hashtbl.find t.table rn with
+  | v -> v
+  | exception Not_found ->
       let v = default () in
       Hashtbl.add t.table rn v;
       v
@@ -24,12 +27,18 @@ let set t rn v =
   check_live t rn ~op:"set";
   Hashtbl.replace t.table rn v
 
-let prune_below t bound =
+let prune_below ?recycle t bound =
   if bound > t.floor then begin
     (* Collect first: removing during [iter] is unspecified for Hashtbl. *)
     let dead = ref [] in
-    Hashtbl.iter (fun rn _ -> if rn < bound then dead := rn :: !dead) t.table;
-    List.iter (Hashtbl.remove t.table) !dead;
+    Hashtbl.iter
+      (fun rn v -> if rn < bound then dead := (rn, v) :: !dead)
+      t.table;
+    List.iter
+      (fun (rn, v) ->
+        Hashtbl.remove t.table rn;
+        match recycle with Some f -> f v | None -> ())
+      !dead;
     t.floor <- bound
   end
 

@@ -31,8 +31,10 @@ val find_or_add : 'a t -> int -> default:(unit -> 'a) -> 'a
 val set : 'a t -> int -> 'a -> unit
 
 (** [prune_below t bound] discards every round [< bound] and raises the floor
-    to [max (floor t) bound]. *)
-val prune_below : 'a t -> int -> unit
+    to [max (floor t) bound]. [recycle] is applied to each discarded value
+    (in unspecified order) so callers can return round-sized cells to a
+    freelist instead of re-allocating them every round. *)
+val prune_below : ?recycle:('a -> unit) -> 'a t -> int -> unit
 
 (** [iter t f] applies [f rn v] to every live entry, in unspecified order. *)
 val iter : 'a t -> (int -> 'a -> unit) -> unit

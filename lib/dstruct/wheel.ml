@@ -1,0 +1,245 @@
+(* Hierarchical timing wheel (Varghese & Lauck), radix 256, 8 levels — the
+   levels' digit spans cover the full 62-bit non-negative key range, so there
+   is no overflow structure and no revolution wrap to reason about.
+
+   Placement invariant: a cell with key [k] always lives at
+   [level = highest digit of (k lxor cursor)] in bucket [digit k level].
+   The invariant is canonical — a function of [k] and the cursor only, not
+   of insertion time — because the cursor's digit at level [l] changes to a
+   new value exactly when the bucket at [(l, new digit)] is cascaded down
+   (see [pop_exn]), so no cell whose digit matches the cursor's can remain
+   at that level. Canonical placement is what makes the FIFO tie-break
+   work: all cells with equal keys sit in the same bucket list at every
+   moment, in insertion order (pushes append; cascades walk in order and
+   append), so the head of the final level-0 bucket is always the oldest.
+
+   Cells are pooled: [pop_exn] releases the popped cell onto an internal
+   freelist that the next [push] reuses, so the steady state of a
+   push/pop-balanced workload (a simulation's message traffic) allocates
+   nothing. Released cells are reset to the [dummy] element so the wheel
+   never keeps a popped element reachable (the Pqueue regression, designed
+   out here). *)
+
+type 'a cell = {
+  mutable key : int;
+  mutable v : 'a;
+  mutable next : 'a cell;  (* bucket list / freelist link; [nil] terminates *)
+}
+
+type 'a t = {
+  dummy : 'a;
+  nil : 'a cell;  (* self-referential sentinel, never stores an element *)
+  heads : 'a cell array;  (* levels * 256 bucket list heads *)
+  tails : 'a cell array;
+  occ : int array;  (* occupancy bitmap: 8 x 32-bit words per level *)
+  mutable cursor : int;  (* key of the last popped cell (or [start]) *)
+  mutable free : 'a cell;  (* freelist of released cells *)
+  mutable size : int;
+  (* Memo of the last [min_key_exn] scan, so the engine's peek-then-pop
+     loop scans once per event. Any push invalidates it. *)
+  mutable cached : bool;
+  mutable cached_key : int;
+  mutable cached_level : int;
+  mutable cached_bucket : int;
+}
+
+let levels = 8
+let buckets = levels * 256
+
+let create ?(start = 0) ~dummy () =
+  if start < 0 then invalid_arg "Wheel.create: negative start";
+  let rec nil = { key = min_int; v = dummy; next = nil } in
+  {
+    dummy;
+    nil;
+    heads = Array.make buckets nil;
+    tails = Array.make buckets nil;
+    occ = Array.make (levels * 8) 0;
+    cursor = start;
+    free = nil;
+    size = 0;
+    cached = false;
+    cached_key = 0;
+    cached_level = 0;
+    cached_bucket = 0;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+let cursor t = t.cursor
+
+(* Highest differing radix-256 digit of [x = key lxor cursor], [x <> 0]. *)
+let level_of_xor x =
+  if x >= 1 lsl 32 then
+    if x >= 1 lsl 48 then (if x >= 1 lsl 56 then 7 else 6)
+    else if x >= 1 lsl 40 then 5
+    else 4
+  else if x >= 1 lsl 16 then (if x >= 1 lsl 24 then 3 else 2)
+  else if x >= 1 lsl 8 then 1
+  else 0
+
+let digit k l = (k lsr (8 * l)) land 0xff
+
+(* ctz of a 32-bit value via de Bruijn multiplication. *)
+let debruijn_table =
+  [| 0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8;
+     31; 27; 13; 23; 21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9 |]
+
+let ctz32 bits =
+  debruijn_table.(((bits land -bits) * 0x077CB531 land 0xFFFFFFFF) lsr 27)
+
+let set_bit t l b =
+  let w = (l lsl 3) lor (b lsr 5) in
+  t.occ.(w) <- t.occ.(w) lor (1 lsl (b land 31))
+
+let clear_bit t l b =
+  let w = (l lsl 3) lor (b lsr 5) in
+  t.occ.(w) <- t.occ.(w) land lnot (1 lsl (b land 31))
+
+(* Smallest occupied bucket index [>= from] at level [l], or -1. All the
+   recursive helpers below are top-level (not nested [let rec]) on
+   purpose: a nested recursive function is a closure, and without flambda
+   that is one allocation per call — on the per-event path. *)
+let rec occ_scan occ l w0 from w =
+  if w > 7 then -1
+  else begin
+    let bits = occ.((l lsl 3) lor w) in
+    let bits = if w = w0 then bits land ((-1) lsl (from land 31)) else bits in
+    if bits = 0 then occ_scan occ l w0 from (w + 1)
+    else (w lsl 5) lor ctz32 bits
+  end
+
+let first_occupied t l ~from =
+  if from > 255 then -1 else occ_scan t.occ l (from lsr 5) from (from lsr 5)
+
+(* Append [c] (with [c.next = nil]) to its canonical bucket. *)
+let place t c =
+  let x = c.key lxor t.cursor in
+  let l = if x = 0 then 0 else level_of_xor x in
+  let b = digit c.key l in
+  let i = (l lsl 8) lor b in
+  if t.heads.(i) == t.nil then begin
+    t.heads.(i) <- c;
+    set_bit t l b
+  end
+  else t.tails.(i).next <- c;
+  t.tails.(i) <- c
+
+let push t ~key v =
+  if key < t.cursor then
+    invalid_arg
+      (Printf.sprintf "Wheel.push: key %d below cursor %d" key t.cursor);
+  let c =
+    if t.free == t.nil then { key; v; next = t.nil }
+    else begin
+      let c = t.free in
+      t.free <- c.next;
+      c.key <- key;
+      c.v <- v;
+      c.next <- t.nil;
+      c
+    end
+  in
+  place t c;
+  t.size <- t.size + 1;
+  t.cached <- false
+
+(* Locate the minimum key without mutating bucket contents: lowest level
+   first (cells at level [l] share all digits above [l] with the cursor,
+   so every key there is smaller than any key at a higher level); level 0
+   scans from the cursor's digit inclusively (keys equal to the cursor are
+   legal), higher levels exclusively (a bucket matching the cursor's digit
+   would already have cascaded). At level 0 every cell of a bucket has the
+   same key; at higher levels the bucket spans several keys, so walk the
+   list for the minimum. *)
+let rec list_min_key nil c acc =
+  if c == nil then acc
+  else list_min_key nil c.next (if c.key < acc then c.key else acc)
+
+let rec find_min t l =
+  if l >= levels then assert false
+  else begin
+    let d = digit t.cursor l in
+    let from = if l = 0 then d else d + 1 in
+    match first_occupied t l ~from with
+    | -1 -> find_min t (l + 1)
+    | b ->
+        let key =
+          if l = 0 then (t.cursor land lnot 0xff) lor b
+          else list_min_key t.nil t.heads.((l lsl 8) lor b) max_int
+        in
+        t.cached <- true;
+        t.cached_key <- key;
+        t.cached_level <- l;
+        t.cached_bucket <- b
+  end
+
+let locate t =
+  if t.size = 0 then invalid_arg "Wheel: empty wheel";
+  if not t.cached then find_min t 0
+
+let min_key_exn t =
+  locate t;
+  t.cached_key
+
+(* First cell holding [key], in list (= insertion) order. *)
+let rec first_with_key key c = if c.key = key then c.v else first_with_key key c.next
+
+let peek_exn t =
+  locate t;
+  if t.cached_level = 0 then t.heads.(t.cached_bucket).v
+  else
+    first_with_key t.cached_key
+      t.heads.((t.cached_level lsl 8) lor t.cached_bucket)
+
+let rec redistribute t c =
+  if c != t.nil then begin
+    let nx = c.next in
+    c.next <- t.nil;
+    place t c;
+    redistribute t nx
+  end
+
+let pop_exn t =
+  locate t;
+  let k = t.cached_key in
+  (* Cascade the minimum's bucket down until the minimum sits at level 0.
+     The new cursor is [k] itself: every cell of the cascaded bucket has
+     key >= k and shares its digits at and above the bucket's level, so
+     re-placement relative to [k] strictly descends. Walking the detached
+     list in order and appending preserves insertion order. *)
+  while t.cached_level > 0 do
+    let l = t.cached_level and b = t.cached_bucket in
+    let i = (l lsl 8) lor b in
+    let head = t.heads.(i) in
+    t.heads.(i) <- t.nil;
+    t.tails.(i) <- t.nil;
+    clear_bit t l b;
+    t.cursor <- k;
+    redistribute t head;
+    (* The minimum's cells are now at level 0, bucket [digit k 0]; other
+       cells may have landed at intermediate levels, all above [k]. *)
+    t.cached_level <- 0;
+    t.cached_bucket <- digit k 0
+  done;
+  t.cursor <- k;
+  let b = t.cached_bucket in
+  let c = t.heads.(b) in
+  let nx = c.next in
+  t.heads.(b) <- nx;
+  if nx == t.nil then begin
+    t.tails.(b) <- t.nil;
+    clear_bit t 0 b
+  end;
+  t.size <- t.size - 1;
+  t.cached <- false;
+  let v = c.v in
+  (* Release onto the freelist, cleared so the wheel never retains a
+     reference to a popped element. *)
+  c.v <- t.dummy;
+  c.key <- 0;
+  c.next <- t.free;
+  t.free <- c;
+  v
+
+let drop_exn t = ignore (pop_exn t)

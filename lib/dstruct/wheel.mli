@@ -1,0 +1,56 @@
+(** Hierarchical timing wheel: a priority queue over non-negative integer
+    keys (simulation timestamps), radix 256, 8 levels — enough digits for
+    the whole 62-bit key range, so there is no overflow level.
+
+    Contract (shared with {!Pqueue} + insertion tickets, and relied on by
+    the discrete-event engine): {!pop_exn} returns elements in
+    nondecreasing key order, and elements with {e equal} keys come out in
+    insertion order (FIFO). [test/test_wheel.ml] checks both against the
+    binary heap on identical workloads.
+
+    Unlike {!Pqueue} the wheel is monotone: a pushed key must be [>=] the
+    key of the last popped element (the cursor). The engine satisfies this
+    by construction — events are never scheduled in the past.
+
+    Costs: {!push} is O(1); {!pop_exn} is O(bucket scan) with each element
+    cascading down at most once per level, so amortized O(levels) worst
+    case and O(1) for the dense schedules simulations produce. Popped
+    cells go onto an internal freelist that the next push reuses, and a
+    released cell is reset to [dummy], so a push/pop-balanced workload
+    allocates nothing in the steady state and the wheel never keeps a
+    popped element alive. *)
+
+type 'a t
+
+(** [create ?start ~dummy ()] is an empty wheel whose cursor begins at
+    [start] (default 0). [dummy] is stored in recycled cells; it is never
+    returned. *)
+val create : ?start:int -> dummy:'a -> unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** Key of the last popped element ([start] if none yet): the floor for
+    future pushes. *)
+val cursor : 'a t -> int
+
+(** [push t ~key v] inserts [v] at [key]. O(1). Raises [Invalid_argument]
+    if [key < cursor t]. *)
+val push : 'a t -> key:int -> 'a -> unit
+
+(** Smallest key present. Scans but never reorders (safe before deciding
+    not to pop); the scan is memoized until the next push or pop. Raises
+    [Invalid_argument] on an empty wheel. *)
+val min_key_exn : 'a t -> int
+
+(** Element {!pop_exn} would return, without removing it. Raises
+    [Invalid_argument] on an empty wheel. *)
+val peek_exn : 'a t -> 'a
+
+(** Remove and return the minimum element (FIFO among equal keys), and
+    advance the cursor to its key. Raises [Invalid_argument] on an empty
+    wheel. *)
+val pop_exn : 'a t -> 'a
+
+(** [pop_exn] without the result. *)
+val drop_exn : 'a t -> unit

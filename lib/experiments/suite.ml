@@ -836,6 +836,111 @@ let e10 ~pool ~quick ~obs =
          ])
     rows
 
+(* ----------------------------------------------------------------- E11 *)
+
+let e11 ~pool ~quick ~obs =
+  let ns = [ 8; 16; 32; 64; 128 ] in
+  let beta = ms 10 in
+  (* Stabilization needs a few full victim rotations (each one n-1 rounds:
+     every process must be suspected past the center's transient level), so
+     the horizon scales with n instead of admitting defeat at n=128. *)
+  let horizon n =
+    let rotation_ms = 10 * (n - 1) in
+    ms
+      (if quick then max 4_000 (7 * rotation_ms)
+       else max 10_000 (10 * rotation_ms))
+  in
+  (* Fixed stable-suffix requirement: the default horizon/5 would demand an
+     ever-longer proof of stability just because large n needs a longer
+     horizon to get there. *)
+  let min_stable = if quick then sec 1 else sec 2 in
+  let regimes =
+    [
+      ("star", fun center -> Scenario.Rotating_star { center });
+      ("moving-star", fun center -> Scenario.Moving_source { center });
+    ]
+  in
+  let results =
+    on pool
+    @@ List.concat_map
+         (fun n ->
+           let t = (n - 1) / 2 in
+           let center = n - 2 in
+           let cfg = fault_config ~n ~t Omega.Config.Fig1 in
+           (* The mildest adversary (single-round victim blocks, no growth,
+              star from round 2): E11 measures how the simulator and the
+              algorithm scale with n, not whether the assumption
+              discriminates — E1 does that. The star must start almost
+              immediately: each anarchy round inflates the center's
+              suspicion level, and erasing one level of deficit costs a
+              full victim rotation (n-1 rounds), which at n=128 would push
+              stabilization far past any CI-feasible horizon. *)
+           let params =
+             {
+               (Scenario.default_params ~n ~t ~beta) with
+               Scenario.rn0 = 2;
+               victim_block0 = 1;
+               victim_block_step = 0;
+             }
+           in
+           List.map
+             (fun (label, regime_of) () ->
+               let t0 = Unix.gettimeofday () in
+               let result =
+                 obs_run ~obs
+                   ~label:(Printf.sprintf "e11 n=%d %s" n label)
+                   (* No checker: it costs as much as the simulation at
+                      large n, and assumption compliance is E1-E10's job —
+                      this tier measures throughput. *)
+                   ~spec:
+                     Run.Spec.(
+                       default |> with_horizon (horizon n)
+                       |> with_min_stable min_stable |> with_check false)
+                   ~env:(Scenarios.Env.make ~params cfg (regime_of center))
+                   ~seed:7L ()
+               in
+               let wall = Unix.gettimeofday () -. t0 in
+               let rounds = max 1 result.Run.min_sending_round in
+               let stab_round =
+                 match result.Run.stabilized_at with
+                 | Some at -> Table.intc (Sim.Time.to_us at / Sim.Time.to_us beta)
+                 | None -> "-"
+               in
+               let cells =
+                 obs_cells obs result
+                   [
+                     Table.intc n;
+                     Table.intc t;
+                     label;
+                     stab_cell result;
+                     stab_round;
+                     leader_cell result;
+                     Table.yesno (result.Run.final_leader = Some center);
+                     Table.intc result.Run.messages_sent;
+                     Table.intc (result.Run.messages_sent / rounds);
+                   ]
+               in
+               (Printf.sprintf "e11 n=%d %-11s %6.2f s wall" n label wall, cells))
+             regimes)
+         ns
+  in
+  (* Wall-clock is real machine time: nondeterministic, and different under
+     every [--jobs]. It goes to stderr so the stdout tables stay
+     byte-identical (the CI determinism gate diffs stdout across pool
+     sizes). *)
+  List.iter (fun (wall, _) -> prerr_endline wall) results;
+  Table.print
+    ~title:
+      "E11: scaling in n (fig1, tight config, mild single-round victim \
+       rotation; wall-clock per run on stderr) [DESIGN.md 13]"
+    ~header:
+      (obs_header obs
+         [
+           "n"; "t"; "regime"; "stabilized"; "stab_round"; "leader";
+           "=center"; "msgs"; "msgs/round";
+         ])
+    (List.map snd results)
+
 let all =
   [
     ("e1", "Theorem 1: rotating star stabilization vs n", e1);
@@ -848,4 +953,5 @@ let all =
     ("e8", "Section 1.1: crash of the leader, re-election", e8);
     ("e9", "Fault plans: partition and crash-recovery of the center", e9);
     ("e10", "Fault plans: adaptive leader-chasing adversary", e10);
+    ("e11", "Scaling in n: large-cluster throughput tier", e11);
   ]

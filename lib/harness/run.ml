@@ -43,6 +43,8 @@ module Spec = struct
     metrics : bool;
     digest : bool;
     sink : Obs.Sink.t option;
+    sched : [ `Heap | `Wheel ];
+    flight_pool : bool;
   }
 
   let default =
@@ -57,6 +59,8 @@ module Spec = struct
       metrics = false;
       digest = false;
       sink = None;
+      sched = `Wheel;
+      flight_pool = true;
     }
 
   let with_horizon horizon t = { t with horizon }
@@ -69,6 +73,8 @@ module Spec = struct
   let with_metrics metrics t = { t with metrics }
   let with_digest digest t = { t with digest }
   let with_sink sink t = { t with sink = Some sink }
+  let with_sched sched t = { t with sched }
+  let with_flight_pool flight_pool t = { t with flight_pool }
 end
 
 (* The largest round whose every non-victim message is guaranteed delivered
@@ -151,6 +157,8 @@ let run ?(spec = Spec.default) ~env ~seed () =
     metrics;
     digest;
     sink;
+    sched;
+    flight_pool;
   } =
     spec
   in
@@ -160,8 +168,8 @@ let run ?(spec = Spec.default) ~env ~seed () =
     | Some w -> w
     | None -> Sim.Time.of_us (Sim.Time.to_us horizon / 5)
   in
-  let engine = Sim.Engine.create ~seed () in
-  let scenario, net = Scenarios.Env.build env engine in
+  let engine = Sim.Engine.create ~queue:sched ~seed () in
+  let scenario, net = Scenarios.Env.build ~flight_pool env engine in
   let checker =
     if check && Option.is_some (Scenarios.Scenario.center scenario) then
       Some (Scenarios.Checker.create scenario)

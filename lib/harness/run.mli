@@ -78,6 +78,13 @@ module Spec : sig
     digest : bool;  (** attach an {!Obs.Digest} over the event stream *)
     sink : Obs.Sink.t option;
         (** extra consumer (e.g. an {!Obs.Jsonl} writer for [--trace]) *)
+    sched : [ `Heap | `Wheel ];
+        (** engine scheduler backend (default [`Wheel]); both produce the
+            identical event stream — [`Heap] is the reference for A/B
+            benchmarking (see {!Sim.Engine.create}) *)
+    flight_pool : bool;
+        (** recycle network flight records (default [true]); [false] is
+            the A/B allocation baseline (see {!Net.Network.create}) *)
   }
 
   val default : t
@@ -91,6 +98,8 @@ module Spec : sig
   val with_metrics : bool -> t -> t
   val with_digest : bool -> t -> t
   val with_sink : Obs.Sink.t -> t -> t
+  val with_sched : [ `Heap | `Wheel ] -> t -> t
+  val with_flight_pool : bool -> t -> t
 end
 
 (** [run ~env ~seed ()] executes one simulation of [env] under [spec]

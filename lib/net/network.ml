@@ -23,11 +23,41 @@ type 'm t = {
   mutable groups : int array option;
   mutable dup_until : Sim.Time.t;
   mutable dup_extra : Sim.Time.t;
+  (* Flight freelist (a stack; order is irrelevant, only the values are
+     recycled). [pool_n] slots of [pool] hold released flights; [pooling]
+     false pins the pre-pool allocate-per-send behaviour for A/B runs. *)
+  pooling : bool;
+  mutable pool : 'm flight array;
+  mutable pool_n : int;
+}
+
+(* The in-flight message, packed into one record: scheduling a delivery is
+   [Engine.call_after engine delay deliver flight] — one block, no closure,
+   no handle — where the old closure chain cost several blocks per message.
+   [send] is the simulator's hottest allocation site, which is why flights
+   are pooled: [deliver] releases its record back to [t.pool] (fields are
+   latched into locals first) and [dispatch] reuses it for a later send, so
+   steady-state traffic allocates no flights at all. A flight that is
+   scheduled twice (duplication burst) clears [frecycle] so only safe,
+   single-delivery flights return to the pool. [finfo] is the message's
+   classification, latched at send time (classifiers are pure, so this is
+   the delivery-time value too — and [classify] runs once per message, not
+   once per event); it is [no_info] when no net sink was live at the send,
+   which is fine because sinks are installed before a run starts. *)
+and 'm flight = {
+  net : 'm t;
+  mutable sent_at : Sim.Time.t;
+  mutable fseq : int;
+  mutable fsrc : pid;
+  mutable fdst : pid;
+  mutable fmsg : 'm;
+  mutable finfo : Obs.Event.msg_info;
+  mutable frecycle : bool;
 }
 
 let default_classify _ = Obs.Event.no_info
 
-let create ?(classify = default_classify) engine ~n ~oracle =
+let create ?(classify = default_classify) ?(pool = true) engine ~n ~oracle =
   if n <= 0 then invalid_arg "Network.create: n must be positive";
   {
     engine;
@@ -43,6 +73,9 @@ let create ?(classify = default_classify) engine ~n ~oracle =
     groups = None;
     dup_until = Sim.Time.zero;
     dup_extra = Sim.Time.zero;
+    pooling = pool;
+    pool = [||];
+    pool_n = 0;
   }
 
 let n t = t.n
@@ -56,28 +89,32 @@ let set_handler t i f =
   check_pid t i ~op:"set_handler";
   t.handlers.(i) <- Some f
 
-(* The in-flight message, packed into one record: scheduling a delivery is
-   [Engine.call_after engine delay deliver flight] — one block, no closure,
-   no handle — where the old closure chain cost several blocks per message.
-   [send] is the simulator's hottest allocation site. [finfo] is the
-   message's classification, latched at send time (classifiers are pure, so
-   this is the delivery-time value too — and [classify] runs once per
-   message, not once per event); it is [no_info] when no net sink was live
-   at the send, which is fine because sinks are installed before a run
-   starts. *)
-type 'm flight = {
-  net : 'm t;
-  sent_at : Sim.Time.t;
-  fseq : int;
-  fsrc : pid;
-  fdst : pid;
-  fmsg : 'm;
-  finfo : Obs.Event.msg_info;
-}
+(* [release] grows the pool with the released flight itself as the
+   [Array.make] filler, so no dummy element is ever needed. The pooled
+   record keeps its last [fmsg]/[finfo] values alive until reuse — a
+   bounded retention (pool size = peak in-flight count), unlike the
+   unbounded Pqueue slot leak this design replaces. *)
+let release t f =
+  let k = t.pool_n in
+  if k = Array.length t.pool then begin
+    let a = Array.make (if k = 0 then 64 else 2 * k) f in
+    Array.blit t.pool 0 a 0 k;
+    t.pool <- a
+  end;
+  t.pool.(k) <- f;
+  t.pool_n <- k + 1
 
-let deliver
-    { net = t; sent_at; fseq = seq; fsrc = src; fdst = dst; fmsg = msg; finfo }
-    =
+let deliver f =
+  let t = f.net in
+  let sent_at = f.sent_at in
+  let seq = f.fseq and src = f.fsrc and dst = f.fdst in
+  let msg = f.fmsg and finfo = f.finfo in
+  (* Recycle before running the handler: every field is latched above, and
+     the handler's own sends may then draw this very record from the pool. *)
+  if f.frecycle then begin
+    f.frecycle <- false;
+    release t f
+  end;
   (* A message to a crashed process is silently consumed: the paper treats
      the link to a crashed receiver as trivially timely. *)
   if not t.crashed.(dst) then begin
@@ -122,21 +159,40 @@ let dispatch t ~now ~traced ~info ~src ~dst msg =
         if Sim.Time.(delay < Sim.Time.zero) then
           invalid_arg "Network.send: oracle returned negative delay";
         let flight =
-          {
-            net = t;
-            sent_at = now;
-            fseq = seq;
-            fsrc = src;
-            fdst = dst;
-            fmsg = msg;
-            finfo = info;
-          }
+          if t.pool_n = 0 then
+            {
+              net = t;
+              sent_at = now;
+              fseq = seq;
+              fsrc = src;
+              fdst = dst;
+              fmsg = msg;
+              finfo = info;
+              frecycle = t.pooling;
+            }
+          else begin
+            let k = t.pool_n - 1 in
+            t.pool_n <- k;
+            let f = t.pool.(k) in
+            f.sent_at <- now;
+            f.fseq <- seq;
+            f.fsrc <- src;
+            f.fdst <- dst;
+            f.fmsg <- msg;
+            f.finfo <- info;
+            f.frecycle <- true;
+            f
+          end
         in
         Sim.Engine.call_after t.engine delay deliver flight;
-        if Sim.Time.(now < t.dup_until) then
+        if Sim.Time.(now < t.dup_until) then begin
+          (* Two scheduled deliveries share this record; recycling on the
+             first would corrupt the second, so this flight retires. *)
+          flight.frecycle <- false;
           Sim.Engine.call_after t.engine
             (Sim.Time.add delay t.dup_extra)
             deliver flight
+        end
 
 let send t ~src ~dst msg =
   check_pid t src ~op:"send";

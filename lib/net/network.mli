@@ -33,9 +33,18 @@ type 'm t
     round ([-1] when none, mirroring [round_of] returning [None] — the
     {!Scenarios.Checker} keys on it), and the wire size. Defaults to
     {!Obs.Event.no_info}. It is only invoked when a sink wants [c_net]
-    events, so the untraced path never calls it. *)
+    events, so the untraced path never calls it.
+
+    [pool] (default [true]) recycles in-flight message records through a
+    network-local freelist: a delivery latches its fields and releases the
+    record before invoking the handler, so steady-state traffic allocates
+    no flight records at all. Pooling changes no observable value — the
+    event stream is bit-identical either way ([pool:false] exists for A/B
+    allocation measurements). The pool is network-local state like the
+    handlers: never share a network across parallel pool tasks. *)
 val create :
   ?classify:('m -> Obs.Event.msg_info) ->
+  ?pool:bool ->
   Sim.Engine.t ->
   n:int ->
   oracle:'m delay_oracle ->

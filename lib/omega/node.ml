@@ -14,8 +14,10 @@ type transport = {
    whether line 17 already ran for this (round, process) pair — the paper
    increments at most once per pair, but the conditions must be re-evaluated
    on every later SUSPICION arrival because the window (line [*]) can become
-   true only after older rounds' counts complete. *)
-type suspicion_entry = { counts : int array; credited : bool array }
+   true only after older rounds' counts complete. [credited] is a bitset
+   (n bits, not n words): round entries are the node's only O(n)-sized
+   per-round state, and at large n their footprint dominates. *)
+type suspicion_entry = { counts : int array; credited : Dstruct.Bitset.t }
 
 type t = {
   cfg : Config.t;
@@ -55,6 +57,18 @@ type t = {
   mutable max_timeout_armed : Sim.Time.t;
   mutable max_susp_seen : int;
   mutable local_increments : int;
+  (* Freelists for the O(n)-sized per-round cells ([rec_from] bitsets,
+     [suspicions] entries): [prune] recycles instead of discarding, so the
+     steady state creates one round and retires one round per closure with
+     no O(n) allocation. The [default_*] / [recycle_*] closures are built
+     once at [create] (placeholders until [t] exists) — allocating them per
+     call would put closures back on the per-message path. *)
+  mutable set_pool : Dstruct.Bitset.t list;
+  mutable susp_pool : suspicion_entry list;
+  mutable default_rec : unit -> Dstruct.Bitset.t;
+  mutable default_susp : unit -> suspicion_entry;
+  mutable recycle_set : Dstruct.Bitset.t -> unit;
+  mutable recycle_susp : suspicion_entry -> unit;
 }
 
 let me t = t.me
@@ -139,15 +153,29 @@ let maybe_leader_change t =
   end
 
 let fresh_rec_from t () =
-  let s = Dstruct.Bitset.create t.cfg.Config.n in
+  let s =
+    match t.set_pool with
+    | s :: rest ->
+        t.set_pool <- rest;
+        Dstruct.Bitset.clear s;
+        s
+    | [] -> Dstruct.Bitset.create t.cfg.Config.n
+  in
   Dstruct.Bitset.add s t.me;
   s
 
 let fresh_suspicions t () =
-  {
-    counts = Array.make t.cfg.Config.n 0;
-    credited = Array.make t.cfg.Config.n false;
-  }
+  match t.susp_pool with
+  | e :: rest ->
+      t.susp_pool <- rest;
+      Array.fill e.counts 0 (Array.length e.counts) 0;
+      Dstruct.Bitset.clear e.credited;
+      e
+  | [] ->
+      {
+        counts = Array.make t.cfg.Config.n 0;
+        credited = Dstruct.Bitset.create t.cfg.Config.n;
+      }
 
 (* How far past the delivered-tag frontier a catch-up re-seats [r_rn]: must
    exceed the number of ALIVE tags a sender can have in flight (delay bound
@@ -159,7 +187,7 @@ let catch_up_margin = 32
 let rec try_close_round t =
   if not (halted t) then begin
     let received =
-      Dstruct.Rounds.find_or_add t.rec_from t.r_rn ~default:(fresh_rec_from t)
+      Dstruct.Rounds.find_or_add t.rec_from t.r_rn ~default:t.default_rec
     in
     let expired = Sim.Timer.has_expired (timer_exn t) in
     let quorum = Dstruct.Bitset.cardinal received >= t.cfg.Config.alpha in
@@ -170,9 +198,16 @@ let rec try_close_round t =
       | Config.Count_only -> quorum
     in
     if ready then begin
-      let suspects =
-        Dstruct.Bitset.to_list (Dstruct.Bitset.complement received)
-      in
+      (* The suspects of line 9 are the complement of [received], read off
+         the bitset directly (descending loop, so the list comes out
+         ascending — the order [Bitset.complement |> to_list] produced);
+         the cardinal is known without a [List.length] re-walk. *)
+      let suspects = ref [] in
+      let n_suspected = t.cfg.Config.n - Dstruct.Bitset.cardinal received in
+      for i = t.cfg.Config.n - 1 downto 0 do
+        if not (Dstruct.Bitset.mem received i) then suspects := i :: !suspects
+      done;
+      let suspects = !suspects in
       (* Line 10 sends to every process, itself included (no [j <> i]). *)
       let msg = Message.Suspicion { rn = t.r_rn; suspects } in
       for dst = 0 to t.cfg.Config.n - 1 do
@@ -187,7 +222,7 @@ let rec try_close_round t =
                now;
                pid = t.me;
                rn = t.r_rn;
-               suspected = List.length suspects;
+               suspected = n_suspected;
              });
         Obs.Sink.emit sink
           (Obs.Event.Round_open { now; pid = t.me; rn = t.r_rn + 1 })
@@ -216,10 +251,11 @@ let rec try_close_round t =
    line [*] check can reach, with a safety margin for processes whose
    receiving round lags ours. *)
 and prune t =
-  Dstruct.Rounds.prune_below t.rec_from t.r_rn;
+  Dstruct.Rounds.prune_below ~recycle:t.recycle_set t.rec_from t.r_rn;
   let f = Config.f_of t.cfg.Config.variant in
   let reach = max_susp t + f t.r_rn + t.cfg.Config.prune_margin in
-  Dstruct.Rounds.prune_below t.suspicions (t.r_rn - reach)
+  Dstruct.Rounds.prune_below ~recycle:t.recycle_susp t.suspicions
+    (t.r_rn - reach)
 
 (* Lines 4-7. *)
 let on_alive t ~src rn sl =
@@ -272,7 +308,7 @@ let on_alive t ~src rn sl =
   end;
   if rn >= t.r_rn then begin
     let received =
-      Dstruct.Rounds.find_or_add t.rec_from rn ~default:(fresh_rec_from t)
+      Dstruct.Rounds.find_or_add t.rec_from rn ~default:t.default_rec
     in
     Dstruct.Bitset.add received src
   end;
@@ -301,34 +337,38 @@ let window_satisfied t rn k =
     check lo
   end
 
-(* Lines 13-18. *)
+(* Lines 13-18. The suspect loop is a top-level recursion over the list
+   rather than a [List.iter] closure: the closure would capture four
+   variables and be rebuilt for every SUSPICION received — a per-message
+   allocation on a path that must stay steady-state free. *)
+let rec credit_suspects t entry rn variant = function
+  | [] -> ()
+  | k :: rest ->
+      entry.counts.(k) <- entry.counts.(k) + 1;
+      let quorum =
+        entry.counts.(k) >= t.cfg.Config.alpha
+        && not (Dstruct.Bitset.mem entry.credited k)
+      in
+      let window =
+        (not (Config.has_window_condition variant)) || window_satisfied t rn k
+      in
+      let bounded =
+        (not (Config.has_bounded_condition variant))
+        || t.susp_level.(k) = min_susp t
+      in
+      if quorum && window && bounded then begin
+        Dstruct.Bitset.add entry.credited k;
+        raise_level t k (t.susp_level.(k) + 1);
+        t.local_increments <- t.local_increments + 1
+      end;
+      credit_suspects t entry rn variant rest
+
 let on_suspicion t rn suspects =
   if rn >= Dstruct.Rounds.floor t.suspicions then begin
     let entry =
-      Dstruct.Rounds.find_or_add t.suspicions rn
-        ~default:(fresh_suspicions t)
+      Dstruct.Rounds.find_or_add t.suspicions rn ~default:t.default_susp
     in
-    let variant = t.cfg.Config.variant in
-    List.iter
-      (fun k ->
-        entry.counts.(k) <- entry.counts.(k) + 1;
-        let quorum =
-          entry.counts.(k) >= t.cfg.Config.alpha && not entry.credited.(k)
-        in
-        let window =
-          (not (Config.has_window_condition variant))
-          || window_satisfied t rn k
-        in
-        let bounded =
-          (not (Config.has_bounded_condition variant))
-          || t.susp_level.(k) = min_susp t
-        in
-        if quorum && window && bounded then begin
-          entry.credited.(k) <- true;
-          raise_level t k (t.susp_level.(k) + 1);
-          t.local_increments <- t.local_increments + 1
-        end)
-      suspects
+    credit_suspects t entry rn t.cfg.Config.variant suspects
   end
 
 let on_message t ~src msg =
@@ -391,8 +431,18 @@ let create_with_transport cfg (tr : transport) ~me =
       max_timeout_armed = cfg.Config.initial_timeout;
       max_susp_seen = 0;
       local_increments = 0;
+      set_pool = [];
+      susp_pool = [];
+      default_rec = (fun () -> assert false);
+      default_susp = (fun () -> assert false);
+      recycle_set = ignore;
+      recycle_susp = ignore;
     }
   in
+  t.default_rec <- (fun () -> fresh_rec_from t ());
+  t.default_susp <- (fun () -> fresh_suspicions t ());
+  t.recycle_set <- (fun s -> t.set_pool <- s :: t.set_pool);
+  t.recycle_susp <- (fun e -> t.susp_pool <- e :: t.susp_pool);
   t.timer <- Some (Sim.Timer.create engine ~on_expire:(fun () -> try_close_round t));
   t
 

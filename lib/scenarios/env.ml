@@ -52,11 +52,13 @@ let center_at t rn = Scenario.center_at_round t.regime rn
    engine only when a wrapper is requested — a lossless [build] leaves the
    engine's stream exactly where hand-wiring left it, which keeps plan-free
    digests byte-identical across the API migration. *)
-let build t engine =
+let build ?(flight_pool = true) t engine =
   let scenario =
     Scenario.create t.params t.regime ~seed:t.scenario_seed
   in
-  let oracle = Scenario.oracle scenario ~round_of:Scenario.round_of_omega in
+  let oracle =
+    Scenario.oracle_rn scenario ~round_of:Scenario.round_rn_of_omega
+  in
   let oracle =
     match t.lossy with
     | None -> oracle
@@ -66,7 +68,7 @@ let build t engine =
           ~n:t.config.Omega.Config.n oracle
   in
   let net =
-    Net.Network.create ~classify:t.classify engine
+    Net.Network.create ~classify:t.classify ~pool:flight_pool engine
       ~n:t.config.Omega.Config.n ~oracle
   in
   (scenario, net)

@@ -52,8 +52,13 @@ val center_at : t -> int -> pid option
 (** [build t engine] instantiates the scenario and network for one engine.
     Both are run-local: call once per simulation stack. When [lossy] is
     set, one RNG stream is split off the engine for the wrapper; a
-    lossless build draws nothing from the engine. *)
+    lossless build draws nothing from the engine. [flight_pool] (default
+    [true]) is passed to {!Net.Network.create}'s [pool] — set it to
+    [false] only for A/B allocation measurements. *)
 val build :
-  t -> Sim.Engine.t -> Scenario.t * Omega.Message.t Net.Network.t
+  ?flight_pool:bool ->
+  t ->
+  Sim.Engine.t ->
+  Scenario.t * Omega.Message.t Net.Network.t
 
 val describe : t -> string

@@ -423,17 +423,23 @@ let winning_competitor_delay t ~now ~base rn =
   in
   max base (target - us now)
 
-(* Direct scan — no closure, no ref; the common miss case allocates
-   nothing. ([Some m] on a hit is the one box left; hits are only the t
-   star points of each round's n-1 destinations.) *)
+(* Direct scan, returning an unboxed code (0 = not a point, 1 = timely,
+   2 = winning) instead of a [mode option]: a [Some] box per hit would cost
+   two words for each of the t star points of every round's n-1
+   destinations — a per-message allocation on the oracle path. *)
+let point_none = 0
+let point_timely = 1
+let point_winning = 2
+
 let mode_of_point plan dst =
   let q = plan.q in
   let len = Array.length q in
   let rec scan i =
-    if i >= len then None
+    if i >= len then point_none
     else
       let p, m = q.(i) in
-      if p = dst then Some m else scan (i + 1)
+      if p = dst then match m with Timely -> point_timely | Winning -> point_winning
+      else scan (i + 1)
   in
   scan 0
 
@@ -464,30 +470,30 @@ let alive_delay t ~now ~src ~dst rn =
       let center = center_pid t.regime rn in
       let plan = plan_for t rn in
       if plan.in_s then begin
-        match mode_of_point plan dst with
-        | Some Timely when src = center -> timely_delay t rn
-        | Some Winning when src = center -> winning_center_delay t ~now rn
-        | Some Winning ->
-            let base = background_delay t ~now ~src ~center rn in
-            winning_competitor_delay t ~now ~base rn
-        | Some Timely | None ->
-            if src = center then begin
-              if t.victim_override = center then
-                (* Adaptive adversary targeting the center: only its
-                   non-protected messages can be delayed. *)
+        let point = mode_of_point plan dst in
+        if point = point_timely && src = center then timely_delay t rn
+        else if point = point_winning && src = center then
+          winning_center_delay t ~now rn
+        else if point = point_winning then
+          let base = background_delay t ~now ~src ~center rn in
+          winning_competitor_delay t ~now ~base rn
+        else if src = center then begin
+          if t.victim_override = center then
+            (* Adaptive adversary targeting the center: only its
+               non-protected messages can be delayed. *)
+            victim_delay_us t rn
+          else
+            match t.regime with
+            | Message_pattern _ | Growing_star _ ->
+                (* The purely time-free adversary: outside the star's
+                   points the center's messages are arbitrarily late, so
+                   nothing timer-based can be learned about it. (Round
+                   closure still reaches n-t ALIVEs: the receiver itself
+                   plus the n-2-t other non-victim senders.) *)
                 victim_delay_us t rn
-              else
-                match t.regime with
-                | Message_pattern _ | Growing_star _ ->
-                    (* The purely time-free adversary: outside the star's
-                       points the center's messages are arbitrarily late, so
-                       nothing timer-based can be learned about it. (Round
-                       closure still reaches n-t ALIVEs: the receiver itself
-                       plus the n-2-t other non-victim senders.) *)
-                    victim_delay_us t rn
-                | _ -> async_delay t ~now
-            end
-            else background_delay t ~now ~src ~center rn
+            | _ -> async_delay t ~now
+        end
+        else background_delay t ~now ~src ~center rn
       end
       else if rn >= t.p.rn0 && src = center then
         (* Outside S the assumption is silent about the center: the adversary
@@ -495,19 +501,27 @@ let alive_delay t ~now ~src ~dst rn =
         victim_delay_us t rn
       else background_delay t ~now ~src ~center rn)
 
+(* [rn] is the message's round tag, or [-1] for unconstrained messages —
+   the unboxed rendering of [round_of]'s [int option] (ALIVE rounds start
+   at 1, so -1 is free). Factored out so both oracle flavours draw exactly
+   the same randomness for the same message. *)
+let delay_us_of t ~now ~src ~dst rn =
+  if src = dst then us t.p.min_delay
+  else if rn < 0 then
+    match t.regime with
+    | Full_timely -> timely_delay t 0
+    | _ -> async_delay t ~now
+  else alive_delay t ~now ~src ~dst rn
+
+let oracle_rn t ~round_of ~now ~seq ~src ~dst msg =
+  ignore seq;
+  Net.Network.Deliver_after
+    (Sim.Time.of_us (delay_us_of t ~now ~src ~dst (round_of msg)))
+
 let oracle t ~round_of ~now ~seq ~src ~dst msg =
   ignore seq;
-  let delay_us =
-    if src = dst then us t.p.min_delay
-    else
-      match round_of msg with
-      | None -> (
-          match t.regime with
-          | Full_timely -> timely_delay t 0
-          | _ -> async_delay t ~now)
-      | Some rn -> alive_delay t ~now ~src ~dst rn
-  in
-  Net.Network.Deliver_after (Sim.Time.of_us delay_us)
+  let rn = match round_of msg with None -> -1 | Some rn -> rn in
+  Net.Network.Deliver_after (Sim.Time.of_us (delay_us_of t ~now ~src ~dst rn))
 
 let arrival_bound t rn =
   let u = u_bound t rn in
@@ -522,6 +536,10 @@ let arrival_bound t rn =
 let round_of_omega = function
   | Omega.Message.Alive { rn; _ } -> Some rn
   | Omega.Message.Suspicion _ -> None
+
+let round_rn_of_omega = function
+  | Omega.Message.Alive { rn; _ } -> rn
+  | Omega.Message.Suspicion _ -> -1
 
 let describe t =
   let base =

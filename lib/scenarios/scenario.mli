@@ -156,6 +156,13 @@ val f_function : t -> int -> int
 val oracle :
   t -> round_of:('m -> int option) -> 'm Net.Network.delay_oracle
 
+(** [oracle_rn] is {!oracle} with the round tag unboxed: [round_of m] must
+    return the message's round, or [-1] when [m] is unconstrained. The two
+    flavours draw identical randomness for identical messages — [oracle]'s
+    [Some] box costs two minor words per message, which matters only on the
+    simulator's hot path ({!Env} uses this one with {!round_rn_of_omega}). *)
+val oracle_rn : t -> round_of:('m -> int) -> 'm Net.Network.delay_oracle
+
 (** [arrival_bound t rn] is an upper bound on the arrival time of any
     round-[rn] ALIVE that is not victim-delayed, across all delay policies.
     Harnesses use it to pick the checker's verification horizon: every round
@@ -164,5 +171,8 @@ val arrival_bound : t -> int -> Sim.Time.t
 
 (** [round_of] for the core algorithm's messages. *)
 val round_of_omega : Omega.Message.t -> int option
+
+(** Unboxed [round_of] for {!oracle_rn}: the ALIVE round, [-1] otherwise. *)
+val round_rn_of_omega : Omega.Message.t -> int
 
 val describe : t -> string

@@ -5,38 +5,81 @@
    Events are packed [(fn, arg)] pairs rather than closures: a closure
    capturing k variables costs k+2 words per schedule, while [call_after]
    with a static [fn] and a pre-existing [arg] costs only the event cell
-   itself. The existential keeps the engine polymorphic in the payload
-   without boxing it into a variant. Fire-and-forget events all share the
-   engine's [anon] handle (never exposed, never cancelled), so only
-   cancellable schedules allocate a handle. *)
+   itself. The cell stores the pair type-erased ([Obj.t] payload applied to
+   an [Obj.t -> unit] function — safe because the two are only ever written
+   together by [enqueue], which takes them at a common type). Erasure
+   rather than an existential GADT because it makes the cell mutable and
+   monomorphic, so the wheel backend recycles cells through a freelist and
+   steady-state scheduling allocates nothing; the heap backend deliberately
+   keeps the allocate-per-event profile (fresh cell each [enqueue], never
+   recycled) as the A/B reference the pooling win is measured against.
+   Fire-and-forget events all share the engine's [anon] handle (never
+   exposed, never cancelled), so only cancellable schedules allocate a
+   handle. *)
 
 type handle = { mutable cancelled : bool; mutable fired : bool }
 
-type event =
-  | E : { time : Time.t; fn : 'a -> unit; arg : 'a; h : handle } -> event
+type cell = {
+  mutable time : Time.t;
+  mutable cfn : Obj.t -> unit;
+  mutable carg : Obj.t;
+  mutable ch : handle;
+}
+
+(* Two interchangeable scheduler backends. The wheel keys on [Time.to_us]
+   (Time's full resolution, so no two distinct times share a key) and is
+   monotone — pushes below the last popped time would be rejected, but the
+   engine already rejects scheduling in the past, and [exec] advances [now]
+   to every popped time, so the engine's own precondition implies the
+   wheel's. Both backends order by nondecreasing time with FIFO tie-break
+   (insertion tickets in the heap, bucket append order in the wheel):
+   test_wheel checks them against each other, and the pinned digests check
+   the wheel against the heap-era event streams. *)
+type queue =
+  | Heap of cell Dstruct.Pqueue.t
+  | Wheel of cell Dstruct.Wheel.t
 
 type t = {
-  queue : event Dstruct.Pqueue.t;
+  queue : queue;
   rng : Dstruct.Rng.t;
   mutable now : Time.t;
   mutable executed : int;
   mutable live : int;  (* scheduled, not fired and not cancelled *)
   mutable sink : Obs.Sink.t;
   anon : handle;  (* shared by all fire-and-forget events *)
+  (* Cell freelist (wheel backend only): [exec] latches a popped cell's
+     fields, clears it and releases it here before running the event, so
+     the event's own schedules draw recycled cells. *)
+  mutable cpool : cell array;
+  mutable cpool_n : int;
 }
 
-let compare_event e1 e2 =
-  match (e1, e2) with E a, E b -> Time.compare a.time b.time
+let ignore_obj (_ : Obj.t) = ()
+let unit_obj = Obj.repr ()
 
-let create ~seed () =
+let compare_cell a b = Time.compare a.time b.time
+
+let create ?(queue = `Wheel) ~seed () =
+  let anon = { cancelled = false; fired = false } in
+  let queue =
+    match queue with
+    | `Heap -> Heap (Dstruct.Pqueue.create ~compare:compare_cell)
+    | `Wheel ->
+        let dummy =
+          { time = Time.zero; cfn = ignore_obj; carg = unit_obj; ch = anon }
+        in
+        Wheel (Dstruct.Wheel.create ~dummy ())
+  in
   {
-    queue = Dstruct.Pqueue.create ~compare:compare_event;
+    queue;
     rng = Dstruct.Rng.create seed;
     now = Time.zero;
     executed = 0;
     live = 0;
     sink = Obs.Sink.null;
-    anon = { cancelled = false; fired = false };
+    anon;
+    cpool = [||];
+    cpool_n = 0;
   }
 
 let now t = t.now
@@ -44,13 +87,50 @@ let rng t = t.rng
 let sink t = t.sink
 let set_sink t sink = t.sink <- sink
 
+(* Like the network's flight pool: grow with the released cell itself as
+   the [Array.make] filler. The released cell is cleared first so the pool
+   never keeps an event's payload (or its handle) reachable. *)
+let release_cell t c =
+  c.cfn <- ignore_obj;
+  c.carg <- unit_obj;
+  c.ch <- t.anon;
+  let k = t.cpool_n in
+  if k = Array.length t.cpool then begin
+    let a = Array.make (if k = 0 then 64 else 2 * k) c in
+    Array.blit t.cpool 0 a 0 k;
+    t.cpool <- a
+  end;
+  t.cpool.(k) <- c;
+  t.cpool_n <- k + 1
+
 let enqueue : type a. t -> Time.t -> (a -> unit) -> a -> handle -> unit =
  fun t time fn arg h ->
   if Time.(time < t.now) then
     invalid_arg
       (Format.asprintf "Engine.schedule: %a is before now (%a)" Time.pp time
          Time.pp t.now);
-  Dstruct.Pqueue.push t.queue (E { time; fn; arg; h });
+  (* The only erasure point: [fn] and [arg] arrive at a common type [a], so
+     applying the erased function to the erased payload is well-typed by
+     construction. *)
+  let fn : Obj.t -> unit = Obj.magic fn in
+  let arg = Obj.repr arg in
+  (match t.queue with
+  | Heap q -> Dstruct.Pqueue.push q { time; cfn = fn; carg = arg; ch = h }
+  | Wheel w ->
+      let c =
+        if t.cpool_n = 0 then { time; cfn = fn; carg = arg; ch = h }
+        else begin
+          let k = t.cpool_n - 1 in
+          t.cpool_n <- k;
+          let c = t.cpool.(k) in
+          c.time <- time;
+          c.cfn <- fn;
+          c.carg <- arg;
+          c.ch <- h;
+          c
+        end
+      in
+      Dstruct.Wheel.push w ~key:(Time.to_us time) c);
   t.live <- t.live + 1;
   if Obs.Sink.wants t.sink Obs.Event.c_engine then
     Obs.Sink.emit t.sink
@@ -87,46 +167,83 @@ let is_cancelled h = h.cancelled
 let pending t = t.live
 let executed t = t.executed
 
-let exec t ev =
-  match ev with
-  | E e ->
-      if not e.h.cancelled then begin
-        e.h.fired <- true;
-        t.live <- t.live - 1;
-        assert (Time.(e.time >= t.now));
-        t.now <- e.time;
-        t.executed <- t.executed + 1;
-        if Obs.Sink.wants t.sink Obs.Event.c_engine then
-          Obs.Sink.emit t.sink (Obs.Event.Fire { now = Time.to_us t.now });
-        e.fn e.arg
-      end
+(* [exec t c ~recycle] latches every field, optionally releases the cell
+   (wheel backend — the heap's cells are garbage once popped), then fires.
+   Latch-then-release, so the event's own schedules may reuse the cell. *)
+let exec t c ~recycle =
+  let time = c.time and fn = c.cfn and arg = c.carg and h = c.ch in
+  if recycle then release_cell t c;
+  if not h.cancelled then begin
+    h.fired <- true;
+    t.live <- t.live - 1;
+    assert (Time.(time >= t.now));
+    t.now <- time;
+    t.executed <- t.executed + 1;
+    if Obs.Sink.wants t.sink Obs.Event.c_engine then
+      Obs.Sink.emit t.sink (Obs.Event.Fire { now = Time.to_us t.now });
+    fn arg
+  end
 
+(* The run loops are specialized per backend so the per-event dispatch is
+   hoisted out of the loop. The wheel loop decides from [min_key_exn]
+   (memoized, non-mutating) before popping: peeking must not advance the
+   wheel's cursor past [limit], or a later legal schedule below the cursor
+   would be rejected. *)
 let run_until t limit =
-  let rec loop () =
-    if not (Dstruct.Pqueue.is_empty t.queue) then
-      match Dstruct.Pqueue.peek_exn t.queue with
-      | E { time; _ } as ev when Time.(time <= limit) ->
-          Dstruct.Pqueue.drop_exn t.queue;
-          exec t ev;
-          loop ()
-      | E _ -> ()
-  in
-  loop ();
+  (match t.queue with
+  | Heap q ->
+      let rec loop () =
+        if not (Dstruct.Pqueue.is_empty q) then begin
+          let c = Dstruct.Pqueue.peek_exn q in
+          if Time.(c.time <= limit) then begin
+            Dstruct.Pqueue.drop_exn q;
+            exec t c ~recycle:false;
+            loop ()
+          end
+        end
+      in
+      loop ()
+  | Wheel w ->
+      let lim = Time.to_us limit in
+      let rec loop () =
+        if not (Dstruct.Wheel.is_empty w) then
+          if Dstruct.Wheel.min_key_exn w <= lim then begin
+            exec t (Dstruct.Wheel.pop_exn w) ~recycle:true;
+            loop ()
+          end
+      in
+      loop ());
   t.now <- Time.max t.now limit
 
 let run_until_idle ?limit t =
-  let rec loop () =
-    if Dstruct.Pqueue.is_empty t.queue then `Idle
-    else
-      match Dstruct.Pqueue.peek_exn t.queue with
-      | E { time; _ } as ev -> (
+  match t.queue with
+  | Heap q ->
+      let rec loop () =
+        if Dstruct.Pqueue.is_empty q then `Idle
+        else begin
+          let c = Dstruct.Pqueue.peek_exn q in
           match limit with
-          | Some l when Time.(time > l) ->
+          | Some l when Time.(c.time > l) ->
               t.now <- Time.max t.now l;
               `Limit
           | Some _ | None ->
-              Dstruct.Pqueue.drop_exn t.queue;
-              exec t ev;
-              loop ())
-  in
-  loop ()
+              Dstruct.Pqueue.drop_exn q;
+              exec t c ~recycle:false;
+              loop ()
+        end
+      in
+      loop ()
+  | Wheel w ->
+      let rec loop () =
+        if Dstruct.Wheel.is_empty w then `Idle
+        else
+          let key = Dstruct.Wheel.min_key_exn w in
+          match limit with
+          | Some l when key > Time.to_us l ->
+              t.now <- Time.max t.now l;
+              `Limit
+          | Some _ | None ->
+              exec t (Dstruct.Wheel.pop_exn w) ~recycle:true;
+              loop ()
+      in
+      loop ()

@@ -20,8 +20,16 @@ type t
 (** A cancellable reference to a scheduled event. *)
 type handle
 
-(** [create ~seed ()] is a fresh engine at time [Time.zero]. *)
-val create : seed:int64 -> unit -> t
+(** [create ~seed ()] is a fresh engine at time [Time.zero].
+
+    [queue] selects the scheduler backend — [`Wheel] (default) is the
+    hierarchical timing wheel ({!Dstruct.Wheel}: O(1) push, pooled event
+    cells); [`Heap] is the binary-heap reference ({!Dstruct.Pqueue} with
+    insertion tickets). Both implement the identical contract
+    (nondecreasing time, FIFO among equal times), so a run's event stream
+    is byte-identical under either; [test/test_wheel.ml] checks them
+    differentially. *)
+val create : ?queue:[ `Heap | `Wheel ] -> seed:int64 -> unit -> t
 
 (** Current virtual time. *)
 val now : t -> Time.t

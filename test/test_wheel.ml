@@ -1,0 +1,277 @@
+(* Differential tests for the timing-wheel scheduler: the wheel and the
+   binary heap implement one contract (nondecreasing key order, FIFO among
+   equal keys), so any workload must drain identically from both. The
+   random workloads respect the wheel's monotonicity precondition (pushed
+   keys >= last popped key) because that is the regime the engine
+   guarantees; the engine-level tests then check the two backends through
+   [Sim.Engine] itself, cancels and all. *)
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+let new_wheel () = Dstruct.Wheel.create ~dummy:(-1, -1) ()
+
+let new_heap () =
+  Dstruct.Pqueue.create ~compare:(fun (a, _) (b, _) -> Int.compare a b)
+
+(* ------------------------------------------------------------ unit tests *)
+
+let test_basics () =
+  let w = new_wheel () in
+  check bool_t "fresh is empty" true (Dstruct.Wheel.is_empty w);
+  check int_t "fresh cursor" 0 (Dstruct.Wheel.cursor w);
+  List.iter
+    (fun (k, id) -> Dstruct.Wheel.push w ~key:k (k, id))
+    [ (5, 0); (1, 1); (70_000, 2); (1, 3); (300, 4) ];
+  check int_t "length" 5 (Dstruct.Wheel.length w);
+  check int_t "min key" 1 (Dstruct.Wheel.min_key_exn w);
+  let drained = List.init 5 (fun _ -> Dstruct.Wheel.pop_exn w) in
+  check
+    (Alcotest.list (Alcotest.pair int_t int_t))
+    "sorted drain, FIFO ties"
+    [ (1, 1); (1, 3); (5, 0); (300, 4); (70_000, 2) ]
+    drained;
+  check bool_t "empty again" true (Dstruct.Wheel.is_empty w);
+  check int_t "cursor at last pop" 70_000 (Dstruct.Wheel.cursor w)
+
+let test_push_below_cursor_raises () =
+  let w = new_wheel () in
+  Dstruct.Wheel.push w ~key:10 (10, 0);
+  ignore (Dstruct.Wheel.pop_exn w);
+  Alcotest.check_raises "push below cursor"
+    (Invalid_argument "Wheel.push: key 3 below cursor 10") (fun () ->
+      Dstruct.Wheel.push w ~key:3 (3, 0))
+
+let test_empty_raises () =
+  let w = new_wheel () in
+  Alcotest.check_raises "pop on empty" (Invalid_argument "Wheel: empty wheel")
+    (fun () -> ignore (Dstruct.Wheel.pop_exn w))
+
+(* The engine peeks an event beyond its run limit and leaves it queued; a
+   later push below that peeked key (but at/above the cursor) must still be
+   accepted and pop first. This pins that [peek]/[min_key] never cascade or
+   advance the cursor. *)
+let test_peek_does_not_advance () =
+  let w = new_wheel () in
+  Dstruct.Wheel.push w ~key:1_000_000 (1_000_000, 0);
+  check int_t "peek far key" 1_000_000 (Dstruct.Wheel.min_key_exn w);
+  check int_t "cursor still 0" 0 (Dstruct.Wheel.cursor w);
+  Dstruct.Wheel.push w ~key:3 (3, 1);
+  check
+    (Alcotest.pair int_t int_t)
+    "near key pops first" (3, 1) (Dstruct.Wheel.pop_exn w);
+  check
+    (Alcotest.pair int_t int_t)
+    "far key follows" (1_000_000, 0) (Dstruct.Wheel.pop_exn w)
+
+(* -------------------------------------------- differential vs binary heap *)
+
+(* One random workload: interleaved pushes and pops, keys issued at a
+   random offset above the wheel cursor so both structures see a legal
+   monotone schedule. [burst] biases offsets toward 0 and repeats keys, so
+   same-key FIFO ordering is exercised hard. Every pop is compared. *)
+let run_differential ~seed ~ops ~spread ~burst () =
+  let rng = Dstruct.Rng.create seed in
+  let w = new_wheel () and q = new_heap () in
+  let uid = ref 0 in
+  let last_key = ref 0 in
+  for _ = 1 to ops do
+    let do_push =
+      Dstruct.Wheel.is_empty w || Dstruct.Rng.chance rng 0.55
+    in
+    if do_push then begin
+      let key =
+        if burst && Dstruct.Rng.chance rng 0.5 then !last_key
+        else Dstruct.Wheel.cursor w + Dstruct.Rng.int rng spread
+      in
+      let key = max key (Dstruct.Wheel.cursor w) in
+      last_key := key;
+      let v = (key, !uid) in
+      incr uid;
+      Dstruct.Wheel.push w ~key v;
+      Dstruct.Pqueue.push q v
+    end
+    else begin
+      let vw = Dstruct.Wheel.pop_exn w in
+      let vq = Dstruct.Pqueue.pop_exn q in
+      if vw <> vq then
+        Alcotest.failf "divergence at uid %d: wheel (%d,%d) heap (%d,%d)"
+          !uid (fst vw) (snd vw) (fst vq) (snd vq)
+    end;
+    if Dstruct.Wheel.length w <> Dstruct.Pqueue.length q then
+      Alcotest.failf "length divergence: wheel %d heap %d"
+        (Dstruct.Wheel.length w) (Dstruct.Pqueue.length q)
+  done;
+  (* Drain the remainder: the tail orders must agree too. *)
+  while not (Dstruct.Wheel.is_empty w) do
+    let vw = Dstruct.Wheel.pop_exn w in
+    let vq = Dstruct.Pqueue.pop_exn q in
+    check (Alcotest.pair int_t int_t) "drain order" vq vw
+  done;
+  check bool_t "heap drained too" true (Dstruct.Pqueue.is_empty q)
+
+let test_differential_spread () =
+  List.iter
+    (fun seed -> run_differential ~seed ~ops:20_000 ~spread:5_000 ~burst:false ())
+    [ 1L; 2L; 3L; 1234L ]
+
+(* Wide spread crosses wheel levels (keys land several radix-256 digits
+   apart), exercising cascades. *)
+let test_differential_wide () =
+  List.iter
+    (fun seed ->
+      run_differential ~seed ~ops:10_000 ~spread:10_000_000 ~burst:false ())
+    [ 7L; 99L; 4242L ]
+
+let test_differential_bursts () =
+  List.iter
+    (fun seed -> run_differential ~seed ~ops:20_000 ~spread:64 ~burst:true ())
+    [ 5L; 6L; 777L ]
+
+(* --------------------------------------------- engine-level differential *)
+
+(* Drive two engines — one per backend — through one pre-generated random
+   program of schedules and cancels, and require identical fire order and
+   identical [pending]/[executed] counters at every phase. Cancels cover
+   both the pre-run and the mid-run (an event cancelling a later event)
+   paths. *)
+let run_engine_differential ~seed () =
+  let rng = Dstruct.Rng.create seed in
+  let n_events = 400 in
+  let program =
+    List.init n_events (fun i ->
+        let delay = Dstruct.Rng.int rng 50_000 (* us *) in
+        let cancels =
+          if i >= 10 && Dstruct.Rng.chance rng 0.15 then
+            Some (Dstruct.Rng.int rng i)
+          else None
+        in
+        (i, delay, cancels))
+  in
+  let run queue =
+    let engine = Sim.Engine.create ~queue ~seed:11L () in
+    let log = ref [] in
+    let handles = Array.make n_events None in
+    List.iter
+      (fun (i, delay, cancels) ->
+        let h =
+          Sim.Engine.schedule_after engine (Sim.Time.of_us delay) (fun () ->
+              log := i :: !log;
+              match cancels with
+              | Some j -> (
+                  match handles.(j) with
+                  | Some hj -> Sim.Engine.cancel engine hj
+                  | None -> ())
+              | None -> ())
+        in
+        handles.(i) <- Some h)
+      program;
+    (* Pre-run cancels: every 17th event dies before the clock moves. *)
+    List.iter
+      (fun (i, _, _) ->
+        if i mod 17 = 0 then
+          match handles.(i) with
+          | Some h -> Sim.Engine.cancel engine h
+          | None -> ())
+      program;
+    let pending_before = Sim.Engine.pending engine in
+    Sim.Engine.run_until engine (Sim.Time.of_us 25_000);
+    let mid = (List.rev !log, Sim.Engine.pending engine) in
+    Sim.Engine.run_until engine (Sim.Time.of_us 60_000);
+    ( pending_before,
+      mid,
+      List.rev !log,
+      Sim.Engine.pending engine,
+      Sim.Engine.executed engine )
+  in
+  let bh, (mid_h, midp_h), fh, ph, xh = run `Heap in
+  let bw, (mid_w, midp_w), fw, pw, xw = run `Wheel in
+  check int_t "pending before run agrees" bh bw;
+  check (Alcotest.list int_t) "fire order agrees at mid-run" mid_h mid_w;
+  check int_t "pending agrees at mid-run" midp_h midp_w;
+  check (Alcotest.list int_t) "final fire order agrees" fh fw;
+  check int_t "final pending agrees" ph pw;
+  check int_t "executed agrees" xh xw
+
+let test_engine_differential () =
+  List.iter (fun seed -> run_engine_differential ~seed ()) [ 21L; 22L; 23L ]
+
+(* ------------------------------------------------------ allocation gates *)
+
+let minor_words_of f =
+  let before = Gc.minor_words () in
+  f ();
+  int_of_float (Gc.minor_words () -. before)
+
+(* Steady-state wheel traffic must reuse its freelist: after a warm-up that
+   sizes the pool, a push/pop-balanced loop allocates nothing. *)
+let test_wheel_steady_state_alloc_free () =
+  let w = Dstruct.Wheel.create ~dummy:0 () in
+  for i = 0 to 63 do
+    Dstruct.Wheel.push w ~key:i i
+  done;
+  let words =
+    minor_words_of (fun () ->
+        for i = 64 to 100_063 do
+          ignore (Dstruct.Wheel.drop_exn w);
+          Dstruct.Wheel.push w ~key:i i
+        done)
+  in
+  check bool_t
+    (Printf.sprintf "100k wheel push/pop cycles allocated %d minor words"
+       words)
+    true (words < 1_000)
+
+(* The n-scaling budget: one simulated second at n=32 under the default
+   wheel+pools stack. Like test_rng's n=4 budget, the bound is ~1.4x the
+   measured value — a breach means per-message allocation crept back into
+   the scaled path (wheel cells, flights, or round cells). *)
+let test_n32_run_budget () =
+  let config = Omega.Config.default ~n:32 ~t:8 Omega.Config.Fig1 in
+  let env =
+    Scenarios.Env.make config (Scenarios.Scenario.Rotating_star { center = 2 })
+  in
+  let spec =
+    Harness.Run.Spec.(
+      default |> with_check false |> with_horizon (Sim.Time.of_sec 1))
+  in
+  let run () = ignore (Harness.Run.run ~spec ~env ~seed:7L ()) in
+  run () (* warm-up: first run pays one-time lazy setup *);
+  let words = minor_words_of run in
+  check bool_t
+    (Printf.sprintf
+       "null-sink 1s n=32 run allocated %d minor words (budget 2600000)" words)
+    true
+    (words < 2_600_000)
+
+let () =
+  Alcotest.run "wheel"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "push below cursor raises" `Quick
+            test_push_below_cursor_raises;
+          Alcotest.test_case "empty pop raises" `Quick test_empty_raises;
+          Alcotest.test_case "peek does not advance cursor" `Quick
+            test_peek_does_not_advance;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "random schedules match heap" `Quick
+            test_differential_spread;
+          Alcotest.test_case "wide keys cross levels" `Quick
+            test_differential_wide;
+          Alcotest.test_case "same-time bursts keep FIFO" `Quick
+            test_differential_bursts;
+          Alcotest.test_case "engine backends agree" `Quick
+            test_engine_differential;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "steady state is allocation-free" `Quick
+            test_wheel_steady_state_alloc_free;
+          Alcotest.test_case "n=32 run budget" `Slow test_n32_run_budget;
+        ] );
+    ]
