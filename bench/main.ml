@@ -114,6 +114,22 @@ let micro_tests =
              (sim_run ~variant:Omega.Config.Fig1 ~n:128 ~horizon_ms:1000 ())));
   ]
 
+(* The large-cluster tier (DESIGN.md §14): one simulated second at n = 256
+   and n = 512. A single run is tens of wall-clock seconds, so like the
+   macro tables they get the minimal-iteration config — the point of the
+   rows is n-scaling and PR-over-PR drift, not microsecond resolution. *)
+let large_micro_tests =
+  [
+    Test.make ~name:"micro:sim-1s-n256-fig1"
+      (Staged.stage (fun () ->
+           ignore
+             (sim_run ~variant:Omega.Config.Fig1 ~n:256 ~horizon_ms:1000 ())));
+    Test.make ~name:"micro:sim-1s-n512-fig1"
+      (Staged.stage (fun () ->
+           ignore
+             (sim_run ~variant:Omega.Config.Fig1 ~n:512 ~horizon_ms:1000 ())));
+  ]
+
 (* micro:pqueue-push-pop-1k and micro:engine-pending-1k wobbled ±30%
    between identical builds under the 2s quota (CHANGES.md, PR 3), drowning
    bench_diff's clock warnings; they get a longer quota and more samples. *)
@@ -269,6 +285,7 @@ let () =
   print_endline "== micro benchmarks (substrate + simulator throughput) ==";
   let micro =
     benchmark ~cfg:micro_cfg micro_tests
+    @ benchmark ~cfg:macro_cfg large_micro_tests
     @ benchmark ~cfg:noisy_cfg noisy_micro_tests
   in
   report micro;

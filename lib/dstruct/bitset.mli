@@ -28,6 +28,28 @@ val copy : t -> t
 (** [complement t] is the set of ids in [0 .. capacity-1] not in [t]. *)
 val complement : t -> t
 
+(** [iter_set t f] applies [f] to every member in ascending order, skipping
+    32 ids per empty word (de Bruijn count-trailing-zeros scan). *)
+val iter_set : t -> (int -> unit) -> unit
+
+(** [fold_set t ~init ~f] folds [f] over the members in ascending order. *)
+val fold_set : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+(** [first_set t] is the smallest member, or [-1] if the set is empty. *)
+val first_set : t -> int
+
+(** [iter_unset t f] applies [f] to every id of [0 .. capacity-1] {e not}
+    in the set, ascending; an all-ones word (32 present ids) costs one
+    test. This is the suspects scan of the O(live) round closure. *)
+val iter_unset : t -> (int -> unit) -> unit
+
+(** [fold_unset t ~init ~f] folds over the absent ids, ascending. *)
+val fold_unset : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+(** [fold_unset_down t ~init ~f] folds over the absent ids, descending —
+    consing in [f] yields the absent ids as an ascending list. *)
+val fold_unset_down : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+
 (** Ascending list of members. *)
 val to_list : t -> int list
 

@@ -11,6 +11,9 @@ let check_live t rn ~op =
 
 let find t rn = if rn < t.floor then None else Hashtbl.find_opt t.table rn
 
+let find_exn t rn =
+  if rn < t.floor then raise Not_found else Hashtbl.find t.table rn
+
 (* Exception-based lookup: [Hashtbl.find_opt] boxes a [Some] per call, and
    this runs once per received message. The hit path here is allocation-free
    ([Not_found] is only constructed on a miss, once per round). *)
@@ -27,18 +30,22 @@ let set t rn v =
   check_live t rn ~op:"set";
   Hashtbl.replace t.table rn v
 
+(* Walk the keys from the old floor to the new bound directly: every live
+   key is >= floor, so the dead ones all lie in [floor, bound). Probing
+   each candidate key is O(bound - floor) [Hashtbl.find] calls — pruning
+   advances the floor monotonically, so the probes amortize to one per
+   round ever lived — where the [Hashtbl.iter]-and-collect this replaces
+   walked the whole table and allocated a (rn, v) tuple list per call, on
+   the round-closure path. *)
 let prune_below ?recycle t bound =
   if bound > t.floor then begin
-    (* Collect first: removing during [iter] is unspecified for Hashtbl. *)
-    let dead = ref [] in
-    Hashtbl.iter
-      (fun rn v -> if rn < bound then dead := (rn, v) :: !dead)
-      t.table;
-    List.iter
-      (fun (rn, v) ->
-        Hashtbl.remove t.table rn;
-        match recycle with Some f -> f v | None -> ())
-      !dead;
+    for rn = t.floor to bound - 1 do
+      match Hashtbl.find t.table rn with
+      | v ->
+          Hashtbl.remove t.table rn;
+          (match recycle with Some f -> f v | None -> ())
+      | exception Not_found -> ()
+    done;
     t.floor <- bound
   end
 

@@ -22,6 +22,12 @@ val cardinal : 'a t -> int
 (** [find t rn] is the entry for round [rn], if any. *)
 val find : 'a t -> int -> 'a option
 
+(** [find_exn t rn] is the entry for round [rn]; raises [Not_found] if the
+    round is absent {e or below the floor}. The hit path is allocation-free
+    where {!find}'s [Some] box is a per-call allocation — use this from
+    per-message code (the window check of line [*]). *)
+val find_exn : 'a t -> int -> 'a
+
 (** [find_or_add t rn ~default] returns the entry for [rn], creating it with
     [default ()] if absent. Raises [Invalid_argument] if [rn < floor t]:
     resurrecting a pruned round would silently corrupt the algorithm. *)

@@ -41,6 +41,11 @@ type 'a t = {
   mutable cached_key : int;
   mutable cached_level : int;
   mutable cached_bucket : int;
+  (* Staged-insertion chain ([stage] / [commit]): cells linked through
+     [next] in stage order, invisible to every query until committed. *)
+  mutable staged_head : 'a cell;
+  mutable staged_tail : 'a cell;
+  mutable staged_n : int;
 }
 
 let levels = 8
@@ -62,6 +67,9 @@ let create ?(start = 0) ~dummy () =
     cached_key = 0;
     cached_level = 0;
     cached_bucket = 0;
+    staged_head = nil;
+    staged_tail = nil;
+    staged_n = 0;
   }
 
 let length t = t.size
@@ -175,6 +183,7 @@ let rec find_min t l =
   end
 
 let locate t =
+  if t.staged_n <> 0 then invalid_arg "Wheel: staged cells pending commit";
   if t.size = 0 then invalid_arg "Wheel: empty wheel";
   if not t.cached then find_min t 0
 
@@ -243,3 +252,73 @@ let pop_exn t =
   v
 
 let drop_exn t = ignore (pop_exn t)
+
+(* Batched insertion. [stage] buffers cells on a private chain in call
+   order; [commit] splices the chain into the canonical buckets. The chain
+   walk attaches each maximal run of consecutive cells sharing a canonical
+   (level, bucket) as one pre-linked segment, so a broadcast whose flights
+   land in the same bucket costs one bucket append instead of n-1.
+   Insertion order within the chain is preserved verbatim, which is exactly
+   the order individual [push]es would have produced — the FIFO tie-break
+   and canonical placement invariants are untouched. *)
+
+let stage t ~key v =
+  if key < t.cursor then
+    invalid_arg
+      (Printf.sprintf "Wheel.stage: key %d below cursor %d" key t.cursor);
+  let c =
+    if t.free == t.nil then { key; v; next = t.nil }
+    else begin
+      let c = t.free in
+      t.free <- c.next;
+      c.key <- key;
+      c.v <- v;
+      c.next <- t.nil;
+      c
+    end
+  in
+  if t.staged_head == t.nil then t.staged_head <- c
+  else t.staged_tail.next <- c;
+  t.staged_tail <- c;
+  t.staged_n <- t.staged_n + 1
+
+(* Last cell of the maximal run starting at [last] whose canonical bucket
+   is [(l, b)]. Top-level, like the other per-event helpers: a nested
+   [let rec] is a closure allocation per call without flambda. *)
+let rec run_end nil cursor l b last =
+  let nx = last.next in
+  if nx == nil then last
+  else begin
+    let x = nx.key lxor cursor in
+    let l' = if x = 0 then 0 else level_of_xor x in
+    if l' = l && digit nx.key l' = b then run_end nil cursor l b nx else last
+  end
+
+let rec commit_chain t c =
+  if c != t.nil then begin
+    let x = c.key lxor t.cursor in
+    let l = if x = 0 then 0 else level_of_xor x in
+    let b = digit c.key l in
+    let tail = run_end t.nil t.cursor l b c in
+    let after = tail.next in
+    tail.next <- t.nil;
+    let i = (l lsl 8) lor b in
+    if t.heads.(i) == t.nil then begin
+      t.heads.(i) <- c;
+      set_bit t l b
+    end
+    else t.tails.(i).next <- c;
+    t.tails.(i) <- tail;
+    commit_chain t after
+  end
+
+let commit t =
+  if t.staged_n > 0 then begin
+    let head = t.staged_head in
+    t.staged_head <- t.nil;
+    t.staged_tail <- t.nil;
+    t.size <- t.size + t.staged_n;
+    t.staged_n <- 0;
+    t.cached <- false;
+    commit_chain t head
+  end

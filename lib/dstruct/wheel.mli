@@ -54,3 +54,26 @@ val pop_exn : 'a t -> 'a
 
 (** [pop_exn] without the result. *)
 val drop_exn : 'a t -> unit
+
+(** {2 Batched insertion}
+
+    A broadcast schedules n-1 deliveries from inside one event handler;
+    staging lets the wheel splice them in bucket-sized runs instead of
+    n-1 independent bucket appends. *)
+
+(** [stage t ~key v] buffers an insertion on a private chain, invisible to
+    every query until {!commit}. Staged cells reuse the freelist exactly
+    like {!push}. Raises [Invalid_argument] if [key < cursor t]. *)
+val stage : 'a t -> key:int -> 'a -> unit
+
+(** [commit t] splices every staged cell into its canonical bucket, in
+    stage order — the resulting wheel state is {e identical} to having
+    {!push}ed each cell individually, including the FIFO tie-break among
+    equal keys. Consecutive staged cells sharing a bucket attach as one
+    pre-linked segment. No-op when nothing is staged.
+
+    {!pop_exn} / {!peek_exn} / {!min_key_exn} raise [Invalid_argument]
+    while cells are staged: commit before the next query (the engine
+    commits before returning to its event loop, so the cursor cannot move
+    between a stage and its commit). *)
+val commit : 'a t -> unit

@@ -23,6 +23,14 @@ type verdict =
 type 'm delay_oracle =
   now:Sim.Time.t -> seq:int -> src:pid -> dst:pid -> 'm -> verdict
 
+(** The unboxed oracle flavour: the transfer delay in microseconds, any
+    negative value meaning [Drop]. Semantically identical to
+    {!delay_oracle}, but the per-message call returns a plain [int] — no
+    [Deliver_after] box, which on the simulator's hot path was two words
+    for every message sent ({!Scenarios.Env} passes this flavour). *)
+type 'm delay_oracle_us =
+  now:Sim.Time.t -> seq:int -> src:pid -> dst:pid -> 'm -> int
+
 type 'm t
 
 (** [create engine ~n ~oracle] is a network for processes [0 .. n-1].
@@ -35,6 +43,13 @@ type 'm t
     {!Obs.Event.no_info}. It is only invoked when a sink wants [c_net]
     events, so the untraced path never calls it.
 
+    [oracle_us], when given, takes precedence over [oracle] for every
+    per-message decision ([oracle] is then never called): the two must
+    agree if both are meaningful. The boxed [oracle] remains the primary
+    API — a missing [oracle_us] is adapted once at creation, preserving
+    behaviour (including the negative-delay rejection) at the cost of the
+    per-message verdict box.
+
     [pool] (default [true]) recycles in-flight message records through a
     network-local freelist: a delivery latches its fields and releases the
     record before invoking the handler, so steady-state traffic allocates
@@ -45,6 +60,7 @@ type 'm t
 val create :
   ?classify:('m -> Obs.Event.msg_info) ->
   ?pool:bool ->
+  ?oracle_us:'m delay_oracle_us ->
   Sim.Engine.t ->
   n:int ->
   oracle:'m delay_oracle ->
@@ -61,8 +77,18 @@ val set_handler : 'm t -> pid -> (src:pid -> 'm -> unit) -> unit
 val send : 'm t -> src:pid -> dst:pid -> 'm -> unit
 
 (** [broadcast t ~src m] sends [m] to every process except [src] (the
-    algorithms in the paper send "to each j <> i"). *)
+    algorithms in the paper send "to each j <> i"). Wide fan-outs
+    (n - 1 >= 48) are batched: per-destination deliveries are staged and
+    spliced into the scheduler in one commit
+    ({!Sim.Engine.batch_call_after}), which is observably identical to a
+    loop of {!send}s but amortizes the queue insertions; below the
+    measured crossover the straight per-send path is faster and is used
+    instead (the event stream is bit-identical either way). *)
 val broadcast : 'm t -> src:pid -> 'm -> unit
+
+(** [broadcast_all t ~src m] is {!broadcast} including the self-send —
+    line 10 of the paper's Figure 3 has no [j <> i] filter. *)
+val broadcast_all : 'm t -> src:pid -> 'm -> unit
 
 (** [crash t i] halts process [i] immediately. A crashed process neither
     sends nor receives until (and unless) {!recover} is called. *)

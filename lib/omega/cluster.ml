@@ -8,7 +8,10 @@ type t = {
 
 let create cfg net =
   let n = Net.Network.n net in
-  let nodes = Array.init n (fun me -> Node.create cfg net ~me) in
+  (* One struct-of-arrays store for the whole cluster: every node's hot row
+     lives in the same flat arrays (DESIGN.md §14). *)
+  let store = Store.create ~n in
+  let nodes = Array.init n (fun me -> Node.create ~store cfg net ~me) in
   { nodes; net; engine = Net.Network.engine net }
 
 let start t = Array.iter Node.start t.nodes

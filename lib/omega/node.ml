@@ -27,19 +27,43 @@ type t = {
   me : pid;
   mutable s_rn : int;  (* current sending round *)
   mutable r_rn : int;  (* current receiving round *)
-  susp_level : int array;
+  (* Struct-of-arrays hot state (DESIGN.md §14): this node's [susp_level]
+     vector is the row of [store.susp] at [base = me * n], and the cached
+     extrema live in the store's per-process slots. [susp]/[base] are
+     latched here so the gossip merge and the leader scan index one flat
+     array directly. Levels only ever increase, so the max is maintained
+     exactly on every write; the min is recomputed lazily, and only when an
+     entry that sat at the cached minimum was raised. [arm_timer], [prune]
+     and Fig3's bounded condition (line 16) consult the extrema on every
+     round closure / SUSPICION. *)
+  store : Store.t;
+  susp : int array;  (* == store.susp *)
+  base : int;  (* == me * n *)
   rec_from : Dstruct.Bitset.t Dstruct.Rounds.t;
   suspicions : suspicion_entry Dstruct.Rounds.t;
   mutable timer : Sim.Timer.t option;  (* set at [create], before [start] *)
-  (* Cached extrema of [susp_level]. Levels only ever increase, so the max
-     can be maintained exactly on every write; the min is recomputed lazily,
-     and only when an entry that sat at the cached minimum was raised.
-     [arm_timer], [prune] and Fig3's bounded condition (line 16) consult
-     these on every round closure / SUSPICION, which used to re-fold the
-     whole array each time. *)
-  mutable cached_max_susp : int;
-  mutable cached_min_susp : int;
-  mutable min_susp_stale : bool;
+  (* Interned ALIVE payload (DESIGN.md §14): the snapshot of [susp_level]
+     the sending task last broadcast. While no level rises the same array
+     object is re-sent round after round — every receiver and every flight
+     share it — and [raise_level] clears [payload_clean] so the next
+     broadcast takes a fresh copy (copy-on-write). A published payload
+     array is never mutated again, which is what makes both the sharing and
+     [last_merged]'s physical-equality test sound. *)
+  mutable payload : int array;
+  mutable payload_clean : bool;
+  (* Per-sender merge skip: the payload array last merged from each peer.
+     Physical equality means contents already absorbed — levels are
+     monotone, so re-merging the same array is a no-op and can be skipped
+     without touching the event stream. *)
+  last_merged : int array array;
+  (* Broadcast fan-out, overridable so the network-backed constructor can
+     route through {!Net.Network}'s batched paths while transport-backed
+     nodes keep the per-destination loop. [bcast_others] is line 3 (every
+     [j <> i]); [bcast_all] is line 10 (itself included). Both must emit
+     exactly the per-destination event sequence of a [send] loop in
+     destination order. *)
+  mutable bcast_others : Message.t -> unit;
+  mutable bcast_all : Message.t -> unit;
   (* Last leader estimate reported on the obs sink. Only consulted (and only
      kept current) while a sink wants omega events; [leader] stays pure. *)
   mutable last_leader : pid;
@@ -83,21 +107,32 @@ let halted t = t.tr.halted ()
 
 let note_level t level = if level > t.max_susp_seen then t.max_susp_seen <- level
 
-let max_susp t = t.cached_max_susp
+let max_susp t = t.store.Store.cached_max.(t.me)
 
 let min_susp t =
-  if t.min_susp_stale then begin
-    t.cached_min_susp <- Array.fold_left min t.susp_level.(0) t.susp_level;
-    t.min_susp_stale <- false
+  let st = t.store in
+  if st.Store.min_stale.(t.me) then begin
+    let susp = t.susp and base = t.base in
+    let m = ref susp.(base) in
+    for k = 1 to t.cfg.Config.n - 1 do
+      if susp.(base + k) < !m then m := susp.(base + k)
+    done;
+    st.Store.cached_min.(t.me) <- !m;
+    st.Store.min_stale.(t.me) <- false
   end;
-  t.cached_min_susp
+  st.Store.cached_min.(t.me)
 
-(* Sole write path to [susp_level]; keeps the cached extrema honest.
-   Requires [level > susp_level.(k)] (levels are monotone). *)
+(* Sole write path to [susp_level]; keeps the cached extrema honest and
+   marks the interned ALIVE payload dirty. Requires [level >
+   susp_level.(k)] (levels are monotone). *)
 let raise_level t k level =
-  if t.susp_level.(k) = t.cached_min_susp then t.min_susp_stale <- true;
-  t.susp_level.(k) <- level;
-  if level > t.cached_max_susp then t.cached_max_susp <- level;
+  let st = t.store in
+  if t.susp.(t.base + k) = st.Store.cached_min.(t.me) then
+    st.Store.min_stale.(t.me) <- true;
+  t.susp.(t.base + k) <- level;
+  if level > st.Store.cached_max.(t.me) then
+    st.Store.cached_max.(t.me) <- level;
+  t.payload_clean <- false;
   note_level t level;
   let sink = Sim.Engine.sink t.engine in
   if Obs.Sink.wants sink Obs.Event.c_omega then
@@ -125,11 +160,13 @@ let arm_timer t =
     t.max_timeout_armed <- duration;
   Sim.Timer.set (timer_exn t) duration
 
-(* Lines 19-21: lexicographic minimum of (susp_level.(j), j). *)
+(* Lines 19-21: lexicographic minimum of (susp_level.(j), j) — one strided
+   pass over this node's row of the store. *)
 let leader t =
+  let susp = t.susp and base = t.base in
   let best = ref 0 in
   for j = 1 to t.cfg.Config.n - 1 do
-    if t.susp_level.(j) < t.susp_level.(!best) then best := j
+    if susp.(base + j) < susp.(base + !best) then best := j
   done;
   !best
 
@@ -199,20 +236,18 @@ let rec try_close_round t =
     in
     if ready then begin
       (* The suspects of line 9 are the complement of [received], read off
-         the bitset directly (descending loop, so the list comes out
+         the bitset's words directly: a word whose 32 senders all delivered
+         costs one test (descending fold, so the cons-list comes out
          ascending — the order [Bitset.complement |> to_list] produced);
-         the cardinal is known without a [List.length] re-walk. *)
-      let suspects = ref [] in
+         the cardinal is known without a [List.length] re-walk. O(live)
+         work, where the per-id loop this replaces scanned all n slots. *)
       let n_suspected = t.cfg.Config.n - Dstruct.Bitset.cardinal received in
-      for i = t.cfg.Config.n - 1 downto 0 do
-        if not (Dstruct.Bitset.mem received i) then suspects := i :: !suspects
-      done;
-      let suspects = !suspects in
+      let suspects =
+        Dstruct.Bitset.fold_unset_down received ~init:[] ~f:(fun acc i ->
+            i :: acc)
+      in
       (* Line 10 sends to every process, itself included (no [j <> i]). *)
-      let msg = Message.Suspicion { rn = t.r_rn; suspects } in
-      for dst = 0 to t.cfg.Config.n - 1 do
-        t.tr.send ~dst msg
-      done;
+      t.bcast_all (Message.Suspicion { rn = t.r_rn; suspects });
       let sink = Sim.Engine.sink t.engine in
       if Obs.Sink.wants sink Obs.Event.c_omega then begin
         let now = Sim.Time.to_us (Sim.Engine.now t.engine) in
@@ -257,11 +292,24 @@ and prune t =
   Dstruct.Rounds.prune_below ~recycle:t.recycle_susp t.suspicions
     (t.r_rn - reach)
 
-(* Lines 4-7. *)
+(* Lines 4-7. The pointwise-max merge is skipped when [sl] is physically
+   the payload array last merged from this sender: interned payloads make
+   that the steady state (a sender re-broadcasts the same array object
+   until one of its levels rises), and monotonicity makes the skip exact —
+   a second merge of the same contents raises nothing and emits nothing. *)
 let on_alive t ~src rn sl =
-  for k = 0 to t.cfg.Config.n - 1 do
-    if sl.(k) > t.susp_level.(k) then raise_level t k sl.(k)
-  done;
+  if sl != t.last_merged.(src) then begin
+    let susp = t.susp and base = t.base in
+    (* Unsafe accesses: [k < n], [sl] is a length-n ALIVE payload
+       (Message invariant), and [base + k < n*n = length susp] (the
+       store row layout) — this loop runs once per received ALIVE and
+       the two bounds checks per entry were measurable at n = 128. *)
+    for k = 0 to t.cfg.Config.n - 1 do
+      let lvl = Array.unsafe_get sl k in
+      if lvl > Array.unsafe_get susp (base + k) then raise_level t k lvl
+    done;
+    t.last_merged.(src) <- sl
+  end;
   (* Recovery catch-up: resume receiving past the live frontier. Waiting for
      the stale [r_rn] to close would block forever — line 8 needs [alpha]
      ALIVEs tagged with that round, and no correct process sends them
@@ -321,21 +369,22 @@ let on_alive t ~src rn sl =
    [alpha] suspicions against [k]. Rounds below 1 don't exist; rounds below
    the prune floor count as unsatisfied (they can only be reached when the
    margin is exceeded, which delays — never falsifies — an increment). *)
+let rec window_check t rn k x =
+  if x > rn then true
+  else
+    match Dstruct.Rounds.find_exn t.suspicions x with
+    | entry ->
+        entry.counts.(k) >= t.cfg.Config.alpha && window_check t rn k (x + 1)
+    | exception Not_found -> false
+
 let window_satisfied t rn k =
   let f = Config.f_of t.cfg.Config.variant in
-  let lo = max 1 (rn - t.susp_level.(k) - f rn) in
+  let lo = max 1 (rn - t.susp.(t.base + k) - f rn) in
   let floor = Dstruct.Rounds.floor t.suspicions in
-  if lo < floor then false
-  else begin
-    let rec check x =
-      if x > rn then true
-      else
-        match Dstruct.Rounds.find t.suspicions x with
-        | Some entry when entry.counts.(k) >= t.cfg.Config.alpha -> check (x + 1)
-        | Some _ | None -> false
-    in
-    check lo
-  end
+  (* [window_check] is a top-level recursion using the allocation-free
+     [Rounds.find_exn]: a nested [let rec] plus [Rounds.find]'s [Some] box
+     would allocate on every SUSPICION's suspect walk. *)
+  if lo < floor then false else window_check t rn k lo
 
 (* Lines 13-18. The suspect loop is a top-level recursion over the list
    rather than a [List.iter] closure: the closure would capture four
@@ -354,11 +403,11 @@ let rec credit_suspects t entry rn variant = function
       in
       let bounded =
         (not (Config.has_bounded_condition variant))
-        || t.susp_level.(k) = min_susp t
+        || t.susp.(t.base + k) = min_susp t
       in
       if quorum && window && bounded then begin
         Dstruct.Bitset.add entry.credited k;
-        raise_level t k (t.susp_level.(k) + 1);
+        raise_level t k (t.susp.(t.base + k) + 1);
         t.local_increments <- t.local_increments + 1
       end;
       credit_suspects t entry rn variant rest
@@ -388,13 +437,23 @@ type task = { node : t; epoch : int }
 let rec sending_task ({ node = t; epoch } as task) =
   if (not (halted t)) && epoch = t.sending_epoch then begin
     t.s_rn <- t.s_rn + 1;
-    let msg =
-      Message.Alive { rn = t.s_rn; susp_level = Array.copy t.susp_level }
+    (* Interned payload: re-broadcast the same snapshot array while no
+       level rose since it was taken (the steady state once suspicions
+       settle), copy the row afresh otherwise. Published arrays are never
+       written again, so every flight and every receiver-side cache may
+       hold them indefinitely. The copy was [Array.copy susp_level] on
+       every single round — Θ(n²) ints per round cluster-wide. *)
+    let sl =
+      if t.payload_clean then t.payload
+      else begin
+        let p = Array.sub t.susp t.base t.cfg.Config.n in
+        t.payload <- p;
+        t.payload_clean <- true;
+        p
+      end
     in
-    for dst = 0 to t.cfg.Config.n - 1 do
-      (* Line 3: every j <> i. *)
-      if dst <> t.me then t.tr.send ~dst msg
-    done;
+    (* Line 3: every j <> i. *)
+    t.bcast_others (Message.Alive { rn = t.s_rn; susp_level = sl });
     let beta_us = Sim.Time.to_us t.cfg.Config.beta in
     let low =
       int_of_float (float_of_int beta_us *. (1. -. t.cfg.Config.send_jitter))
@@ -403,10 +462,19 @@ let rec sending_task ({ node = t; epoch } as task) =
     Sim.Engine.call_after t.engine (Sim.Time.of_us period) sending_task task
   end
 
-let create_with_transport cfg (tr : transport) ~me =
+let create_with_transport ?store cfg (tr : transport) ~me =
   Config.validate cfg;
   if tr.n <> cfg.Config.n then
     invalid_arg "Node.create: transport size differs from config";
+  let n = cfg.Config.n in
+  let store =
+    match store with
+    | Some s ->
+        if Store.n s <> n then
+          invalid_arg "Node.create: store size differs from config";
+        s
+    | None -> Store.create ~n
+  in
   let engine = tr.engine in
   let t =
     {
@@ -417,13 +485,21 @@ let create_with_transport cfg (tr : transport) ~me =
       me;
       s_rn = 0;
       r_rn = 1;
-      susp_level = Array.make cfg.Config.n 0;
+      store;
+      susp = store.Store.susp;
+      base = me * n;
       rec_from = Dstruct.Rounds.create ();
       suspicions = Dstruct.Rounds.create ();
       timer = None;
-      cached_max_susp = 0;
-      cached_min_susp = 0;
-      min_susp_stale = false;
+      (* The initial all-zero payload matches the initial all-zero row, so
+         the first broadcasts share it until a first suspicion. *)
+      payload = Array.make n 0;
+      payload_clean = true;
+      (* [ [||] ] is never physically equal to a length-n payload (n >= 2),
+         so every sender's first ALIVE merges. *)
+      last_merged = Array.make n [||];
+      bcast_others = ignore;
+      bcast_all = ignore;
       last_leader = 0;
       catch_up = false;
       sending_epoch = 0;
@@ -443,6 +519,16 @@ let create_with_transport cfg (tr : transport) ~me =
   t.default_susp <- (fun () -> fresh_suspicions t ());
   t.recycle_set <- (fun s -> t.set_pool <- s :: t.set_pool);
   t.recycle_susp <- (fun e -> t.susp_pool <- e :: t.susp_pool);
+  t.bcast_others <-
+    (fun msg ->
+      for dst = 0 to t.cfg.Config.n - 1 do
+        if dst <> t.me then t.tr.send ~dst msg
+      done);
+  t.bcast_all <-
+    (fun msg ->
+      for dst = 0 to t.cfg.Config.n - 1 do
+        t.tr.send ~dst msg
+      done);
   t.timer <- Some (Sim.Timer.create engine ~on_expire:(fun () -> try_close_round t));
   t
 
@@ -456,8 +542,14 @@ let network_transport net ~me =
     halted = (fun () -> Net.Network.is_crashed net me);
   }
 
-let create cfg net ~me =
-  let t = create_with_transport cfg (network_transport net ~me) ~me in
+let create ?store cfg net ~me =
+  let t = create_with_transport ?store cfg (network_transport net ~me) ~me in
+  (* The batched fan-out: one latch of (now, sink, classification) and one
+     wheel splice per broadcast, against per-destination [send]'s n
+     repetitions — with the per-destination event sequence (Send, then the
+     oracle's verdict, then Sched/Drop) preserved exactly. *)
+  t.bcast_others <- (fun msg -> Net.Network.broadcast net ~src:me msg);
+  t.bcast_all <- (fun msg -> Net.Network.broadcast_all net ~src:me msg);
   Net.Network.set_handler net me (fun ~src msg -> on_message t ~src msg);
   t
 
@@ -491,7 +583,11 @@ let recover t =
    stopped, so nothing else needs restarting. *)
 let resync t = t.catch_up <- true
 
-let susp_level t = Array.copy t.susp_level
+let susp_level t = Array.sub t.susp t.base t.cfg.Config.n
+let susp_level_get t k =
+  if k < 0 || k >= t.cfg.Config.n then
+    invalid_arg "Node.susp_level_get: pid out of range";
+  t.susp.(t.base + k)
 let sending_round t = t.s_rn
 let receiving_round t = t.r_rn
 let current_timeout t = t.current_timeout

@@ -42,12 +42,18 @@ type transport = {
 type t
 
 (** [create cfg net ~me] allocates the node and registers its receive handler
-    on [net]. Call {!start} to begin the sending task and arm the timer. *)
-val create : Config.t -> Message.t Net.Network.t -> me:pid -> t
+    on [net]. Call {!start} to begin the sending task and arm the timer.
+    [?store] is the cluster-shared struct-of-arrays backing for the hot
+    per-node state ({!Store}); omitted, the node allocates a private one.
+    Network-backed nodes broadcast through {!Net.Network.broadcast} /
+    {!Net.Network.broadcast_all} (batched wheel fan-out). *)
+val create : ?store:Store.t -> Config.t -> Message.t Net.Network.t -> me:pid -> t
 
 (** [create_with_transport cfg tr ~me] is {!create} over an arbitrary
-    transport; the caller must route incoming messages to {!handle}. *)
-val create_with_transport : Config.t -> transport -> me:pid -> t
+    transport; the caller must route incoming messages to {!handle}.
+    Broadcasts fall back to a per-destination [tr.send] loop. *)
+val create_with_transport :
+  ?store:Store.t -> Config.t -> transport -> me:pid -> t
 
 (** The direct transport {!create} uses. *)
 val network_transport : Message.t Net.Network.t -> me:pid -> transport
@@ -88,8 +94,13 @@ val config : t -> Config.t
 
 (** {2 Introspection (observers used by tests and experiments)} *)
 
-(** Copy of the suspicion-level array. *)
+(** Copy of the suspicion-level array (Θ(n) — test/debug use). *)
 val susp_level : t -> int array
+
+(** [susp_level_get t k] is [susp_level.(k)] without the copy: the O(1)
+    read-only view samplers and checkers should take every verification
+    step. *)
+val susp_level_get : t -> pid -> int
 
 (** Current sending round. *)
 val sending_round : t -> int

@@ -1,0 +1,19 @@
+type t = {
+  n : int;
+  susp : int array;  (* n rows of n ints; process p's row starts at p * n *)
+  cached_max : int array;  (* per process: exact max of its row *)
+  cached_min : int array;  (* per process: min of its row, maybe stale *)
+  min_stale : bool array;  (* per process: must the min be recomputed? *)
+}
+
+let create ~n =
+  if n <= 0 then invalid_arg "Store.create: n must be positive";
+  {
+    n;
+    susp = Array.make (n * n) 0;
+    cached_max = Array.make n 0;
+    cached_min = Array.make n 0;
+    min_stale = Array.make n false;
+  }
+
+let n t = t.n

@@ -1,0 +1,26 @@
+(** Struct-of-arrays backing for the per-node hot state of a cluster.
+
+    Every {!Node} of one simulation owns a row of [susp] (its
+    [susp_level] vector, [n] contiguous ints at offset [me * n]) and one
+    slot of each extrema array, instead of a private [int array] plus
+    mutable record fields. A whole cluster's suspicion state is then three
+    flat arrays: the gossip merge, the leader scan and the extrema reads
+    walk sequential memory instead of chasing [n] heap-scattered records.
+
+    One store serves one cluster — rows are indexed by process id, so two
+    clusters must never share a store. {!Cluster.create} allocates one per
+    cluster; a standalone {!Node.create_with_transport} allocates a private
+    one unless the caller passes [?store]. *)
+
+type t = {
+  n : int;
+  susp : int array;  (** [n] rows of [n] ints; process [p]'s row at [p * n] *)
+  cached_max : int array;  (** per process: exact max of its row *)
+  cached_min : int array;  (** per process: min of its row, maybe stale *)
+  min_stale : bool array;  (** per process: must the min be recomputed? *)
+}
+
+(** [create ~n] is an all-zero store for an [n]-process cluster. *)
+val create : n:int -> t
+
+val n : t -> int

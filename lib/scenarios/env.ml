@@ -56,20 +56,35 @@ let build ?(flight_pool = true) t engine =
   let scenario =
     Scenario.create t.params t.regime ~seed:t.scenario_seed
   in
-  let oracle =
-    Scenario.oracle_rn scenario ~round_of:Scenario.round_rn_of_omega
-  in
-  let oracle =
-    match t.lossy with
-    | None -> oracle
-    | Some (loss, burst) ->
-        Net.Lossy.wrap ~loss ~burst
-          ~rng:(Dstruct.Rng.split (Sim.Engine.rng engine))
-          ~n:t.config.Omega.Config.n oracle
+  (* Eta-expanded on purpose: a partial application of [oracle_rn] would be
+     an arity-1 curry closure, and the network's call through it would then
+     allocate an intermediate closure per remaining argument — per message.
+     The explicit [fun] has exact arity 5, so [caml_apply5] jumps straight
+     to the body. *)
+  let oracle ~now ~seq ~src ~dst msg =
+    Scenario.oracle_rn scenario ~round_of:Scenario.round_rn_of_omega ~now ~seq
+      ~src ~dst msg
   in
   let net =
-    Net.Network.create ~classify:t.classify ~pool:flight_pool engine
-      ~n:t.config.Omega.Config.n ~oracle
+    match t.lossy with
+    | None ->
+        (* The lossless path also hands the network the unboxed oracle
+           flavour ([delay_oracle_us]): same draws, same delays, but no
+           [Deliver_after] box per message. *)
+        let oracle_us ~now ~seq ~src ~dst msg =
+          Scenario.oracle_us scenario ~round_of:Scenario.round_rn_of_omega
+            ~now ~seq ~src ~dst msg
+        in
+        Net.Network.create ~classify:t.classify ~pool:flight_pool ~oracle_us
+          engine ~n:t.config.Omega.Config.n ~oracle
+    | Some (loss, burst) ->
+        let oracle =
+          Net.Lossy.wrap ~loss ~burst
+            ~rng:(Dstruct.Rng.split (Sim.Engine.rng engine))
+            ~n:t.config.Omega.Config.n oracle
+        in
+        Net.Network.create ~classify:t.classify ~pool:flight_pool engine
+          ~n:t.config.Omega.Config.n ~oracle
   in
   (scenario, net)
 

@@ -60,13 +60,27 @@ let default_params ~n ~t ~beta =
   }
 
 (* Per-round plan entry, generated lazily and memoized so oracle, witness
-   accessors and checker all see the same pseudo-random draw. *)
-type round_plan = { in_s : bool; q : (pid * mode) array }
+   accessors and checker all see the same pseudo-random draw. [points] is
+   [q] re-indexed by destination pid (0 = not a point, 1 = timely,
+   2 = winning): the oracle consults the star set for every single message,
+   and a linear scan of [q] — t tuple dereferences — was the hottest
+   compute loop in the whole simulator at large t. One byte table per
+   round, O(1) per message. *)
+type round_plan = { in_s : bool; q : (pid * mode) array; points : Bytes.t }
 
 (* Shared by every round with no star point: plans are immutable, so rounds
    outside S (and rounds before rn0) all alias this one record instead of
-   allocating fresh three-word copies on the oracle path. *)
-let empty_plan = { in_s = false; q = [||] }
+   allocating fresh copies on the oracle path. Its [points] is never read
+   ([mode_of_point] is only reached when [in_s]). *)
+let empty_plan = { in_s = false; q = [||]; points = Bytes.empty }
+
+let plan_of_q ~n ~in_s q =
+  let points = Bytes.make n '\000' in
+  Array.iter
+    (fun (p, m) ->
+      Bytes.set points p (match m with Timely -> '\001' | Winning -> '\002'))
+    q;
+  { in_s; q; points }
 
 type t = {
   p : params;
@@ -81,6 +95,8 @@ type t = {
   mutable s_next : int;  (* next round to be put in S (intermittent) *)
   mutable block_starts : int array;  (* block_starts.(k) = first rn of block k *)
   mutable blocks : int;  (* number of valid entries in block_starts *)
+  mutable memo_block_rn : int;  (* round of [memo_block]; -1 = empty *)
+  mutable memo_block : int;
   (* Adaptive adversary hook (Fault.Injector): when >= 0, this process is
      the victim instead of the block rotation — its ALIVEs are delayed
      beyond the horizon to every receiver. The assumption's protected
@@ -176,6 +192,8 @@ let create p regime ~seed =
     s_next = p.rn0;
     block_starts;
     blocks = 1;
+    memo_block_rn = -1;
+    memo_block = 0;
     victim_override = -1;
   }
 
@@ -209,7 +227,7 @@ let generate_intermittent_upto t ~center ~bound_at rn =
     if this < t.p.rn0 then Hashtbl.replace t.plans this empty_plan
     else if this = t.s_next then begin
       Hashtbl.replace t.plans this
-        { in_s = true; q = fresh_rotating_q t ~center };
+        (plan_of_q ~n:t.p.n ~in_s:true (fresh_rotating_q t ~center));
       t.s_next <- this + Dstruct.Rng.int_in t.plan_rng 1 (max 1 (bound_at this))
     end
     else Hashtbl.replace t.plans this empty_plan;
@@ -231,33 +249,37 @@ let generate_moving t ~center_of rn =
           | Moving_source _ -> Array.map (fun (j, _) -> (j, Timely)) q
           | _ -> q
         in
-        { in_s = true; q }
+        plan_of_q ~n:t.p.n ~in_s:true q
       end
     in
     Hashtbl.replace t.plans this plan;
     t.s_generated_upto <- this + 1
   done
 
-(* The memo caches the last round looked up: the oracle asks once per
-   message and messages cluster by round, so most lookups skip the
-   [Hashtbl.find_opt] (and its [Some] box) entirely. *)
+(* The memo caches the last round looked up, but senders drift apart by
+   whole rounds at large n, so consecutive messages alternate between
+   distinct rounds and the memo thrashes. The table hit therefore sits on
+   the per-message path: [Hashtbl.find] with a [Not_found] handler, not
+   [find_opt], because the [Some] box of a found plan would be a
+   two-word allocation per message. *)
 let plan_for t rn =
   if rn < 1 then empty_plan
   else if rn = t.memo_rn then t.memo_plan
   else begin
     let plan =
-      match Hashtbl.find_opt t.plans rn with
-      | Some plan -> plan
-      | None ->
+      match Hashtbl.find t.plans rn with
+      | plan -> plan
+      | exception Not_found ->
         let plan =
           match t.regime with
           | Full_timely ->
-              if rn >= t.p.rn0 then { in_s = true; q = [||] } else empty_plan
+              if rn >= t.p.rn0 then plan_of_q ~n:t.p.n ~in_s:true [||]
+              else empty_plan
           | Chaos -> empty_plan
           | T_source _ | Moving_source _ | Message_pattern _ | Combined _
             when rn < t.p.rn0 -> empty_plan
           | T_source _ | Message_pattern _ | Combined _ ->
-              { in_s = true; q = t.fixed_q }
+              plan_of_q ~n:t.p.n ~in_s:true t.fixed_q
           | Moving_source { center } ->
               (* Rotating set, all points timely. The per-round draws of a
                  moving source are order-sensitive too. *)
@@ -328,26 +350,42 @@ let g_function t rn =
 
 let block_len t k = t.p.victim_block0 + (k * t.p.victim_block_step)
 
+(* Top-level on purpose: as a local [let rec] capturing [t] and [rn] this
+   was a closure allocation per call — and [block_of] runs once per
+   background message, making it one of the hottest allocation sites in the
+   whole simulator. *)
+let rec block_search starts rn lo hi =
+  (* invariant: starts.(lo) <= rn and (hi = blocks or rn < starts.(hi)) *)
+  if hi - lo <= 1 then lo
+  else begin
+    let mid = (lo + hi) / 2 in
+    if starts.(mid) <= rn then block_search starts rn mid hi
+    else block_search starts rn lo mid
+  end
+
+(* One-entry memo in front of the binary search: the oracle calls this for
+   every message, and consecutive messages overwhelmingly share a round
+   (sends of one round cluster in time), so most calls skip the O(log
+   blocks) search. Pure function of [rn] — the memo cannot change any
+   answer. *)
 let block_of t rn =
-  while t.block_starts.(t.blocks - 1) + block_len t (t.blocks - 1) <= rn do
-    if t.blocks = Array.length t.block_starts then begin
-      let bigger = Array.make (2 * t.blocks) 0 in
-      Array.blit t.block_starts 0 bigger 0 t.blocks;
-      t.block_starts <- bigger
-    end;
-    t.block_starts.(t.blocks) <-
-      t.block_starts.(t.blocks - 1) + block_len t (t.blocks - 1);
-    t.blocks <- t.blocks + 1
-  done;
-  let rec search lo hi =
-    (* invariant: block_starts.(lo) <= rn and (hi = blocks or rn < starts.(hi)) *)
-    if hi - lo <= 1 then lo
-    else begin
-      let mid = (lo + hi) / 2 in
-      if t.block_starts.(mid) <= rn then search mid hi else search lo mid
-    end
-  in
-  search 0 t.blocks
+  if rn = t.memo_block_rn then t.memo_block
+  else begin
+    while t.block_starts.(t.blocks - 1) + block_len t (t.blocks - 1) <= rn do
+      if t.blocks = Array.length t.block_starts then begin
+        let bigger = Array.make (2 * t.blocks) 0 in
+        Array.blit t.block_starts 0 bigger 0 t.blocks;
+        t.block_starts <- bigger
+      end;
+      t.block_starts.(t.blocks) <-
+        t.block_starts.(t.blocks - 1) + block_len t (t.blocks - 1);
+      t.blocks <- t.blocks + 1
+    done;
+    let b = block_search t.block_starts rn 0 t.blocks in
+    t.memo_block_rn <- rn;
+    t.memo_block <- b;
+    b
+  end
 
 (* Victim among all n processes (chaos, and the pre-rn0 anarchy of every
    regime). *)
@@ -400,8 +438,12 @@ let timely_delay t rn =
 
 let async_delay t ~now =
   let cap =
-    us t.p.async_base
-    + int_of_float (t.p.async_growth *. float_of_int (us now))
+    (* The float conversions run per message; the default (no growth)
+       skips them. *)
+    if t.p.async_growth = 0. then us t.p.async_base
+    else
+      us t.p.async_base
+      + int_of_float (t.p.async_growth *. float_of_int (us now))
   in
   let lo = us t.p.min_delay in
   lo + Dstruct.Rng.int t.delay_rng (max 1 cap)
@@ -423,25 +465,13 @@ let winning_competitor_delay t ~now ~base rn =
   in
   max base (target - us now)
 
-(* Direct scan, returning an unboxed code (0 = not a point, 1 = timely,
-   2 = winning) instead of a [mode option]: a [Some] box per hit would cost
-   two words for each of the t star points of every round's n-1
-   destinations — a per-message allocation on the oracle path. *)
-let point_none = 0
+(* Unboxed point code (0 = not a point, 1 = timely, 2 = winning) straight
+   from the plan's byte table: one bounds-checked byte load per message,
+   where the previous [q] scan chased t tuples per destination — the
+   hottest compute loop in the simulator at large t. *)
 let point_timely = 1
 let point_winning = 2
-
-let mode_of_point plan dst =
-  let q = plan.q in
-  let len = Array.length q in
-  let rec scan i =
-    if i >= len then point_none
-    else
-      let p, m = q.(i) in
-      if p = dst then match m with Timely -> point_timely | Winning -> point_winning
-      else scan (i + 1)
-  in
-  scan 0
+let mode_of_point plan dst = Char.code (Bytes.get plan.points dst)
 
 (* Unconstrained ALIVE(rn): victims look crashed, everyone else is merely
    asynchronous. [center] is [-1] for the center-less regimes (the option
@@ -517,6 +547,10 @@ let oracle_rn t ~round_of ~now ~seq ~src ~dst msg =
   ignore seq;
   Net.Network.Deliver_after
     (Sim.Time.of_us (delay_us_of t ~now ~src ~dst (round_of msg)))
+
+let oracle_us t ~round_of ~now ~seq ~src ~dst msg =
+  ignore seq;
+  delay_us_of t ~now ~src ~dst (round_of msg)
 
 let oracle t ~round_of ~now ~seq ~src ~dst msg =
   ignore seq;

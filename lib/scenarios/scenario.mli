@@ -163,6 +163,13 @@ val oracle :
     simulator's hot path ({!Env} uses this one with {!round_rn_of_omega}). *)
 val oracle_rn : t -> round_of:('m -> int) -> 'm Net.Network.delay_oracle
 
+(** [oracle_us] is {!oracle_rn} with the verdict unboxed too (microseconds,
+    never negative — scenario oracles never drop): the
+    {!Net.Network.delay_oracle_us} fast path. Identical randomness, so a
+    network driven through it produces the same event stream as one driven
+    through {!oracle} or {!oracle_rn}. *)
+val oracle_us : t -> round_of:('m -> int) -> 'm Net.Network.delay_oracle_us
+
 (** [arrival_bound t rn] is an upper bound on the arrival time of any
     round-[rn] ALIVE that is not victim-delayed, across all delay policies.
     Harnesses use it to pick the checker's verification horizon: every round

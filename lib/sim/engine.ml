@@ -155,6 +155,53 @@ let schedule_call_after t delay fn arg =
   enqueue t (Time.add t.now delay) fn arg h;
   h
 
+(* Batched fire-and-forget scheduling: a broadcast fan-out stages its n-1
+   events and splices them into the wheel in one [batch_commit]
+   ({!Dstruct.Wheel.stage} / [commit]). Everything observable — live count,
+   Sched emission, FIFO order among equal times — happens exactly as the
+   equivalent [call_after] sequence would produce it; only the bucket
+   bookkeeping is amortized. The heap backend has no batch path (it is the
+   allocate-per-event A/B reference), so it degrades to [call_after] and
+   [batch_commit] is a no-op — the two backends still produce identical
+   event streams. Batches must be committed before control returns to the
+   event loop; staging happens inside a single handler, so no pop can
+   intervene and the wheel's cursor cannot move mid-batch. *)
+let batch_call_after : type a. t -> Time.t -> (a -> unit) -> a -> unit =
+ fun t delay fn arg ->
+  match t.queue with
+  | Heap _ -> enqueue t (Time.add t.now delay) fn arg t.anon
+  | Wheel w ->
+      let time = Time.add t.now delay in
+      if Time.(time < t.now) then
+        invalid_arg
+          (Format.asprintf "Engine.schedule: %a is before now (%a)" Time.pp
+             time Time.pp t.now);
+      let fn : Obj.t -> unit = Obj.magic fn in
+      let arg = Obj.repr arg in
+      let c =
+        if t.cpool_n = 0 then { time; cfn = fn; carg = arg; ch = t.anon }
+        else begin
+          let k = t.cpool_n - 1 in
+          t.cpool_n <- k;
+          let c = t.cpool.(k) in
+          c.time <- time;
+          c.cfn <- fn;
+          c.carg <- arg;
+          c.ch <- t.anon;
+          c
+        end
+      in
+      Dstruct.Wheel.stage w ~key:(Time.to_us time) c;
+      t.live <- t.live + 1;
+      if Obs.Sink.wants t.sink Obs.Event.c_engine then
+        Obs.Sink.emit t.sink
+          (Obs.Event.Sched { now = Time.to_us t.now; at = Time.to_us time })
+
+let batch_commit t =
+  match t.queue with
+  | Heap _ -> ()
+  | Wheel w -> Dstruct.Wheel.commit w
+
 let cancel t h =
   if not (h.cancelled || h.fired) then begin
     h.cancelled <- true;

@@ -68,6 +68,20 @@ val call_after : t -> Time.t -> ('a -> unit) -> 'a -> unit
     one handle record is the only allocation beyond the event cell. *)
 val schedule_call_after : t -> Time.t -> ('a -> unit) -> 'a -> handle
 
+(** [batch_call_after] is {!call_after} with deferred queue insertion: the
+    event is staged and becomes poppable only at the next {!batch_commit}.
+    A broadcast fan-out stages its n-1 deliveries and commits once, so the
+    wheel splices same-bucket runs instead of doing n-1 independent bucket
+    appends. Observable behaviour (live count, Sched emission, FIFO order
+    among equal times) is identical to the equivalent {!call_after}
+    sequence; on the heap backend it {e is} {!call_after}. The caller must
+    {!batch_commit} before returning to the event loop. *)
+val batch_call_after : t -> Time.t -> ('a -> unit) -> 'a -> unit
+
+(** Make every staged event poppable. No-op when nothing is staged (and
+    always, on the heap backend). *)
+val batch_commit : t -> unit
+
 (** [cancel t h] prevents the event from firing. Idempotent; no effect if
     the event already fired. [t] must be the engine that issued [h]
     (handles don't carry an engine pointer, precisely so that scheduling

@@ -283,6 +283,63 @@ let test_bitset_copy_clear () =
   check int_t "clear" 0 (Dstruct.Bitset.cardinal s);
   check bool_t "clear removes" false (Dstruct.Bitset.mem s 1)
 
+let test_bitset_scans () =
+  (* Members straddling word boundaries: ids in three different 32-bit
+     words, including both edges of a word. *)
+  let members = [ 0; 1; 31; 32; 63; 64; 70 ] in
+  let s = Dstruct.Bitset.of_list ~capacity:71 members in
+  let seen = ref [] in
+  Dstruct.Bitset.iter_set s (fun i -> seen := i :: !seen);
+  check (Alcotest.list int_t) "iter_set ascending" members (List.rev !seen);
+  check (Alcotest.list int_t) "fold_set ascending" members
+    (List.rev (Dstruct.Bitset.fold_set s ~init:[] ~f:(fun acc i -> i :: acc)));
+  check int_t "first_set" 0 (Dstruct.Bitset.first_set s);
+  Dstruct.Bitset.remove s 0;
+  Dstruct.Bitset.remove s 1;
+  Dstruct.Bitset.remove s 31;
+  check int_t "first_set skips empty word" 32 (Dstruct.Bitset.first_set s);
+  check int_t "first_set empty" (-1)
+    (Dstruct.Bitset.first_set (Dstruct.Bitset.create 40))
+
+let test_bitset_unset_scans () =
+  let capacity = 67 in
+  let members = [ 2; 31; 32; 64; 66 ] in
+  let s = Dstruct.Bitset.of_list ~capacity members in
+  let expected =
+    List.filter (fun i -> not (List.mem i members)) (List.init capacity Fun.id)
+  in
+  let seen = ref [] in
+  Dstruct.Bitset.iter_unset s (fun i -> seen := i :: !seen);
+  check (Alcotest.list int_t) "iter_unset ascending" expected (List.rev !seen);
+  check (Alcotest.list int_t) "fold_unset ascending" expected
+    (List.rev (Dstruct.Bitset.fold_unset s ~init:[] ~f:(fun acc i -> i :: acc)));
+  (* The tail bits beyond capacity must never leak in: a full set has no
+     unset ids even when capacity is not a multiple of 32. *)
+  let full = Dstruct.Bitset.of_list ~capacity:33 (List.init 33 Fun.id) in
+  Dstruct.Bitset.iter_unset full (fun i ->
+      Alcotest.failf "iter_unset leaked %d on a full set" i);
+  check (Alcotest.list int_t) "complement of full is empty" []
+    (Dstruct.Bitset.to_list (Dstruct.Bitset.complement full))
+
+let prop_bitset_scan_model =
+  QCheck.Test.make ~name:"bitset scans match to_list" ~count:300
+    QCheck.(list (int_bound 49))
+    (fun ids ->
+      let b = Dstruct.Bitset.of_list ~capacity:50 ids in
+      let set_scan =
+        List.rev (Dstruct.Bitset.fold_set b ~init:[] ~f:(fun acc i -> i :: acc))
+      in
+      let unset_scan =
+        List.rev
+          (Dstruct.Bitset.fold_unset b ~init:[] ~f:(fun acc i -> i :: acc))
+      in
+      let members = Dstruct.Bitset.to_list b in
+      set_scan = members
+      && unset_scan
+         = List.filter (fun i -> not (List.mem i members)) (List.init 50 Fun.id)
+      && Dstruct.Bitset.first_set b
+         = (match members with [] -> -1 | hd :: _ -> hd))
+
 let prop_bitset_model =
   QCheck.Test.make ~name:"bitset matches Set model" ~count:300
     QCheck.(list (pair bool (int_bound 31)))
@@ -394,6 +451,9 @@ let () =
           Alcotest.test_case "complement" `Quick test_bitset_complement;
           Alcotest.test_case "bounds" `Quick test_bitset_bounds;
           Alcotest.test_case "copy/clear" `Quick test_bitset_copy_clear;
+          Alcotest.test_case "set scans" `Quick test_bitset_scans;
+          Alcotest.test_case "unset scans" `Quick test_bitset_unset_scans;
+          qtest prop_bitset_scan_model;
           qtest prop_bitset_model;
         ] );
       ( "stats",

@@ -65,6 +65,87 @@ let test_peek_does_not_advance () =
     (Alcotest.pair int_t int_t)
     "far key follows" (1_000_000, 0) (Dstruct.Wheel.pop_exn w)
 
+(* ------------------------------------------------------- batch insertion *)
+
+(* Staged cells are invisible until commit; a commit makes the wheel
+   identical to individual pushes, FIFO included. *)
+let test_stage_commit_basics () =
+  let w = new_wheel () in
+  Dstruct.Wheel.push w ~key:5 (5, 0);
+  Dstruct.Wheel.stage w ~key:3 (3, 1);
+  Dstruct.Wheel.stage w ~key:5 (5, 2);
+  Dstruct.Wheel.stage w ~key:3 (3, 3);
+  check int_t "staged cells not counted" 1 (Dstruct.Wheel.length w);
+  Alcotest.check_raises "pop with staged cells raises"
+    (Invalid_argument "Wheel: staged cells pending commit") (fun () ->
+      ignore (Dstruct.Wheel.pop_exn w));
+  Dstruct.Wheel.commit w;
+  check int_t "committed length" 4 (Dstruct.Wheel.length w);
+  let drained = List.init 4 (fun _ -> Dstruct.Wheel.pop_exn w) in
+  check
+    (Alcotest.list (Alcotest.pair int_t int_t))
+    "stage order = push order, FIFO ties with earlier push"
+    [ (3, 1); (3, 3); (5, 0); (5, 2) ]
+    drained;
+  (* Empty commit is a no-op. *)
+  Dstruct.Wheel.commit w;
+  check bool_t "empty after drain" true (Dstruct.Wheel.is_empty w)
+
+let test_stage_below_cursor_raises () =
+  let w = new_wheel () in
+  Dstruct.Wheel.push w ~key:10 (10, 0);
+  ignore (Dstruct.Wheel.pop_exn w);
+  Alcotest.check_raises "stage below cursor"
+    (Invalid_argument "Wheel.stage: key 3 below cursor 10") (fun () ->
+      Dstruct.Wheel.stage w ~key:3 (3, 0))
+
+(* Differential with batched inserts: the wheel receives its pushes in
+   stage/commit batches (like a broadcast fan-out), the heap one by one;
+   the drains must still agree element for element. Batch sizes and key
+   spreads vary so batches cross buckets and levels, and repeat keys so
+   same-bucket runs of length > 1 take the spliced path. *)
+let run_batch_differential ~seed ~rounds ~spread () =
+  let rng = Dstruct.Rng.create seed in
+  let w = new_wheel () and q = new_heap () in
+  let uid = ref 0 in
+  for _ = 1 to rounds do
+    let batch = 1 + Dstruct.Rng.int rng 24 in
+    let base = Dstruct.Wheel.cursor w in
+    let last = ref base in
+    for _ = 1 to batch do
+      let key =
+        if Dstruct.Rng.chance rng 0.4 then !last
+        else base + Dstruct.Rng.int rng spread
+      in
+      last := key;
+      let v = (key, !uid) in
+      incr uid;
+      Dstruct.Wheel.stage w ~key v;
+      Dstruct.Pqueue.push q v
+    done;
+    Dstruct.Wheel.commit w;
+    (* Drain about half, so later batches land on a moved cursor. *)
+    let pops = Dstruct.Wheel.length w / 2 in
+    for _ = 1 to pops do
+      let vw = Dstruct.Wheel.pop_exn w in
+      let vq = Dstruct.Pqueue.pop_exn q in
+      if vw <> vq then
+        Alcotest.failf "batch divergence: wheel (%d,%d) heap (%d,%d)"
+          (fst vw) (snd vw) (fst vq) (snd vq)
+    done
+  done;
+  while not (Dstruct.Wheel.is_empty w) do
+    check
+      (Alcotest.pair int_t int_t)
+      "batch drain order" (Dstruct.Pqueue.pop_exn q) (Dstruct.Wheel.pop_exn w)
+  done;
+  check bool_t "heap drained too" true (Dstruct.Pqueue.is_empty q)
+
+let test_batch_differential () =
+  List.iter
+    (fun (seed, spread) -> run_batch_differential ~seed ~rounds:800 ~spread ())
+    [ (31L, 64); (32L, 5_000); (33L, 10_000_000) ]
+
 (* -------------------------------------------- differential vs binary heap *)
 
 (* One random workload: interleaved pushes and pops, keys issued at a
@@ -223,6 +304,33 @@ let test_wheel_steady_state_alloc_free () =
        words)
     true (words < 1_000)
 
+(* The large-cluster differential (DESIGN.md §14): the same n=256 slice of
+   simulation, digested event by event, under the wheel+pools stack and the
+   heap/no-pool reference — the batched broadcast fan-out (staged wheel
+   splices) must leave the event stream bit-identical to the heap's
+   push-per-destination. The horizon is short: at n=256 even 100 simulated
+   milliseconds is ~1M messages through both backends. *)
+let test_n256_backend_digest_differential () =
+  let n = 256 in
+  let config = Omega.Config.default ~n ~t:((n - 1) / 2) Omega.Config.Fig1 in
+  let env =
+    Scenarios.Env.make config
+      (Scenarios.Scenario.Rotating_star { center = n - 2 })
+  in
+  let digest_of sched flight_pool =
+    let spec =
+      Harness.Run.Spec.(
+        default |> with_check false |> with_digest true |> with_sched sched
+        |> with_flight_pool flight_pool
+        |> with_horizon (Sim.Time.of_ms 100))
+    in
+    let result = Harness.Run.run ~spec ~env ~seed:7L () in
+    Option.get result.Harness.Run.digest
+  in
+  check (Alcotest.of_pp (fun fmt d -> Format.fprintf fmt "%Lx" d))
+    "wheel+pools and heap/no-pool digests agree at n=256"
+    (digest_of `Heap false) (digest_of `Wheel true)
+
 (* The n-scaling budget: one simulated second at n=32 under the default
    wheel+pools stack. Like test_rng's n=4 budget, the bound is ~1.4x the
    measured value — a breach means per-message allocation crept back into
@@ -245,6 +353,69 @@ let test_n32_run_budget () =
     true
     (words < 2_600_000)
 
+(* Same gate at the large-cluster tier: 300 simulated milliseconds at
+   n=256 (~2.9M messages). The per-message budget is tighter than n=32's —
+   per-round costs (payload copies, round cells, suspicion lists) amortize
+   over more messages at large n, so regressions of the per-message path
+   stand out more sharply here. *)
+let test_n256_run_budget () =
+  let n = 256 in
+  let config = Omega.Config.default ~n ~t:((n - 1) / 2) Omega.Config.Fig1 in
+  let env =
+    Scenarios.Env.make config
+      (Scenarios.Scenario.Rotating_star { center = n - 2 })
+  in
+  let spec =
+    Harness.Run.Spec.(
+      default |> with_check false |> with_horizon (Sim.Time.of_ms 300))
+  in
+  let run () = ignore (Harness.Run.run ~spec ~env ~seed:7L ()) in
+  run ();
+  let words = minor_words_of run in
+  check bool_t
+    (Printf.sprintf
+       "null-sink 300ms n=256 run allocated %d minor words (budget 12000000)"
+       words)
+    true
+    (words < 12_000_000)
+
+(* ALIVE-payload interning (DESIGN.md §14): under a full-timely regime no
+   suspicion level ever rises past the anarchy prefix, so every sender's
+   payload stays clean and is re-broadcast as the same array object round
+   after round — no per-round [Array.copy], and receivers skip the merge by
+   physical equality. Steady-state per-round allocation for the whole
+   64-process cluster must then be O(n) words (timer handles, round-table
+   cells), nowhere near the ~n*(n+2) words per round that per-broadcast
+   payload copies would cost (~4200 at n=64). The anarchy prefix *does*
+   copy (levels rise every round there), so the steady state is isolated
+   by differencing a 2 s run against a 1 s run — both pay the identical
+   prefix, and the difference is 100 stabilized rounds. Measured ~58
+   words/node/round; budget 90*n per round. *)
+let test_payload_interning_budget () =
+  let n = 64 in
+  let config = Omega.Config.default ~n ~t:((n - 1) / 2) Omega.Config.Fig1 in
+  let env = Scenarios.Env.make config Scenarios.Scenario.Full_timely in
+  let run horizon_ms () =
+    let spec =
+      Harness.Run.Spec.(
+        default |> with_check false
+        |> with_horizon (Sim.Time.of_ms horizon_ms))
+    in
+    ignore (Harness.Run.run ~spec ~env ~seed:7L ())
+  in
+  run 1_000 ();
+  let words_1s = minor_words_of (run 1_000) in
+  let words_2s = minor_words_of (run 2_000) in
+  (* 100 rounds of 10ms in the second simulated second. *)
+  let words_per_round = (words_2s - words_1s) / 100 in
+  check bool_t
+    (Printf.sprintf
+       "full-timely steady-state n=64 allocated %d minor words/round \
+        (budget 90*n)"
+       words_per_round)
+    true
+    (words_per_round < 90 * n)
+
 let () =
   Alcotest.run "wheel"
     [
@@ -256,6 +427,10 @@ let () =
           Alcotest.test_case "empty pop raises" `Quick test_empty_raises;
           Alcotest.test_case "peek does not advance cursor" `Quick
             test_peek_does_not_advance;
+          Alcotest.test_case "stage/commit equals pushes" `Quick
+            test_stage_commit_basics;
+          Alcotest.test_case "stage below cursor raises" `Quick
+            test_stage_below_cursor_raises;
         ] );
       ( "differential",
         [
@@ -265,13 +440,20 @@ let () =
             test_differential_wide;
           Alcotest.test_case "same-time bursts keep FIFO" `Quick
             test_differential_bursts;
+          Alcotest.test_case "batched inserts match heap" `Quick
+            test_batch_differential;
           Alcotest.test_case "engine backends agree" `Quick
             test_engine_differential;
+          Alcotest.test_case "n=256 backend digests agree" `Slow
+            test_n256_backend_digest_differential;
         ] );
       ( "alloc",
         [
           Alcotest.test_case "steady state is allocation-free" `Quick
             test_wheel_steady_state_alloc_free;
           Alcotest.test_case "n=32 run budget" `Slow test_n32_run_budget;
+          Alcotest.test_case "n=256 run budget" `Slow test_n256_run_budget;
+          Alcotest.test_case "payload interning budget" `Slow
+            test_payload_interning_budget;
         ] );
     ]
