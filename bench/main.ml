@@ -15,8 +15,8 @@ open Toolkit
    [sched]/[flight_pool] select the scheduler backend and flight pooling,
    so the n-scaling rows can A/B the wheel+pools stack against the
    heap/no-pool reference in the same build. *)
-let sim_run ?(digest = false) ?(sched = `Wheel) ?(flight_pool = true) ~variant
-    ~n ~horizon_ms () =
+let sim_run ?(digest = false) ?(sched = `Wheel) ?(flight_pool = true)
+    ?(algo = `Gossip) ~variant ~n ~horizon_ms () =
   let t = (n - 1) / 2 in
   let config = Omega.Config.default ~n ~t variant in
   let env =
@@ -26,7 +26,7 @@ let sim_run ?(digest = false) ?(sched = `Wheel) ?(flight_pool = true) ~variant
   let spec =
     Harness.Run.Spec.(
       default |> with_check false |> with_digest digest
-      |> with_sched sched |> with_flight_pool flight_pool
+      |> with_sched sched |> with_flight_pool flight_pool |> with_algo algo
       |> with_horizon (Sim.Time.of_ms horizon_ms))
   in
   let result = Harness.Run.run ~spec ~env ~seed:7L () in
@@ -112,6 +112,20 @@ let micro_tests =
       (Staged.stage (fun () ->
            ignore
              (sim_run ~variant:Omega.Config.Fig1 ~n:128 ~horizon_ms:1000 ())));
+    (* The communication-efficient relay tier (DESIGN.md §15): same oracle
+       and seed as the fig rows, O(n) messages per round instead of n². Its
+       hot path shares the allocation-free contract, so these rows sit
+       under the strict-alloc gate like every micro: bench. *)
+    Test.make ~name:"micro:sim-1s-n8-relay"
+      (Staged.stage (fun () ->
+           ignore
+             (sim_run ~algo:`Relay ~variant:Omega.Config.Fig3 ~n:8
+                ~horizon_ms:1000 ())));
+    Test.make ~name:"micro:sim-1s-n64-relay"
+      (Staged.stage (fun () ->
+           ignore
+             (sim_run ~algo:`Relay ~variant:Omega.Config.Fig3 ~n:64
+                ~horizon_ms:1000 ())));
   ]
 
 (* The large-cluster tier (DESIGN.md §14): one simulated second at n = 256
@@ -128,6 +142,14 @@ let large_micro_tests =
       (Staged.stage (fun () ->
            ignore
              (sim_run ~variant:Omega.Config.Fig1 ~n:512 ~horizon_ms:1000 ())));
+    (* The relay variant at gossip-prohibitive scale: n = 256 in one
+       simulated second is ~0.4M messages for the gossip family but only
+       ~5k for the relay tier — the O(n) headline as wall-clock. *)
+    Test.make ~name:"micro:sim-1s-n256-relay"
+      (Staged.stage (fun () ->
+           ignore
+             (sim_run ~algo:`Relay ~variant:Omega.Config.Fig3 ~n:256
+                ~horizon_ms:1000 ())));
   ]
 
 (* micro:pqueue-push-pop-1k and micro:engine-pending-1k wobbled ±30%

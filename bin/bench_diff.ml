@@ -14,12 +14,19 @@
    - --strict is given and a clock estimate drifted, or
    - --strict-alloc PREFIX is given and some benchmark whose name starts
      with PREFIX *increased* its minor-allocated beyond the allocation
-     tolerance. CI runs the clock comparison permissive (shared runners are
-     noisy) but the allocation gate strict for micro:* — allocation on a
-     fixed workload does not wobble with machine load, so a breach is a
-     real regression of the zero-allocation hot path.
+     tolerance, or
+   - --strict-alloc PREFIX is given and a benchmark whose name starts with
+     PREFIX exists in OLD but not NEW: a gated bench silently disappearing
+     would un-gate the hot path it covered, so retiring one must be an
+     explicit baseline change, not a quiet deletion.
 
-   Benchmarks present on only one side are reported but never fail the
+   CI runs the clock comparison permissive (shared runners are noisy) but
+   the allocation gate strict for micro:* — allocation on a fixed workload
+   does not wobble with machine load, so a breach is a real regression of
+   the zero-allocation hot path.
+
+   Benchmarks present on only one side are reported as explicit
+   "added"/"removed" lines; outside the gated prefix they never fail the
    comparison (new benches appear, old ones retire). *)
 
 let tolerance = ref 25.0
@@ -139,7 +146,7 @@ let () =
       match List.assoc_opt name old_rows with
       | None ->
           Printf.printf "%-32s %12s %12.0f %9s %12s %12s %9s\n" name "-"
-            new_ns "new" "-"
+            new_ns "added" "-"
             (match new_alloc with Some w -> Printf.sprintf "%.0f" w | None -> "-")
             ""
       | Some (old_ns, old_alloc) ->
@@ -179,10 +186,19 @@ let () =
           Printf.printf "%-32s %12.0f %12.0f %+8.1f%% %s%s%s\n" name old_ns
             new_ns clock_pct alloc_cells clock_flag alloc_flag)
     new_rows;
+  let gated_removed = ref 0 in
   List.iter
     (fun (name, (old_ns, _)) ->
-      if not (List.mem_assoc name new_rows) then
-        Printf.printf "%-32s %12.0f %12s %9s\n" name old_ns "-" "gone")
+      if not (List.mem_assoc name new_rows) then begin
+        let gated =
+          match !strict_alloc_prefix with
+          | Some prefix -> starts_with ~prefix name
+          | None -> false
+        in
+        if gated then incr gated_removed;
+        Printf.printf "%-32s %12.0f %12s %9s%s\n" name old_ns "-" "removed"
+          (if gated then " <-- GATED BENCH REMOVED" else "")
+      end)
     old_rows;
   let failing = ref false in
   if !drifted > 0 then begin
@@ -202,6 +218,13 @@ let () =
       end
       else
         Printf.printf "No %s* allocation regressions beyond +%.0f%%\n" prefix
-          !alloc_tolerance
+          !alloc_tolerance;
+      if !gated_removed > 0 then begin
+        Printf.printf
+          "%d gated %s* benchmark(s) removed from the baseline — retire \
+           them explicitly by regenerating the committed baseline\n"
+          !gated_removed prefix;
+        failing := true
+      end
   | None -> ());
   if !failing then exit 1

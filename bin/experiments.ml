@@ -5,6 +5,7 @@
      experiments --quick       run every experiment (reduced size)
      experiments --jobs 4      fan runs out over 4 domains (same output)
      experiments --metrics     append per-run digest columns to the tables
+     experiments --sched heap  run every simulation on the heap scheduler
      experiments --trace f.jsonl  stream every run's typed events to f.jsonl
      experiments e2 e4         run selected experiments
      experiments --list        list experiments *)
@@ -48,13 +49,21 @@ let trace_term =
            run prefixed by a note naming it. Forces --jobs 1 (the writer is \
            shared across runs).")
 
+let sched_term =
+  Cmdliner.Arg.(
+    value
+    & opt (enum [ ("wheel", `Wheel); ("heap", `Heap) ]) `Wheel
+    & info [ "sched" ] ~docv:"BACKEND"
+        ~doc:
+          "Engine scheduler backend for every run: $(b,wheel) (the default            timing wheel) or $(b,heap) (the binary-heap A/B reference). Both            print byte-identical tables — the CI determinism gate diffs            them.")
+
 let ids_term =
   Cmdliner.Arg.(
     value & pos_all string []
     & info [] ~docv:"EXPERIMENT"
-        ~doc:"Experiment ids to run (e1..e11). Default: all.")
+        ~doc:"Experiment ids to run (e1..e12). Default: all.")
 
-let run list quick jobs metrics trace ids =
+let run list quick jobs metrics trace sched ids =
   if list then begin
     List.iter
       (fun (id, doc, _) -> Printf.printf "%-4s %s\n" id doc)
@@ -75,7 +84,7 @@ let run list quick jobs metrics trace ids =
     | selected, _ ->
         let oc = Option.map open_out trace in
         let jsonl = Option.map Obs.Jsonl.create oc in
-        let obs = { Experiments.Suite.trace = jsonl; metrics } in
+        let obs = { Experiments.Suite.trace = jsonl; metrics; sched } in
         (* The JSONL writer is one shared out-channel: events from
            concurrent runs would interleave, so tracing pins the run farm
            to a single domain. *)
@@ -96,6 +105,6 @@ let cmd =
     Cmdliner.Term.(
       ret
         (const run $ list_term $ quick_term $ jobs_term $ metrics_term
-       $ trace_term $ ids_term))
+       $ trace_term $ sched_term $ ids_term))
 
 let () = exit (Cmdliner.Cmd.eval cmd)

@@ -45,9 +45,13 @@ let stab_cell result = Table.ms (Run.stabilization_ms result)
 (* Session-wide observability, set by bin/experiments.exe flags. With
    [no_obs] every run takes the zero-cost null-sink path and the tables are
    byte-identical to what they print without this layer. *)
-type obs = { trace : Obs.Jsonl.t option; metrics : bool }
+type obs = {
+  trace : Obs.Jsonl.t option;
+  metrics : bool;
+  sched : [ `Heap | `Wheel ];
+}
 
-let no_obs = { trace = None; metrics = false }
+let no_obs = { trace = None; metrics = false; sched = `Wheel }
 
 (* Run.run with the session's observability attached: [metrics] also turns
    the digest on (the table grows a digest column), [trace] prepends a
@@ -57,7 +61,12 @@ let no_obs = { trace = None; metrics = false }
 let obs_run ~obs ~label ?(spec = Run.Spec.default) ~env ~seed () =
   (match obs.trace with Some j -> Obs.Jsonl.note j label | None -> ());
   let spec =
-    { spec with Run.Spec.metrics = obs.metrics; digest = obs.metrics }
+    {
+      spec with
+      Run.Spec.metrics = obs.metrics;
+      digest = obs.metrics;
+      sched = obs.sched;
+    }
   in
   let spec =
     match obs.trace with
@@ -954,6 +963,125 @@ let e11 ~pool ~quick ~obs =
          ])
     (List.map snd results)
 
+(* ------------------------------------------------------------------ E12 *)
+
+let e12 ~pool ~quick ~obs =
+  (* Message-complexity shootout (DESIGN.md §15): the Figure 3 gossip
+     family against the communication-efficient relay variant, same
+     adversary, same seeds, same tight config — stabilization and
+     packets/round side by side. Gossip sends ~1.5 n^2 messages per round
+     (n ALIVEs per beta plus the n/2-ish close-round SUSPICION echoes
+     under pressure); the relay variant sends ~2 n (one HEARTBEAT per
+     process plus one n-fan-out AGGREGATE), so msgs/rd/n is the headline
+     column: roughly linear in n for gossip, roughly constant ~2 for the
+     relay tier. *)
+  let ns =
+    if quick then [ 8; 16 ] else [ 8; 16; 32; 64; 128; 256 ]
+  in
+  let beta = ms 10 in
+  (* The victim block must beat the relay's staleness slack (6 + level) or
+     the lean tier would stabilize against any adversary trivially: 8-round
+     blocks engage both detectors. One full rotation is 8 (n - 1) rounds;
+     stabilization needs one or two (the relay tier freezes the center at
+     level 0, the gossip tier must lift every arm past the center's
+     transient level). n >= 128 runs a fixed two simulated seconds like
+     E11's large tier: throughput only, and the msgs/rd/n separation is
+     the point there, not stabilization. *)
+  let horizon n =
+    if n >= 128 then ms 2_000
+    else
+      let rotation_ms = 10 * 8 * (n - 1) in
+      ms
+        (if quick then max 4_000 (3 * rotation_ms)
+         else max 10_000 (5 * rotation_ms))
+  in
+  let min_stable = if quick then sec 1 else sec 2 in
+  let regimes =
+    [
+      ("star", fun center -> Scenario.Rotating_star { center });
+      ("moving-star", fun center -> Scenario.Moving_source { center });
+    ]
+  in
+  let algos = [ ("fig3", `Gossip); ("relay", `Relay) ] in
+  let results =
+    on pool
+    @@ List.concat_map
+         (fun n ->
+           let t = (n - 1) / 2 in
+           let center = n - 2 in
+           let cfg = fault_config ~n ~t Omega.Config.Fig3 in
+           let params =
+             {
+               (Scenario.default_params ~n ~t ~beta) with
+               Scenario.rn0 = 2;
+               victim_block0 = 8;
+               victim_block_step = 0;
+             }
+           in
+           List.concat_map
+             (fun (rlabel, regime_of) ->
+               List.map
+                 (fun (alabel, algo) () ->
+                   let t0 = Unix.gettimeofday () in
+                   let result =
+                     obs_run ~obs
+                       ~label:
+                         (Printf.sprintf "e12 n=%d %s %s" n rlabel alabel)
+                       ~spec:
+                         Run.Spec.(
+                           default |> with_horizon (horizon n)
+                           |> with_min_stable min_stable
+                           |> with_check false |> with_algo algo)
+                       ~env:(Scenarios.Env.make ~params cfg (regime_of center))
+                       ~seed:7L ()
+                   in
+                   let wall = Unix.gettimeofday () -. t0 in
+                   let rounds = max 1 result.Run.min_sending_round in
+                   let per_round = result.Run.messages_sent / rounds in
+                   let stab_round =
+                     match result.Run.stabilized_at with
+                     | Some at ->
+                         Table.intc (Sim.Time.to_us at / Sim.Time.to_us beta)
+                     | None -> "-"
+                   in
+                   let cells =
+                     obs_cells obs result
+                       [
+                         Table.intc n;
+                         Table.intc t;
+                         rlabel;
+                         alabel;
+                         stab_cell result;
+                         stab_round;
+                         leader_cell result;
+                         Table.yesno (result.Run.final_leader = Some center);
+                         Table.intc result.Run.messages_sent;
+                         Table.intc per_round;
+                         Printf.sprintf "%.1f" (float_of_int per_round /. float_of_int n);
+                       ]
+                   in
+                   ( Printf.sprintf "e12 n=%d %-11s %-5s %6.2f s wall" n rlabel
+                       alabel wall,
+                     cells ))
+                 algos)
+             regimes)
+         ns
+  in
+  List.iter (fun (wall, _) -> prerr_endline wall) results;
+  Table.print
+    ~title:
+      "E12: message complexity, gossip (fig3) vs relay tier (tight config, \
+       8-round victim blocks, same seeds; wall-clock per run on stderr; \
+       n>=128 fixed 2 s horizon, throughput not stabilization) \
+       [DESIGN.md 15]"
+    ~header:
+      (obs_header obs
+         [
+           "n"; "t"; "regime"; "algo"; "stabilized"; "stab_round"; "leader";
+           "=center"; "msgs"; "msgs/round"; "msgs/rd/n";
+         ])
+    (List.map snd results)
+
 let all =
   [
     ("e1", "Theorem 1: rotating star stabilization vs n", e1);
@@ -967,4 +1095,5 @@ let all =
     ("e9", "Fault plans: partition and crash-recovery of the center", e9);
     ("e10", "Fault plans: adaptive leader-chasing adversary", e10);
     ("e11", "Scaling in n: large-cluster throughput tier", e11);
+    ("e12", "Message complexity: gossip vs communication-efficient relay", e12);
   ]

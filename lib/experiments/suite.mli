@@ -25,6 +25,10 @@ type obs = {
   trace : Obs.Jsonl.t option;
       (** stream every run's events here; requires a sequential pool *)
   metrics : bool;  (** per-run metrics + digest column *)
+  sched : [ `Heap | `Wheel ];
+      (** scheduler backend for every Run.run-backed row
+          (bin/experiments.exe [--sched]); both backends print
+          byte-identical tables — the CI determinism gate diffs them *)
 }
 
 (** No tracing, no metrics: the zero-cost default. *)

@@ -3,7 +3,7 @@ type pid = int
 type t = {
   engine : Sim.Engine.t;
   net : Omega.Message.t Net.Network.t;
-  cluster : Omega.Cluster.t;
+  iface : Omega.Iface.t;
   scenario : Scenarios.Scenario.t;
   n : int;
   (* Last leader estimate each process reported via [Leader_change]; 0
@@ -46,7 +46,7 @@ let apply_partition { p_inj = inj; p_groups; p_count; p_resync } =
   Array.iter
     (fun p ->
       if not (Net.Network.is_crashed inj.net p) then
-        Omega.Node.resync (Omega.Cluster.node inj.cluster p))
+        Omega.Iface.resync inj.iface p)
     p_resync;
   emit_fault inj
     (Obs.Event.Partition { now = now_us inj; groups = p_count })
@@ -56,7 +56,7 @@ type pid_ev = { a_inj : t; a_pid : pid }
 let apply_crash { a_inj = inj; a_pid } = Net.Network.crash inj.net a_pid
 
 let apply_recover { a_inj = inj; a_pid } =
-  Omega.Cluster.recover inj.cluster a_pid;
+  Omega.Iface.recover inj.iface a_pid;
   inj.recoveries <- inj.recoveries + 1;
   emit_fault inj (Obs.Event.Recover { now = now_us inj; pid = a_pid })
 
@@ -110,16 +110,16 @@ let on_event inj = function
    design, so there is nothing to keep unperturbed. *)
 let sink inj = Obs.Sink.make ~mask:Obs.Event.c_omega (on_event inj)
 
-let attach plan ~cluster ~scenario =
-  let net = Omega.Cluster.net cluster in
-  let engine = Omega.Cluster.engine cluster in
-  let n = Omega.Cluster.n cluster in
+let attach plan ~iface ~scenario =
+  let net = Omega.Iface.net iface in
+  let engine = Omega.Iface.engine iface in
+  let n = Omega.Iface.n iface in
   Plan.validate ~n plan;
   let inj =
     {
       engine;
       net;
-      cluster;
+      iface;
       scenario;
       n;
       leaders = Array.make n 0;
@@ -135,10 +135,7 @@ let attach plan ~cluster ~scenario =
       match action with
       | Plan.Partition { at; heal_at; groups } ->
           let g, count = Plan.groups_array ~n groups in
-          let alpha =
-            (Omega.Node.config (Omega.Cluster.node cluster 0))
-              .Omega.Config.alpha
-          in
+          let alpha = (Omega.Iface.config iface).Omega.Config.alpha in
           let sizes = Array.make count 0 in
           Array.iter (fun id -> sizes.(id) <- sizes.(id) + 1) g;
           let stranded =

@@ -17,14 +17,16 @@
 type pid = int
 type t
 
-(** [attach plan ~cluster ~scenario] validates [plan] against the cluster
+(** [attach plan ~iface ~scenario] validates [plan] against the cluster
     size and schedules its actions on the cluster's engine. Call before
     the run starts; crashes scheduled by the plan act on the cluster's
-    network, recoveries go through {!Omega.Cluster.recover}, partitions
-    and duplication bursts through the {!Net.Network} fault surface, and
-    the adaptive adversary through [scenario]'s victim override. *)
+    network, recoveries and partition-heal catch-ups go through the
+    algorithm's {!Omega.Iface} hooks (so faults work the same over any
+    algorithm a run selects), partitions and duplication bursts through
+    the {!Net.Network} fault surface, and the adaptive adversary through
+    [scenario]'s victim override. *)
 val attach :
-  Plan.t -> cluster:Omega.Cluster.t -> scenario:Scenarios.Scenario.t -> t
+  Plan.t -> iface:Omega.Iface.t -> scenario:Scenarios.Scenario.t -> t
 
 (** Sink consuming [Leader_change] events (mask {!Obs.Event.c_omega}) that
     drives the adaptive adversary; tee it into the engine sink iff

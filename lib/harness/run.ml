@@ -45,6 +45,7 @@ module Spec = struct
     sink : Obs.Sink.t option;
     sched : [ `Heap | `Wheel ];
     flight_pool : bool;
+    algo : [ `Gossip | `Relay ];
   }
 
   let default =
@@ -61,6 +62,7 @@ module Spec = struct
       sink = None;
       sched = `Wheel;
       flight_pool = true;
+      algo = `Gossip;
     }
 
   let with_horizon horizon t = { t with horizon }
@@ -75,6 +77,7 @@ module Spec = struct
   let with_sink sink t = { t with sink = Some sink }
   let with_sched sched t = { t with sched }
   let with_flight_pool flight_pool t = { t with flight_pool }
+  let with_algo algo t = { t with algo }
 end
 
 (* The largest round whose every non-victim message is guaranteed delivered
@@ -159,6 +162,7 @@ let run ?(spec = Spec.default) ~env ~seed () =
     sink;
     sched;
     flight_pool;
+    algo;
   } =
     spec
   in
@@ -199,11 +203,17 @@ let run ?(spec = Spec.default) ~env ~seed () =
   (* The cluster exists before the sink is installed (creation emits
      nothing, it only splits RNG streams) because the fault injector needs
      it; the injector's action scheduling likewise pre-dates the sink, so
-     plan-free digests see exactly the event stream they always did. *)
-  let cluster = Omega.Cluster.create config net in
+     plan-free digests see exactly the event stream they always did. The
+     algorithm behind the interface is the spec's choice, exactly like the
+     scheduler backend; Iface construction is observationally free. *)
+  let iface =
+    match algo with
+    | `Gossip -> Omega.Cluster.iface (Omega.Cluster.create config net)
+    | `Relay -> Omega.Lean.iface (Omega.Lean.create config net)
+  in
   let injector =
     if Fault.Plan.is_empty plan then None
-    else Some (Fault.Injector.attach plan ~cluster ~scenario)
+    else Some (Fault.Injector.attach plan ~iface ~scenario)
   in
   Sim.Engine.set_sink engine
     (Obs.Sink.tee
@@ -225,17 +235,16 @@ let run ?(spec = Spec.default) ~env ~seed () =
             | Some _ | None -> []);
             (match sink with Some s -> [ s ] | None -> []);
           ]));
-  List.iter (fun (p, time) -> Omega.Cluster.crash_at cluster p time) crashes;
+  List.iter (fun (p, time) -> Omega.Iface.crash_at iface p time) crashes;
   let samples = ref [] in
   let lattice_violations = ref 0 in
   let max_round_state = ref 0 in
   let observe_nodes () =
     List.iter
       (fun p ->
-        let node = Omega.Cluster.node cluster p in
-        if not (Omega.Node.lattice_invariant_holds node) then
+        if not (Omega.Iface.lattice_invariant_holds iface p) then
           incr lattice_violations;
-        let cardinal = Omega.Node.round_state_cardinal node in
+        let cardinal = Omega.Iface.round_state_cardinal iface p in
         if cardinal > !max_round_state then max_round_state := cardinal)
       (Net.Network.correct net)
   in
@@ -243,7 +252,7 @@ let run ?(spec = Spec.default) ~env ~seed () =
   let min_receiving_round () =
     List.fold_left
       (fun acc p ->
-        min acc (Omega.Node.receiving_round (Omega.Cluster.node cluster p)))
+        min acc (Omega.Iface.receiving_round iface p))
       max_int
       (Net.Network.correct net)
   in
@@ -252,15 +261,15 @@ let run ?(spec = Spec.default) ~env ~seed () =
       {
         time = Sim.Engine.now engine;
         round = min_receiving_round ();
-        leaders = Omega.Cluster.leaders cluster;
-        agreed = Omega.Cluster.agreed_leader cluster;
+        leaders = Omega.Iface.leaders iface;
+        agreed = Omega.Iface.agreed_leader iface;
       }
       :: !samples;
     if fig3 then observe_nodes () else ignore (observe_nodes ());
     if Sim.Time.(Sim.Engine.now engine < horizon) then
       Sim.Engine.call_after engine sample_every sampler ()
   in
-  Omega.Cluster.start cluster;
+  Omega.Iface.start iface;
   Sim.Engine.call_after engine sample_every sampler ();
   Sim.Engine.run_until engine horizon;
   let samples = List.rev !samples in
@@ -277,20 +286,19 @@ let run ?(spec = Spec.default) ~env ~seed () =
   let max_susp_level =
     List.fold_left
       (fun acc p ->
-        max acc (Omega.Node.max_susp_level_seen (Omega.Cluster.node cluster p)))
+        max acc (Omega.Iface.max_susp_level_seen iface p))
       0 correct
   in
   let max_timeout =
     List.fold_left
       (fun acc p ->
-        Sim.Time.max acc
-          (Omega.Node.max_timeout_armed (Omega.Cluster.node cluster p)))
+        Sim.Time.max acc (Omega.Iface.max_timeout_armed iface p))
       Sim.Time.zero correct
   in
   let min_sending_round =
     List.fold_left
       (fun acc p ->
-        min acc (Omega.Node.sending_round (Omega.Cluster.node cluster p)))
+        min acc (Omega.Iface.sending_round iface p))
       max_int correct
   in
   let checker_report =

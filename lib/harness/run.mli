@@ -85,6 +85,12 @@ module Spec : sig
     flight_pool : bool;
         (** recycle network flight records (default [true]); [false] is
             the A/B allocation baseline (see {!Net.Network.create}) *)
+    algo : [ `Gossip | `Relay ];
+        (** Ω algorithm behind the {!Omega.Iface} surface (default
+            [`Gossip], the Figure-1/2/3 family selected by
+            {!Omega.Config.variant}); [`Relay] is the
+            communication-efficient {!Omega.Lean} variant — O(n) messages
+            per round instead of Θ(n²) (DESIGN.md §15) *)
   }
 
   val default : t
@@ -100,6 +106,7 @@ module Spec : sig
   val with_sink : Obs.Sink.t -> t -> t
   val with_sched : [ `Heap | `Wheel ] -> t -> t
   val with_flight_pool : bool -> t -> t
+  val with_algo : [ `Gossip | `Relay ] -> t -> t
 end
 
 (** [run ~env ~seed ()] executes one simulation of [env] under [spec]

@@ -114,6 +114,16 @@ let add t ev =
   | Event.Adversary_move { now; target } ->
       mix_int t now;
       mix_int t target
+  | Event.Relay_round { now; pid; rn; stale } ->
+      mix_int t now;
+      mix_int t pid;
+      mix_int t rn;
+      mix_int t stale
+  | Event.Accusation { now; pid; target; level } ->
+      mix_int t now;
+      mix_int t pid;
+      mix_int t target;
+      mix_int t level
 
 (* The scalar lane folds exactly what [add] folds for the corresponding
    event — same tag, same field order — without the event ever existing. *)

@@ -45,6 +45,8 @@ type t =
   | Partition of { now : int; groups : int }
   | Recover of { now : int; pid : int }
   | Adversary_move of { now : int; target : int }
+  | Relay_round of { now : int; pid : int; rn : int; stale : int }
+  | Accusation of { now : int; pid : int; target : int; level : int }
 
 let c_engine = 1
 let c_timer = 2
@@ -60,7 +62,8 @@ let class_of = function
   | Sched _ | Fire _ | Cancel _ -> c_engine
   | Timer_fire _ -> c_timer
   | Send _ | Deliver _ | Drop _ | Duplicate _ -> c_net
-  | Round_open _ | Round_close _ | Suspicion _ | Leader_change _ -> c_omega
+  | Round_open _ | Round_close _ | Suspicion _ | Leader_change _
+  | Relay_round _ | Accusation _ -> c_omega
   | Ballot_open _ | Decided _ -> c_consensus
   | Partition _ | Recover _ | Adversary_move _ -> c_fault
 
@@ -82,6 +85,8 @@ let name = function
   | Partition _ -> "partition"
   | Recover _ -> "recover"
   | Adversary_move _ -> "adversary_move"
+  | Relay_round _ -> "relay_round"
+  | Accusation _ -> "accusation"
 
 (* Small integer tags for digesting; must stay stable across PRs or pinned
    digests in tests/CI change meaning. Append-only. The named constants are
@@ -109,6 +114,8 @@ let tag = function
   | Partition _ -> 15
   | Recover _ -> 16
   | Adversary_move _ -> 17
+  | Relay_round _ -> 18
+  | Accusation _ -> 19
 
 let time = function
   | Sched { now; _ }
@@ -127,7 +134,9 @@ let time = function
   | Decided { now; _ }
   | Partition { now; _ }
   | Recover { now; _ }
-  | Adversary_move { now; _ } -> now
+  | Adversary_move { now; _ }
+  | Relay_round { now; _ }
+  | Accusation { now; _ } -> now
 
 let pp ppf ev =
   match ev with
@@ -165,6 +174,11 @@ let pp ppf ev =
   | Recover { now; pid } -> Format.fprintf ppf "[%d] p%d recovered" now pid
   | Adversary_move { now; target } ->
       Format.fprintf ppf "[%d] adversary target=%d" now target
+  | Relay_round { now; pid; rn; stale } ->
+      Format.fprintf ppf "[%d] p%d relay_round rn=%d stale=%d" now pid rn stale
+  | Accusation { now; pid; target; level } ->
+      Format.fprintf ppf "[%d] p%d accusation target=%d level=%d" now pid
+        target level
 
 (* One JSON object per event, written without a trailing newline. All field
    values are ints or static ASCII kind strings, so no escaping is needed. *)
@@ -226,5 +240,13 @@ let to_json buf ev =
       field buf "ballot" ballot
   | Partition { groups; _ } -> field buf "groups" groups
   | Recover { pid; _ } -> field buf "pid" pid
-  | Adversary_move { target; _ } -> field buf "target" target);
+  | Adversary_move { target; _ } -> field buf "target" target
+  | Relay_round { pid; rn; stale; _ } ->
+      field buf "pid" pid;
+      field buf "rn" rn;
+      field buf "stale" stale
+  | Accusation { pid; target; level; _ } ->
+      field buf "pid" pid;
+      field buf "target" target;
+      field buf "level" level);
   add_string buf "}"

@@ -68,6 +68,13 @@ type t =
       (** fault plan: a crashed process rejoined with its persisted state *)
   | Adversary_move of { now : int; target : int }
       (** the adaptive adversary re-targeted its victim blocks at [target] *)
+  | Relay_round of { now : int; pid : int; rn : int; stale : int }
+      (** communication-efficient variant: relay [pid] aggregated and
+          re-broadcast suspicion state for its heartbeat round [rn],
+          having found [stale] processes past their staleness slack *)
+  | Accusation of { now : int; pid : int; target : int; level : int }
+      (** communication-efficient variant: [pid] broadcast an accusation
+          against its silent relay [target] at suspicion [level] *)
 
 (** {2 Event classes}
 

@@ -22,6 +22,8 @@ type t = {
   mutable partitions : int;
   mutable recoveries : int;
   mutable adversary_moves : int;
+  mutable relay_rounds : int;
+  mutable accusations : int;
 }
 
 (* Counters + one delay histogram: everything the sink touches is O(1) per
@@ -44,6 +46,8 @@ let create ?(mask = Event.all) () =
     partitions = 0;
     recoveries = 0;
     adversary_moves = 0;
+    relay_rounds = 0;
+    accusations = 0;
   }
 
 let kind_cell t kind =
@@ -81,6 +85,8 @@ let add t ev =
   | Event.Partition _ -> t.partitions <- t.partitions + 1
   | Event.Recover _ -> t.recoveries <- t.recoveries + 1
   | Event.Adversary_move _ -> t.adversary_moves <- t.adversary_moves + 1
+  | Event.Relay_round _ -> t.relay_rounds <- t.relay_rounds + 1
+  | Event.Accusation _ -> t.accusations <- t.accusations + 1
 
 let sink t = Sink.make ~mask:t.mask (add t)
 
@@ -113,6 +119,8 @@ let decisions t = t.decisions
 let partitions t = t.partitions
 let recoveries t = t.recoveries
 let adversary_moves t = t.adversary_moves
+let relay_rounds t = t.relay_rounds
+let accusations t = t.accusations
 let delivery_delay_us t = t.delivery_delay_us
 
 let pp_summary ppf t =
@@ -133,6 +141,9 @@ let pp_summary ppf t =
   if t.partitions > 0 || t.recoveries > 0 || t.adversary_moves > 0 then
     Format.fprintf ppf "@,faults: partitions=%d recoveries=%d adversary=%d"
       t.partitions t.recoveries t.adversary_moves;
+  if t.relay_rounds > 0 || t.accusations > 0 then
+    Format.fprintf ppf "@,relay: rounds=%d accusations=%d" t.relay_rounds
+      t.accusations;
   if t.scheduled > 0 then
     Format.fprintf ppf "@,engine: scheduled=%d fired=%d cancelled=%d"
       t.scheduled t.fired t.cancelled;

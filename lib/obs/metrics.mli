@@ -49,6 +49,12 @@ val partitions : t -> int
 val recoveries : t -> int
 val adversary_moves : t -> int
 
+(** {2 Communication-efficient variant counters} *)
+
+val relay_rounds : t -> int
+
+val accusations : t -> int
+
 (** Transfer delays of delivered messages, in microseconds. *)
 val delivery_delay_us : t -> Dstruct.Stats.t
 

@@ -37,6 +37,27 @@ let leaders t =
     (fun p -> (p, Node.leader t.nodes.(p)))
     (Net.Network.correct t.net)
 
+let iface t : Iface.t =
+  let nd i = t.nodes.(i) in
+  {
+    Iface.config = Node.config (nd 0);
+    net = t.net;
+    start = (fun () -> Array.iter Node.start t.nodes);
+    leader_of = (fun p -> Node.leader (nd p));
+    recover =
+      (fun p ->
+        Net.Network.recover t.net p;
+        Node.recover (nd p));
+    resync = (fun p -> Node.resync (nd p));
+    sending_round = (fun p -> Node.sending_round (nd p));
+    receiving_round = (fun p -> Node.receiving_round (nd p));
+    susp_level_get = (fun p k -> Node.susp_level_get (nd p) k);
+    max_susp_level_seen = (fun p -> Node.max_susp_level_seen (nd p));
+    max_timeout_armed = (fun p -> Node.max_timeout_armed (nd p));
+    lattice_invariant_holds = (fun p -> Node.lattice_invariant_holds (nd p));
+    round_state_cardinal = (fun p -> Node.round_state_cardinal (nd p));
+  }
+
 let agreed_leader t =
   match leaders t with
   | [] -> None

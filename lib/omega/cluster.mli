@@ -25,6 +25,11 @@ val recover : t -> pid -> unit
 (** [recover_at t p time] schedules a {!recover}. *)
 val recover_at : t -> pid -> Sim.Time.t -> unit
 
+(** The algorithm-agnostic surface consumed by {!Harness.Run} and
+    {!Fault.Injector} (DESIGN.md §15). Construction draws no randomness
+    and schedules nothing. *)
+val iface : t -> Iface.t
+
 (** Current [leader ()] output of every non-crashed process. *)
 val leaders : t -> (pid * pid) list
 

@@ -1,0 +1,60 @@
+type pid = int
+
+(* First-class algorithm surface (DESIGN.md §15): everything the harness,
+   the fault injector and the experiments need from a running cluster,
+   with no reference to which algorithm is behind it. Constructing one
+   allocates a handful of closures once per run and draws no randomness,
+   so routing a run through it leaves the event stream untouched. *)
+type t = {
+  config : Config.t;
+  net : Message.t Net.Network.t;
+  start : unit -> unit;
+  leader_of : pid -> pid;
+  recover : pid -> unit;
+  resync : pid -> unit;
+  sending_round : pid -> int;
+  receiving_round : pid -> int;
+  susp_level_get : pid -> pid -> int;
+  max_susp_level_seen : pid -> int;
+  max_timeout_armed : pid -> Sim.Time.t;
+  lattice_invariant_holds : pid -> bool;
+  round_state_cardinal : pid -> int;
+}
+
+let config t = t.config
+let net t = t.net
+let engine t = Net.Network.engine t.net
+let n t = Net.Network.n t.net
+let start t = t.start ()
+let leader_of t p = t.leader_of p
+let recover t p = t.recover p
+let resync t p = t.resync p
+let sending_round t p = t.sending_round p
+let receiving_round t p = t.receiving_round p
+let susp_level_get t p k = t.susp_level_get p k
+let max_susp_level_seen t p = t.max_susp_level_seen p
+let max_timeout_armed t p = t.max_timeout_armed p
+let lattice_invariant_holds t p = t.lattice_invariant_holds p
+let round_state_cardinal t p = t.round_state_cardinal p
+
+let crash_at t p time =
+  let net = t.net in
+  ignore
+    (Sim.Engine.schedule_at (engine t) time (fun () ->
+         Net.Network.crash net p))
+
+let recover_at t p time =
+  ignore (Sim.Engine.schedule_at (engine t) time (fun () -> t.recover p))
+
+let leaders t =
+  List.map (fun p -> (p, t.leader_of p)) (Net.Network.correct t.net)
+
+let agreed_leader t =
+  match leaders t with
+  | [] -> None
+  | (_, l) :: rest ->
+      if
+        List.for_all (fun (_, l') -> l' = l) rest
+        && not (Net.Network.is_crashed t.net l)
+      then Some l
+      else None

@@ -424,7 +424,11 @@ let on_message t ~src msg =
   if not (halted t) then begin
     (match msg with
     | Message.Alive { rn; susp_level } -> on_alive t ~src rn susp_level
-    | Message.Suspicion { rn; suspects } -> on_suspicion t rn suspects);
+    | Message.Suspicion { rn; suspects } -> on_suspicion t rn suspects
+    | Message.Heartbeat _ | Message.Aggregate _ | Message.Accuse _ ->
+        (* Lean-variant traffic; a run selects one algorithm for the whole
+           cluster, so the Figure family never receives these. *)
+        ());
     maybe_leader_change t
   end
 

@@ -567,13 +567,26 @@ let arrival_bound t rn =
   let timely_cap = us t.p.delta + us (g_function t rn) in
   Sim.Time.of_us (u + max async_cap (max winning_cap timely_cap))
 
+(* The adversary's projection: which messages the round-tagged delay
+   policies (victim blocks, timely/winning star points) apply to. ALIVE for
+   the Figure family; HEARTBEAT and AGGREGATE for the lean variant — they
+   are its liveness-bearing traffic and must face the same adversary, or
+   E12's shootout would compare algorithms under different worlds. SUSPICION
+   and ACCUSE are asynchronous control messages: no assumption constrains
+   them. Distinct from {!Omega.Message.info}, the checker-facing classifier,
+   which tags only ALIVE — the checker verifies Figure 3's arrival pattern
+   and must not key on relay traffic. *)
 let round_of_omega = function
-  | Omega.Message.Alive { rn; _ } -> Some rn
-  | Omega.Message.Suspicion _ -> None
+  | Omega.Message.Alive { rn; _ }
+  | Omega.Message.Heartbeat { rn }
+  | Omega.Message.Aggregate { rn; _ } -> Some rn
+  | Omega.Message.Suspicion _ | Omega.Message.Accuse _ -> None
 
 let round_rn_of_omega = function
-  | Omega.Message.Alive { rn; _ } -> rn
-  | Omega.Message.Suspicion _ -> -1
+  | Omega.Message.Alive { rn; _ }
+  | Omega.Message.Heartbeat { rn }
+  | Omega.Message.Aggregate { rn; _ } -> rn
+  | Omega.Message.Suspicion _ | Omega.Message.Accuse _ -> -1
 
 let describe t =
   let base =

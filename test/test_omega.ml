@@ -190,53 +190,55 @@ let test_leader_lexicographic () =
 
 (* ------------------------------------------------------- closure rules *)
 
+(* Cluster-level tests run through the shared algorithm interface
+   (DESIGN.md §15) — the same surface the harness and the fault injector
+   consume — so they pin the Iface contract, not Cluster internals. *)
 let cluster ?(n = 4) ?(t = 1) ?(closure = Omega.Config.Conjunction)
     ?(oracle = instant) variant =
   let engine = Sim.Engine.create ~seed:2L () in
   let net = Net.Network.create engine ~n ~oracle in
   let config = { (Omega.Config.default ~n ~t variant) with closure } in
-  let c = Omega.Cluster.create config net in
-  Omega.Cluster.start c;
-  (engine, net, c)
+  let i = Omega.Cluster.iface (Omega.Cluster.create config net) in
+  Omega.Iface.start i;
+  (engine, net, i)
 
 let test_conjunction_rounds_advance () =
   let engine, _, c = cluster Omega.Config.Fig3 in
   Sim.Engine.run_until engine (Sim.Time.of_sec 2);
   check bool_t "receiving rounds advance" true
-    (Omega.Node.receiving_round (Omega.Cluster.node c 0) > 10);
+    (Omega.Iface.receiving_round c 0 > 10);
   check bool_t "sending rounds advance" true
-    (Omega.Node.sending_round (Omega.Cluster.node c 0) > 100)
+    (Omega.Iface.sending_round c 0 > 100)
 
 let test_timely_cluster_elects_min_id () =
   let engine, _, c = cluster Omega.Config.Fig3 in
   Sim.Engine.run_until engine (Sim.Time.of_sec 3);
   check (Alcotest.option int_t) "all-timely elects min id" (Some 0)
-    (Omega.Cluster.agreed_leader c);
-  check int_t "no suspicions" 0
-    (Omega.Node.max_susp_level_seen (Omega.Cluster.node c 0))
+    (Omega.Iface.agreed_leader c);
+  check int_t "no suspicions" 0 (Omega.Iface.max_susp_level_seen c 0)
 
 let test_crashed_process_level_grows () =
   (* Lemma 1 / Lemma 3: a crashed process's suspicion level keeps growing at
      every correct process (Fig2: growth is unbounded). *)
   let engine, _, c = cluster Omega.Config.Fig2 in
-  Omega.Cluster.crash_at c 3 (Sim.Time.of_ms 500);
+  Omega.Iface.crash_at c 3 (Sim.Time.of_ms 500);
   Sim.Engine.run_until engine (Sim.Time.of_sec 3);
-  let level_at p = (Omega.Node.susp_level (Omega.Cluster.node c p)).(3) in
+  let level_at p = Omega.Iface.susp_level_get c p 3 in
   check bool_t "crashed suspected" true (level_at 0 > 5);
   let mid = level_at 0 in
   Sim.Engine.run_until engine (Sim.Time.of_sec 6);
   check bool_t "keeps growing" true (level_at 0 > mid);
   check (Alcotest.option int_t) "leader avoids the crashed process" (Some 0)
-    (Omega.Cluster.agreed_leader c)
+    (Omega.Iface.agreed_leader c)
 
 let test_fig3_crashed_level_bounded () =
   (* Theorem 4: with Fig3 even a crashed process's level stops at B+1. *)
   let engine, _, c = cluster Omega.Config.Fig3 in
-  Omega.Cluster.crash_at c 3 (Sim.Time.of_ms 500);
+  Omega.Iface.crash_at c 3 (Sim.Time.of_ms 500);
   Sim.Engine.run_until engine (Sim.Time.of_sec 3);
-  let level_at_3s = (Omega.Node.susp_level (Omega.Cluster.node c 0)).(3) in
+  let level_at_3s = Omega.Iface.susp_level_get c 0 3 in
   Sim.Engine.run_until engine (Sim.Time.of_sec 10);
-  let level_at_10s = (Omega.Node.susp_level (Omega.Cluster.node c 0)).(3) in
+  let level_at_10s = Omega.Iface.susp_level_get c 0 3 in
   check int_t "bounded (stopped growing)" level_at_3s level_at_10s;
   check bool_t "small" true (level_at_10s <= 2)
 
@@ -246,7 +248,7 @@ let test_count_only_advances_without_timer () =
   in
   Sim.Engine.run_until engine (Sim.Time.of_sec 1);
   check bool_t "count-only rounds advance" true
-    (Omega.Node.receiving_round (Omega.Cluster.node c 0) > 10)
+    (Omega.Iface.receiving_round c 0 > 10)
 
 let test_timer_only_advances_without_messages () =
   (* With absurdly slow links, timer-only still closes rounds. *)
@@ -258,7 +260,7 @@ let test_timer_only_advances_without_messages () =
   in
   Sim.Engine.run_until engine (Sim.Time.of_sec 2);
   check bool_t "timer-only rounds advance" true
-    (Omega.Node.receiving_round (Omega.Cluster.node c 0) > 10)
+    (Omega.Iface.receiving_round c 0 > 10)
 
 let test_conjunction_blocks_without_messages () =
   (* The paper's closure waits for n-t ALIVEs: with dead links the round
@@ -268,17 +270,14 @@ let test_conjunction_blocks_without_messages () =
   in
   let engine, _, c = cluster ~oracle:slow Omega.Config.Fig1 in
   Sim.Engine.run_until engine (Sim.Time.of_sec 2);
-  check int_t "round stuck at 1" 1
-    (Omega.Node.receiving_round (Omega.Cluster.node c 0))
+  check int_t "round stuck at 1" 1 (Omega.Iface.receiving_round c 0)
 
 let test_fig3_fg_inflates_timeout () =
   let g _rn = Sim.Time.of_ms 50 in
   let engine, _, c = cluster (Omega.Config.Fig3_fg { f = (fun _ -> 0); g }) in
   Sim.Engine.run_until engine (Sim.Time.of_sec 2);
   check bool_t "timeout includes g" true
-    Sim.Time.(
-      Omega.Node.max_timeout_armed (Omega.Cluster.node c 0)
-      >= Sim.Time.of_ms 50)
+    Sim.Time.(Omega.Iface.max_timeout_armed c 0 >= Sim.Time.of_ms 50)
 
 (* ------------------------------------------------------------- plumbing *)
 
@@ -324,14 +323,14 @@ let test_cluster_agreed_leader_semantics () =
   let engine, net, c = cluster Omega.Config.Fig3 in
   Sim.Engine.run_until engine (Sim.Time.of_sec 2);
   check (Alcotest.option int_t) "agreed on 0" (Some 0)
-    (Omega.Cluster.agreed_leader c);
+    (Omega.Iface.agreed_leader c);
   (* Crash the leader: agreement on a crashed process does not count. *)
   Net.Network.crash net 0;
   check (Alcotest.option int_t) "crashed leader is no agreement" None
-    (Omega.Cluster.agreed_leader c);
+    (Omega.Iface.agreed_leader c);
   check (Alcotest.list (Alcotest.pair int_t int_t)) "leaders excludes crashed"
     [ (1, 0); (2, 0); (3, 0) ]
-    (Omega.Cluster.leaders c)
+    (Omega.Iface.leaders c)
 
 let test_cluster_size_mismatch_rejected () =
   let engine = Sim.Engine.create ~seed:1L () in
@@ -349,12 +348,11 @@ let test_cluster_size_mismatch_rejected () =
 let test_round_state_pruned () =
   let engine, _, c = cluster Omega.Config.Fig3 in
   Sim.Engine.run_until engine (Sim.Time.of_sec 5);
-  let node = Omega.Cluster.node c 0 in
   (* Live round-indexed state = prune margin + the lag between sending and
      receiving rounds. In 5 sim-seconds ~500 rounds are sent; the live set
      must stay well below that (the paper's own per-round tables are
      unbounded; pruning keeps ours proportional to margin + lag). *)
-  check bool_t "state pruned" true (Omega.Node.round_state_cardinal node < 450)
+  check bool_t "state pruned" true (Omega.Iface.round_state_cardinal c 0 < 450)
 
 let qtest = QCheck_alcotest.to_alcotest
 
