@@ -62,6 +62,27 @@ let experiment_tests =
                        ~obs:Experiments.Suite.no_obs)))))
     Experiments.Suite.all
 
+(* A mid-flight n=64 run for the snapshot/restore rows: built once, lazily
+   (the fixture itself takes ~half a simulated second of work). *)
+let snapshot_fixture =
+  lazy
+    (let n = 64 in
+     let t = (n - 1) / 2 in
+     let config = Omega.Config.default ~n ~t Omega.Config.Fig1 in
+     let env =
+       Scenarios.Env.make config
+         (Scenarios.Scenario.Rotating_star { center = n - 2 })
+     in
+     let spec =
+       Harness.Run.Spec.(
+         default |> with_check false |> with_horizon (Sim.Time.of_sec 2))
+     in
+     let live = Harness.Run.start ~spec ~env ~seed:7L () in
+     Harness.Run.advance live ~until:(Sim.Time.of_ms 500);
+     live)
+
+let snapshot_bytes = lazy (Harness.Run.snapshot (Lazy.force snapshot_fixture))
+
 let micro_tests =
   [
     Test.make ~name:"micro:engine-10k-events"
@@ -126,6 +147,18 @@ let micro_tests =
            ignore
              (sim_run ~algo:`Relay ~variant:Omega.Config.Fig3 ~n:64
                 ~horizon_ms:1000 ())));
+    (* Snapshot/restore (DESIGN.md §16): marshal a mid-flight n=64 run and
+       rebuild it. Both allocate by design (Marshal) — the contract is that
+       the *null* path (no snapshot taken) stays allocation-free, which the
+       sim-1s rows above pin; these rows track the checkpoint cost itself.
+       Marshal output is deterministic for a fixed state, so the alloc
+       estimate is stable under the strict-alloc gate. *)
+    Test.make ~name:"micro:engine-snapshot-n64"
+      (Staged.stage (fun () ->
+           ignore (Harness.Run.snapshot (Lazy.force snapshot_fixture))));
+    Test.make ~name:"micro:engine-restore-n64"
+      (Staged.stage (fun () ->
+           ignore (Harness.Run.restore (Lazy.force snapshot_bytes))));
   ]
 
 (* The large-cluster tier (DESIGN.md §14): one simulated second at n = 256

@@ -7,6 +7,10 @@
      experiments --metrics     append per-run digest columns to the tables
      experiments --sched heap  run every simulation on the heap scheduler
      experiments --trace f.jsonl  stream every run's typed events to f.jsonl
+     experiments --checkpoint-dir D --checkpoint-every 5
+                               persist resumable per-row snapshots into D
+     experiments --shard 1/2 --shard-out a.shard
+                               execute half the rows; merge_tables reassembles
      experiments e2 e4         run selected experiments
      experiments --list        list experiments *)
 
@@ -57,13 +61,66 @@ let sched_term =
         ~doc:
           "Engine scheduler backend for every run: $(b,wheel) (the default            timing wheel) or $(b,heap) (the binary-heap A/B reference). Both            print byte-identical tables — the CI determinism gate diffs            them.")
 
+let checkpoint_dir_term =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist a resumable snapshot of every in-flight run into $(docv) \
+           (created if missing), refreshed every --checkpoint-every \
+           simulated seconds and deleted when the row completes. A rerun of \
+           the same command resumes each interrupted row from its last \
+           snapshot; the tables stay byte-identical to an uninterrupted \
+           run. Snapshots only load in the binary that wrote them.")
+
+let checkpoint_every_term =
+  Cmdliner.Arg.(
+    value & opt float 5.
+    & info [ "checkpoint-every" ] ~docv:"SIM_S"
+        ~doc:
+          "Simulated seconds between checkpoint snapshots (default 5). Only \
+           meaningful with --checkpoint-dir.")
+
+let shard_conv =
+  let parse s =
+    match String.split_on_char '/' s with
+    | [ i; k ] -> (
+        match (int_of_string_opt i, int_of_string_opt k) with
+        | Some i, Some k when k >= 1 && i >= 1 && i <= k -> Ok (i, k)
+        | _ -> Error (`Msg "expected I/K with 1 <= I <= K"))
+    | _ -> Error (`Msg "expected I/K, e.g. --shard 1/2")
+  in
+  let print ppf (i, k) = Format.fprintf ppf "%d/%d" i k in
+  Cmdliner.Arg.conv (parse, print)
+
+let shard_term =
+  Cmdliner.Arg.(
+    value
+    & opt (some shard_conv) None
+    & info [ "shard" ] ~docv:"I/K"
+        ~doc:
+          "Execute only shard $(docv) of the sweep (cells interleaved by \
+           declaration id, so each table's heavy tail spreads across \
+           shards). Prints nothing; the rows go to --shard-out, and \
+           $(b,merge_tables) reassembles the K files into the exact \
+           unsharded output.")
+
+let shard_out_term =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "shard-out" ] ~docv:"FILE"
+        ~doc:"Where --shard writes its rows (required with --shard).")
+
 let ids_term =
   Cmdliner.Arg.(
     value & pos_all string []
     & info [] ~docv:"EXPERIMENT"
         ~doc:"Experiment ids to run (e1..e12). Default: all.")
 
-let run list quick jobs metrics trace sched ids =
+let run list quick jobs metrics trace sched checkpoint_dir checkpoint_every
+    shard shard_out ids =
   if list then begin
     List.iter
       (fun (id, doc, _) -> Printf.printf "%-4s %s\n" id doc)
@@ -71,6 +128,14 @@ let run list quick jobs metrics trace sched ids =
     `Ok ()
   end
   else if jobs < 1 then `Error (false, "--jobs must be >= 1")
+  else if Option.is_some trace && Option.is_some shard then
+    `Error (false, "--trace and --shard are mutually exclusive")
+  else if Option.is_some trace && Option.is_some checkpoint_dir then
+    `Error (false, "--trace disables --checkpoint-dir (pick one)")
+  else if Option.is_some shard && Option.is_none shard_out then
+    `Error (false, "--shard requires --shard-out FILE")
+  else if checkpoint_every <= 0. then
+    `Error (false, "--checkpoint-every must be > 0")
   else begin
     let selected =
       match ids with
@@ -84,7 +149,29 @@ let run list quick jobs metrics trace sched ids =
     | selected, _ ->
         let oc = Option.map open_out trace in
         let jsonl = Option.map Obs.Jsonl.create oc in
-        let obs = { Experiments.Suite.trace = jsonl; metrics; sched } in
+        let checkpoint =
+          Option.map
+            (fun dir ->
+              if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+              (dir, Sim.Time.of_ms (int_of_float (checkpoint_every *. 1000.))))
+            checkpoint_dir
+        in
+        let farm =
+          match shard with
+          | None -> Experiments.Suite.local_farm ()
+          | Some (index, count) ->
+              (* A shard's stdout contract is "nothing": the rows travel in
+                 the shard file and merge_tables re-renders the tables. *)
+              Harness.Table.set_out (open_out Filename.null);
+              {
+                Experiments.Suite.mode =
+                  Shard { index; count; recorded = ref [] };
+                next_cell = 0;
+              }
+        in
+        let obs =
+          { Experiments.Suite.trace = jsonl; metrics; sched; checkpoint; farm }
+        in
         (* The JSONL writer is one shared out-channel: events from
            concurrent runs would interleave, so tracing pins the run farm
            to a single domain. *)
@@ -92,6 +179,14 @@ let run list quick jobs metrics trace sched ids =
         Parallel.Pool.with_pool ~jobs (fun pool ->
             List.iter (fun (_, _, f) -> f ~pool ~quick ~obs) selected);
         Option.iter Obs.Jsonl.close jsonl;
+        (match (farm.Experiments.Suite.mode, shard_out) with
+        | Shard { index; count; recorded }, Some path ->
+            Experiments.Suite.Shard.save ~path ~index ~count
+              ~ids:(List.map (fun (id, _, _) -> id) selected)
+              ~quick ~metrics
+              ~sched:(match sched with `Wheel -> "wheel" | `Heap -> "heap")
+              ~cells:!recorded
+        | _ -> ());
         `Ok ()
   end
 
@@ -105,6 +200,7 @@ let cmd =
     Cmdliner.Term.(
       ret
         (const run $ list_term $ quick_term $ jobs_term $ metrics_term
-       $ trace_term $ sched_term $ ids_term))
+       $ trace_term $ sched_term $ checkpoint_dir_term $ checkpoint_every_term
+       $ shard_term $ shard_out_term $ ids_term))
 
 let () = exit (Cmdliner.Cmd.eval cmd)

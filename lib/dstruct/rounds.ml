@@ -49,6 +49,18 @@ let prune_below ?recycle t bound =
     t.floor <- bound
   end
 
+(* Unlike [prune_below] this does not advance the floor: the caller keeps
+   its own record of which rounds were collapsed away (Omega.Node's
+   [full_upto] prefix) and must not let later lookups below the floor
+   raise. *)
+let remove ?recycle t rn =
+  check_live t rn ~op:"remove";
+  match Hashtbl.find t.table rn with
+  | v ->
+      Hashtbl.remove t.table rn;
+      (match recycle with Some f -> f v | None -> ())
+  | exception Not_found -> ()
+
 let iter t f = Hashtbl.iter f t.table
 
 let max_round t =

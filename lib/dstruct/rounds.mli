@@ -42,6 +42,13 @@ val set : 'a t -> int -> 'a -> unit
     freelist instead of re-allocating them every round. *)
 val prune_below : ?recycle:('a -> unit) -> 'a t -> int -> unit
 
+(** [remove t rn] discards round [rn]'s entry (if any) {e without} moving
+    the floor — unlike {!prune_below}, later reads of [rn] simply see an
+    absent round. [recycle] is applied to the discarded value. The caller
+    owns the semantics of the hole ([Omega.Node] collapses fully-received
+    round prefixes into a scalar, DESIGN.md §16); raises below the floor. *)
+val remove : ?recycle:('a -> unit) -> 'a t -> int -> unit
+
 (** [iter t f] applies [f rn v] to every live entry, in unspecified order. *)
 val iter : 'a t -> (int -> 'a -> unit) -> unit
 

@@ -312,6 +312,25 @@ let rec commit_chain t c =
     commit_chain t after
   end
 
+let staged_count t = t.staged_n
+
+(* Snapshot support: visit the dummy plus every committed cell's value.
+   Freelist cells hold [dummy] (reset on release), so this covers every
+   element value reachable through the wheel's marshalled graph. Staged
+   cells are deliberately not visited — Engine.snapshot refuses to run
+   while a batch is pending. *)
+let rec iter_chain nil f c =
+  if c != nil then begin
+    f c.v;
+    iter_chain nil f c.next
+  end
+
+let iter_values t f =
+  f t.dummy;
+  for i = 0 to buckets - 1 do
+    iter_chain t.nil f t.heads.(i)
+  done
+
 let commit t =
   if t.staged_n > 0 then begin
     let head = t.staged_head in

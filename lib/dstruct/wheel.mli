@@ -77,3 +77,15 @@ val stage : 'a t -> key:int -> 'a -> unit
     commits before returning to its event loop, so the cursor cannot move
     between a stage and its commit). *)
 val commit : 'a t -> unit
+
+(** Number of staged, not-yet-committed cells. [Engine.snapshot] refuses
+    to run while this is nonzero. *)
+val staged_count : 'a t -> int
+
+(** [iter_values t f] applies [f] to [dummy] and then to every committed
+    element, in unspecified order. Snapshot support (DESIGN.md §16): the
+    engine walks every element value reachable through the wheel's graph —
+    including the [dummy] that recycled freelist cells alias — to swizzle
+    packed event functions before marshalling. Staged cells are not
+    visited. Not for general iteration. *)
+val iter_values : 'a t -> ('a -> unit) -> unit

@@ -42,6 +42,27 @@ let leader_cell result =
 
 let stab_cell result = Table.ms (Run.stabilization_ms result)
 
+(* The farm (DESIGN.md §16): every table row (or cell) is a [cell] — a
+   label, a cost estimate, and a thunk owning its whole simulation stack.
+   Cells are numbered globally in declaration order across the session's
+   selected experiments; the number is the cell's identity for sharding
+   and merging, so a merge replaying the same selection re-derives the
+   same numbering. *)
+type cell = { label : string; cost : float; exec : unit -> string list }
+
+type farm_mode =
+  | Local
+  | Shard of {
+      index : int;  (* 1-based *)
+      count : int;
+      recorded : (int * string list) list ref;
+    }
+  | Merge of (int, string list) Hashtbl.t
+
+type farm = { mode : farm_mode; mutable next_cell : int }
+
+let local_farm () = { mode = Local; next_cell = 0 }
+
 (* Session-wide observability, set by bin/experiments.exe flags. With
    [no_obs] every run takes the zero-cost null-sink path and the tables are
    byte-identical to what they print without this layer. *)
@@ -49,15 +70,102 @@ type obs = {
   trace : Obs.Jsonl.t option;
   metrics : bool;
   sched : [ `Heap | `Wheel ];
+  checkpoint : (string * Sim.Time.t) option;
+  farm : farm;
 }
 
-let no_obs = { trace = None; metrics = false; sched = `Wheel }
+let no_obs =
+  {
+    trace = None;
+    metrics = false;
+    sched = `Wheel;
+    checkpoint = None;
+    farm = local_farm ();
+  }
+
+(* ------------------------------------------------- on-disk checkpoints *)
+
+(* One row's resumable state: a versioned header naming the row plus the
+   engine snapshot (DESIGN.md §16). The header is validated on resume — a
+   mismatching label or seed means the file belongs to some other sweep
+   and the row restarts from scratch; so does any unreadable or
+   stale-binary file ([Marshal.Closures] snapshots only load in the
+   binary that wrote them). A checkpoint is never worth failing a run
+   over. *)
+type ckpt_file = {
+  ck_version : int;
+  ck_label : string;
+  ck_seed : int64;
+  ck_bytes : Bytes.t;
+}
+
+let ckpt_version = 1
+
+let ckpt_sanitize label =
+  String.map
+    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.') as c -> c | _ -> '_')
+    label
+
+let ckpt_read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> (Marshal.from_channel ic : ckpt_file))
+
+let checkpointed_run ~dir ~every ~label ~spec ~env ~seed =
+  let path = Filename.concat dir (ckpt_sanitize label ^ ".ckpt") in
+  let fresh () = Run.start ~spec ~env ~seed () in
+  let live =
+    if not (Sys.file_exists path) then fresh ()
+    else
+      match ckpt_read path with
+      | { ck_version = v; ck_label; ck_seed; ck_bytes }
+        when v = ckpt_version && ck_label = label && ck_seed = seed -> (
+          try Run.restore ck_bytes
+          with _ ->
+            Printf.eprintf "checkpoint %s: snapshot from another binary, restarting row\n%!" path;
+            fresh ())
+      | _ ->
+          Printf.eprintf "checkpoint %s: header mismatch, restarting row\n%!" path;
+          fresh ()
+      | exception _ ->
+          Printf.eprintf "checkpoint %s: unreadable, restarting row\n%!" path;
+          fresh ()
+  in
+  let write () =
+    (* Atomic: a kill mid-write must leave either the previous checkpoint
+       or the new one, never a torn file. *)
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Marshal.to_channel oc
+      { ck_version = ckpt_version; ck_label = label; ck_seed = seed;
+        ck_bytes = Run.snapshot live }
+      [];
+    close_out oc;
+    Sys.rename tmp path
+  in
+  let rec slices () =
+    let now = Run.now live in
+    if Sim.Time.(now < Run.horizon live) then begin
+      Run.advance live ~until:(Sim.Time.add now every);
+      if Sim.Time.(Run.now live < Run.horizon live) then write ();
+      slices ()
+    end
+  in
+  slices ();
+  let result = Run.finish live in
+  if Sys.file_exists path then Sys.remove path;
+  result
 
 (* Run.run with the session's observability attached: [metrics] also turns
    the digest on (the table grows a digest column), [trace] prepends a
    note naming the run so the JSONL stream is self-describing. Tracing
    requires a sequential pool — the writer is shared across runs — which
-   bin/experiments.exe enforces by forcing [--jobs 1]. *)
+   bin/experiments.exe enforces by forcing [--jobs 1]. [checkpoint]
+   advances the run in simulated-time slices, persisting a resumable
+   snapshot between slices (slicing is observationally invisible, so the
+   result is bit-identical to the uninterrupted run); tracing disables it
+   (a run holding an out-channel sink cannot snapshot). *)
 let obs_run ~obs ~label ?(spec = Run.Spec.default) ~env ~seed () =
   (match obs.trace with Some j -> Obs.Jsonl.note j label | None -> ());
   let spec =
@@ -73,7 +181,10 @@ let obs_run ~obs ~label ?(spec = Run.Spec.default) ~env ~seed () =
     | Some j -> Run.Spec.with_sink (Obs.Jsonl.sink j) spec
     | None -> spec
   in
-  Run.run ~spec ~env ~seed ()
+  match obs.checkpoint with
+  | Some (dir, every) when Option.is_none obs.trace ->
+      checkpointed_run ~dir ~every ~label ~spec ~env ~seed
+  | _ -> Run.run ~spec ~env ~seed ()
 
 let obs_header obs header =
   if obs.metrics then header @ [ "digest" ] else header
@@ -88,12 +199,140 @@ let obs_cells obs result cells =
       ]
   else cells
 
-(* Evaluate one thunk per table row (or cell) on the pool, keeping order.
-   Every thunk owns its entire simulation stack — engine, RNG streams,
-   event queue — so fanning them across domains cannot perturb results,
-   and rendering happens only after the join, so stdout order (hence the
-   byte-identity of the tables) is independent of the pool size. *)
-let on pool thunks = Array.to_list (Parallel.Pool.run pool (Array.of_list thunks))
+(* Cost model feeding the LPT schedule: simulated work scales with the
+   horizon times the per-second traffic — Θ(n²) messages for the gossip
+   family, ~3n for the relay tier — doubled when the assumption checker
+   rides along (it processes every event again). Only the ordering
+   matters, not the unit. *)
+let cost_of ?(algo = `Gossip) ?(check = true) ?(stacks = 1) ~n horizon =
+  let traffic =
+    match algo with
+    | `Gossip -> float_of_int (n * n)
+    | `Relay -> float_of_int (3 * n)
+  in
+  Sim.Time.to_ms_float horizon /. 1000.
+  *. traffic
+  *. float_of_int stacks
+  *. (if check then 2. else 1.)
+
+let lpt_disabled () = Option.is_some (Sys.getenv_opt "OMEGA_NO_LPT")
+
+(* Evaluate the cells on the pool. Execution order is longest-processing-
+   time-first (by the cost estimate; OMEGA_NO_LPT reverts to declaration
+   order for A/B): the pool's workers pull tasks in submission order, so
+   submitting the expensive rows first stops a 40-second E7 row from
+   becoming the tail of the whole sweep. Results are mapped back to
+   declaration order before anything renders, so stdout (hence the
+   byte-identity of the tables) is independent of both the pool size and
+   the schedule. Per-cell wall clock goes to stderr — machine time is
+   nondeterministic.
+
+   Under [Shard i/k] only cells with [id mod k = i - 1] execute (the
+   interleaving balances each table's heavy tail across shards); the rows
+   are recorded for the shard file and the returned placeholders render
+   into the void (bin/experiments.exe nulls the table channel). Under
+   [Merge] nothing executes: rows come from the loaded shard files by
+   cell id, and the replayed rendering is byte-identical to the unsharded
+   run. *)
+let on ~obs pool cells =
+  let cells = Array.of_list cells in
+  let farm = obs.farm in
+  let base = farm.next_cell in
+  farm.next_cell <- base + Array.length cells;
+  match farm.mode with
+  | Merge table ->
+      Array.to_list
+        (Array.mapi
+           (fun i c ->
+             match Hashtbl.find_opt table (base + i) with
+             | Some rows -> rows
+             | None ->
+                 failwith
+                   (Printf.sprintf
+                      "merge: cell %d (%s) missing — incomplete shard set?"
+                      (base + i) c.label))
+           cells)
+  | Local | Shard _ ->
+      let mine =
+        match farm.mode with
+        | Shard { index; count; _ } -> fun i -> (base + i) mod count = index - 1
+        | Local | Merge _ -> fun _ -> true
+      in
+      let order =
+        let ids = ref [] in
+        for i = Array.length cells - 1 downto 0 do
+          if mine i then ids := i :: !ids
+        done;
+        let order = Array.of_list !ids in
+        if not (lpt_disabled ()) then
+          Array.sort
+            (fun a b ->
+              match Float.compare cells.(b).cost cells.(a).cost with
+              | 0 -> Int.compare a b
+              | c -> c)
+            order;
+        order
+      in
+      let timed =
+        Parallel.Pool.run pool
+          (Array.map
+             (fun i () ->
+               let t0 = Unix.gettimeofday () in
+               let rows = cells.(i).exec () in
+               (i, rows, Unix.gettimeofday () -. t0))
+             order)
+      in
+      let results = Array.make (Array.length cells) None in
+      Array.iter (fun (i, rows, w) -> results.(i) <- Some (rows, w)) timed;
+      Array.iteri
+        (fun i slot ->
+          match slot with
+          | Some (rows, w) -> (
+              prerr_endline (Table.wall cells.(i).label w);
+              match farm.mode with
+              | Shard { recorded; _ } ->
+                  recorded := (base + i, rows) :: !recorded
+              | Local | Merge _ -> ())
+          | None -> ())
+        results;
+      Array.to_list
+        (Array.map (function Some (rows, _) -> rows | None -> []) results)
+
+(* The shard file: which slice of which sweep, plus the recorded rows.
+   bin/merge_tables.exe validates that the headers agree pairwise and
+   cover 1..count before replaying. *)
+module Shard = struct
+  let magic = "omega-experiment-shard-v1"
+
+  type file = {
+    shard_magic : string;
+    index : int;
+    count : int;
+    ids : string list;  (* selected experiment ids, Suite.all order *)
+    quick : bool;
+    metrics : bool;
+    sched : string;  (* "wheel" | "heap" *)
+    cells : (int * string list) list;
+  }
+
+  let save ~path ~index ~count ~ids ~quick ~metrics ~sched ~cells =
+    let oc = open_out_bin path in
+    Marshal.to_channel oc
+      { shard_magic = magic; index; count; ids; quick; metrics; sched; cells }
+      [];
+    close_out oc
+
+  let load path =
+    let ic = open_in_bin path in
+    let f =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> (Marshal.from_channel ic : file))
+    in
+    if f.shard_magic <> magic then
+      failwith (path ^ ": not an experiment shard file");
+    f
+end
 
 (* ------------------------------------------------------------------ E1 *)
 
@@ -103,7 +342,7 @@ let e1 ~pool ~quick ~obs =
     [ Omega.Config.Fig1; Omega.Config.Fig2; Omega.Config.Fig3 ]
   in
   let rows =
-    on pool
+    on ~obs pool
     @@ List.concat_map
          (fun n ->
            let t = (n - 1) / 2 in
@@ -115,29 +354,39 @@ let e1 ~pool ~quick ~obs =
              List.init (max 1 (t / 2)) (fun i -> (i, sec (3 * (i + 1))))
            in
            List.map
-             (fun variant () ->
-               let result =
-                 obs_run ~obs
-                   ~label:
-                     (Printf.sprintf "e1 n=%d %s" n
-                        (Omega.Config.variant_name variant))
-                   ~spec:
-                     Run.Spec.(
-                       default |> with_horizon horizon |> with_crashes crashes)
-                   ~env:(env ~n ~t variant (Scenario.Rotating_star { center }))
-                   ~seed:7L ()
+             (fun variant ->
+               let label =
+                 Printf.sprintf "e1 n=%d %s" n
+                   (Omega.Config.variant_name variant)
                in
-               obs_cells obs result
-                 [
-                   Table.intc n;
-                   Table.intc t;
-                   Omega.Config.variant_name variant;
-                   stab_cell result;
-                   leader_cell result;
-                   Table.yesno (result.Run.final_leader = Some center);
-                   Table.intc result.Run.messages_sent;
-                   Table.intc (violations result);
-                 ])
+               {
+                 label;
+                 cost = cost_of ~n horizon;
+                 exec =
+                   (fun () ->
+                     let result =
+                       obs_run ~obs ~label
+                         ~spec:
+                           Run.Spec.(
+                             default |> with_horizon horizon
+                             |> with_crashes crashes)
+                         ~env:
+                           (env ~n ~t variant
+                              (Scenario.Rotating_star { center }))
+                         ~seed:7L ()
+                     in
+                     obs_cells obs result
+                       [
+                         Table.intc n;
+                         Table.intc t;
+                         Omega.Config.variant_name variant;
+                         stab_cell result;
+                         leader_cell result;
+                         Table.yesno (result.Run.final_leader = Some center);
+                         Table.intc result.Run.messages_sent;
+                         Table.intc (violations result);
+                       ]);
+               })
              variants)
          ns
   in
@@ -157,11 +406,11 @@ let e2 ~pool ~quick ~obs =
   let ds = if quick then [ 2; 4 ] else [ 2; 4; 8; 16 ] in
   let crashes = [ (0, sec 5) ] in
   let rows =
-    on pool
+    on ~obs pool
     @@ List.concat_map
          (fun d ->
            List.map
-             (fun variant () ->
+             (fun variant ->
                let horizon =
                  match variant with
                  | Omega.Config.Fig3 ->
@@ -169,30 +418,38 @@ let e2 ~pool ~quick ~obs =
                      else ms (30_000 + (d * d * 800))
                  | _ -> if quick then sec 20 else sec 60
                in
-               let result =
-                 obs_run ~obs
-                   ~label:
-                     (Printf.sprintf "e2 D=%d %s" d
-                        (Omega.Config.variant_name variant))
-                   ~spec:
-                     Run.Spec.(
-                       default |> with_horizon horizon |> with_crashes crashes)
-                   ~env:
-                     (env ~n ~t variant
-                        (Scenario.Intermittent_star { center; d }))
-                   ~seed:7L ()
+               let label =
+                 Printf.sprintf "e2 D=%d %s" d
+                   (Omega.Config.variant_name variant)
                in
-               obs_cells obs result
-                 [
-                   Table.intc d;
-                   Omega.Config.variant_name variant;
-                   Format.asprintf "%a" Sim.Time.pp horizon;
-                   stab_cell result;
-                   leader_cell result;
-                   Table.yesno (result.Run.final_leader = Some center);
-                   Table.intc result.Run.max_susp_level;
-                   Table.intc (violations result);
-                 ])
+               {
+                 label;
+                 cost = cost_of ~n horizon;
+                 exec =
+                   (fun () ->
+                     let result =
+                       obs_run ~obs ~label
+                         ~spec:
+                           Run.Spec.(
+                             default |> with_horizon horizon
+                             |> with_crashes crashes)
+                         ~env:
+                           (env ~n ~t variant
+                              (Scenario.Intermittent_star { center; d }))
+                         ~seed:7L ()
+                     in
+                     obs_cells obs result
+                       [
+                         Table.intc d;
+                         Omega.Config.variant_name variant;
+                         Format.asprintf "%a" Sim.Time.pp horizon;
+                         stab_cell result;
+                         leader_cell result;
+                         Table.yesno (result.Run.final_leader = Some center);
+                         Table.intc result.Run.max_susp_level;
+                         Table.intc (violations result);
+                       ]);
+               })
              [ Omega.Config.Fig1; Omega.Config.Fig2; Omega.Config.Fig3 ])
          ds
   in
@@ -223,30 +480,38 @@ let e3 ~pool ~quick ~obs =
     ]
   in
   let rows =
-    on pool
+    on ~obs pool
     @@ List.map
-         (fun (variant, regime) () ->
-           let result =
-             obs_run ~obs
-               ~label:
-                 (Printf.sprintf "e3 %s %s"
-                    (Omega.Config.variant_name variant)
-                    (Scenario.regime_name regime))
-               ~spec:
-                 Run.Spec.(
-                   default |> with_horizon horizon |> with_crashes crashes)
-               ~env:(env ~n ~t variant regime) ~seed:7L ()
+         (fun (variant, regime) ->
+           let label =
+             Printf.sprintf "e3 %s %s"
+               (Omega.Config.variant_name variant)
+               (Scenario.regime_name regime)
            in
-           obs_cells obs result
-             [
-               Omega.Config.variant_name variant;
-               Scenario.regime_name regime;
-               Table.intc result.Run.max_susp_level;
-               Format.asprintf "%a" Sim.Time.pp result.Run.max_timeout;
-               Table.intc result.Run.lattice_violations;
-               Table.intc result.Run.max_round_state;
-               stab_cell result;
-             ])
+           {
+             label;
+             cost = cost_of ~n horizon;
+             exec =
+               (fun () ->
+                 let result =
+                   obs_run ~obs ~label
+                     ~spec:
+                       Run.Spec.(
+                         default |> with_horizon horizon
+                         |> with_crashes crashes)
+                     ~env:(env ~n ~t variant regime) ~seed:7L ()
+                 in
+                 obs_cells obs result
+                   [
+                     Omega.Config.variant_name variant;
+                     Scenario.regime_name regime;
+                     Table.intc result.Run.max_susp_level;
+                     Format.asprintf "%a" Sim.Time.pp result.Run.max_timeout;
+                     Table.intc result.Run.lattice_violations;
+                     Table.intc result.Run.max_round_state;
+                     stab_cell result;
+                   ]);
+           })
          cases
   in
   Table.print
@@ -265,8 +530,9 @@ let e3 ~pool ~quick ~obs =
 
 (* E4 compares against baseline oracles through Compare.run (its own minimal
    stack) — no Run.run underneath, so the obs layer has nothing to attach
-   to; the matrix stays observability-free. *)
-let e4 ~pool ~quick ~obs:_ =
+   to; the matrix stays observability-free (its cells still ride the farm
+   for LPT and sharding). *)
+let e4 ~pool ~quick ~obs =
   let n = 8 and t = 3 and center = 6 in
   let horizon = if quick then sec 12 else sec 45 in
   let crashes = [ (0, sec 10) ] in
@@ -286,21 +552,36 @@ let e4 ~pool ~quick ~obs:_ =
   (* One thunk per (regime, algo) cell — the finest-grained table, so the
      pool can overlap all |regimes| x |algos| simulations. *)
   let cells =
-    on pool
+    List.map (function [ s ] -> s | _ -> "-")
+    @@ on ~obs pool
     @@ List.concat_map
          (fun regime ->
            List.map
-             (fun algo () ->
-               let outcome =
-                 Compare.run algo
-                   ~scenario:(scenario ~n ~t regime)
-                   ~seed:7L ~horizon ~crashes
+             (fun algo ->
+               let label =
+                 Printf.sprintf "e4 %s %s"
+                   (Scenario.regime_name regime)
+                   algo.Baselines.Registry.name
                in
-               if Float.is_nan outcome.Compare.stabilized_ms then "-"
-               else
-                 Printf.sprintf "%.1fs%s"
-                   (outcome.Compare.stabilized_ms /. 1000.)
-                   (if outcome.Compare.elected_center then "*" else ""))
+               {
+                 label;
+                 cost = cost_of ~n horizon;
+                 exec =
+                   (fun () ->
+                     let outcome =
+                       Compare.run algo
+                         ~scenario:(scenario ~n ~t regime)
+                         ~seed:7L ~horizon ~crashes
+                     in
+                     [
+                       (if Float.is_nan outcome.Compare.stabilized_ms then "-"
+                        else
+                          Printf.sprintf "%.1fs%s"
+                            (outcome.Compare.stabilized_ms /. 1000.)
+                            (if outcome.Compare.elected_center then "*"
+                             else ""));
+                     ]);
+               })
              algos)
          regimes
   in
@@ -331,48 +612,56 @@ let e5 ~pool ~quick ~obs =
   let ns = if quick then [ 4; 8 ] else [ 4; 8; 16; 32 ] in
   let horizon = if quick then sec 10 else sec 20 in
   let rows =
-    on pool
+    on ~obs pool
     @@ List.concat_map
          (fun n ->
            let t = (n - 1) / 2 in
            let center = n - 2 in
            List.map
-             (fun (label, crashes) () ->
-               let result =
-                 obs_run ~obs
-                   ~label:(Printf.sprintf "e5 n=%d crash=%s" n label)
-                   ~spec:
-                     Run.Spec.(
-                       default |> with_horizon horizon |> with_crashes crashes
-                       |> with_wire_stats true)
-                   ~env:
-                     (env ~n ~t Omega.Config.Fig3
-                        (Scenario.Rotating_star { center }))
-                   ~seed:7L ()
-               in
-               let seconds = Sim.Time.to_ms_float horizon /. 1000. in
-               let per_proc_per_sec =
-                 float_of_int result.Run.messages_sent
-                 /. seconds /. float_of_int n
-               in
-               let alive_avg =
-                 (* ALIVE dominates the count: n-1 ALIVEs + n SUSPICIONs per
-                    round per process; report measured mean sizes instead. *)
-                 float_of_int result.Run.alive_bytes
-                 /. float_of_int (max 1 result.Run.messages_sent)
-               in
-               obs_cells obs result
-                 [
-                   Table.intc n;
-                   label;
-                   Table.intc result.Run.messages_sent;
-                   Printf.sprintf "%.0f" per_proc_per_sec;
-                   Table.intc result.Run.alive_bytes;
-                   Table.intc result.Run.suspicion_bytes;
-                   Printf.sprintf "%.1f" alive_avg;
-                   Table.intc result.Run.max_susp_level;
-                   Table.intc result.Run.max_round_state;
-                 ])
+             (fun (crash_label, crashes) ->
+               let label = Printf.sprintf "e5 n=%d crash=%s" n crash_label in
+               {
+                 label;
+                 cost = cost_of ~n horizon;
+                 exec =
+                   (fun () ->
+                     let result =
+                       obs_run ~obs ~label
+                         ~spec:
+                           Run.Spec.(
+                             default |> with_horizon horizon
+                             |> with_crashes crashes
+                             |> with_wire_stats true)
+                         ~env:
+                           (env ~n ~t Omega.Config.Fig3
+                              (Scenario.Rotating_star { center }))
+                         ~seed:7L ()
+                     in
+                     let seconds = Sim.Time.to_ms_float horizon /. 1000. in
+                     let per_proc_per_sec =
+                       float_of_int result.Run.messages_sent
+                       /. seconds /. float_of_int n
+                     in
+                     let alive_avg =
+                       (* ALIVE dominates the count: n-1 ALIVEs + n
+                          SUSPICIONs per round per process; report measured
+                          mean sizes instead. *)
+                       float_of_int result.Run.alive_bytes
+                       /. float_of_int (max 1 result.Run.messages_sent)
+                     in
+                     obs_cells obs result
+                       [
+                         Table.intc n;
+                         crash_label;
+                         Table.intc result.Run.messages_sent;
+                         Printf.sprintf "%.0f" per_proc_per_sec;
+                         Table.intc result.Run.alive_bytes;
+                         Table.intc result.Run.suspicion_bytes;
+                         Printf.sprintf "%.1f" alive_avg;
+                         Table.intc result.Run.max_susp_level;
+                         Table.intc result.Run.max_round_state;
+                       ]);
+               })
              [ ("none", []); ("p0@5s", [ (0, sec 5) ]) ])
          ns
   in
@@ -485,32 +774,42 @@ let broadcast_run ~n ~t ~d ~commands ~horizon ~seed =
   (delivered, all_equal)
 
 (* E6's consensus/broadcast runs assemble their own two-network stacks
-   above (no Run.run), so like E4 they stay observability-free. *)
-let e6 ~pool ~quick ~obs:_ =
+   above (no Run.run), so like E4 they stay observability-free (but still
+   farm cells). *)
+let e6 ~pool ~quick ~obs =
   let n = 8 and t = 3 in
   let ds = if quick then [ 4 ] else [ 4; 16 ] in
   let horizon = if quick then sec 20 else sec 60 in
   let commands = if quick then 10 else 30 in
   let rows =
-    on pool
+    on ~obs pool
     @@ List.map
-         (fun d () ->
-           let decision, latency, ballots =
-             consensus_run ~n ~t ~d ~horizon ~seed:11L
-           in
-           let delivered, order_ok =
-             broadcast_run ~n ~t ~d ~commands ~horizon ~seed:11L
-           in
-           [
-             Table.intc d;
-             (match decision with Some v -> string_of_int v | None -> "-");
-             (match latency with
-             | Some x -> Format.asprintf "%a" Sim.Time.pp x
-             | None -> "-");
-             Table.intc ballots;
-             Printf.sprintf "%d/%d" delivered commands;
-             Table.yesno order_ok;
-           ])
+         (fun d ->
+           {
+             label = Printf.sprintf "e6 D=%d" d;
+             (* Four networks across the two runs: omega + payload, twice. *)
+             cost = cost_of ~n ~stacks:4 horizon;
+             exec =
+               (fun () ->
+                 let decision, latency, ballots =
+                   consensus_run ~n ~t ~d ~horizon ~seed:11L
+                 in
+                 let delivered, order_ok =
+                   broadcast_run ~n ~t ~d ~commands ~horizon ~seed:11L
+                 in
+                 [
+                   Table.intc d;
+                   (match decision with
+                   | Some v -> string_of_int v
+                   | None -> "-");
+                   (match latency with
+                   | Some x -> Format.asprintf "%a" Sim.Time.pp x
+                   | None -> "-");
+                   Table.intc ballots;
+                   Printf.sprintf "%d/%d" delivered commands;
+                   Table.yesno order_ok;
+                 ]);
+           })
          ds
   in
   Table.print
@@ -545,23 +844,30 @@ let e7 ~pool ~quick ~obs =
   in
   let thunks_a =
     List.map
-      (fun (label, variant) () ->
-        let result =
-          obs_run ~obs
-            ~label:(Printf.sprintf "e7a %s" label)
-            ~spec:Run.Spec.(default |> with_horizon horizon)
-            ~env:(Scenarios.Env.make (tweak (config ~n ~t variant)) regime)
-            ~seed:7L ()
-        in
-        obs_cells obs result
-          [
-            label;
-            stab_cell result;
-            leader_cell result;
-            Table.yesno (result.Run.final_leader = Some center);
-            Format.asprintf "%a" Sim.Time.pp result.Run.max_timeout;
-            Table.intc (violations result);
-          ])
+      (fun (algo_label, variant) ->
+        let label = Printf.sprintf "e7a %s" algo_label in
+        {
+          label;
+          cost = cost_of ~n horizon;
+          exec =
+            (fun () ->
+              let result =
+                obs_run ~obs ~label
+                  ~spec:Run.Spec.(default |> with_horizon horizon)
+                  ~env:
+                    (Scenarios.Env.make (tweak (config ~n ~t variant)) regime)
+                  ~seed:7L ()
+              in
+              obs_cells obs result
+                [
+                  algo_label;
+                  stab_cell result;
+                  leader_cell result;
+                  Table.yesno (result.Run.final_leader = Some center);
+                  Format.asprintf "%a" Sim.Time.pp result.Run.max_timeout;
+                  Table.intc (violations result);
+                ]);
+        })
       [
         ("fig3 (g unknown)", Omega.Config.Fig3);
         ("fig3_fg (knows g)", Omega.Config.Fig3_fg { f = (fun _ -> 0); g });
@@ -576,26 +882,32 @@ let e7 ~pool ~quick ~obs =
   let horizon_b = if quick then sec 45 else sec 90 in
   let thunks_b =
     List.map
-      (fun (label, variant) () ->
-        let result =
-          obs_run ~obs
-            ~label:(Printf.sprintf "e7b %s" label)
-            ~spec:
-              Run.Spec.(
-                default |> with_horizon horizon_b
-                |> with_crashes [ (0, sec 5) ])
-            ~env:(env ~n ~t variant regime_b)
-            ~seed:7L ()
-        in
-        obs_cells obs result
-          [
-            label;
-            stab_cell result;
-            leader_cell result;
-            Table.yesno (result.Run.final_leader = Some center_b);
-            Table.intc result.Run.max_susp_level;
-            Table.intc (violations result);
-          ])
+      (fun (algo_label, variant) ->
+        let label = Printf.sprintf "e7b %s" algo_label in
+        {
+          label;
+          cost = cost_of ~n horizon_b;
+          exec =
+            (fun () ->
+              let result =
+                obs_run ~obs ~label
+                  ~spec:
+                    Run.Spec.(
+                      default |> with_horizon horizon_b
+                      |> with_crashes [ (0, sec 5) ])
+                  ~env:(env ~n ~t variant regime_b)
+                  ~seed:7L ()
+              in
+              obs_cells obs result
+                [
+                  algo_label;
+                  stab_cell result;
+                  leader_cell result;
+                  Table.yesno (result.Run.final_leader = Some center_b);
+                  Table.intc result.Run.max_susp_level;
+                  Table.intc (violations result);
+                ]);
+        })
       [
         ("fig3 (f unknown)", Omega.Config.Fig3);
         ("fig3_fg (knows f)", Omega.Config.Fig3_fg { f; g = (fun _ -> Sim.Time.zero) });
@@ -604,7 +916,7 @@ let e7 ~pool ~quick ~obs =
   (* Both tables' runs go out in one batch; printing happens after the
      join, in table order. *)
   let split = List.length thunks_a in
-  let all_rows = on pool (thunks_a @ thunks_b) in
+  let all_rows = on ~obs pool (thunks_a @ thunks_b) in
   let rows = List.filteri (fun i _ -> i < split) all_rows in
   let rows_b = List.filteri (fun i _ -> i >= split) all_rows in
   Table.print
@@ -636,54 +948,62 @@ let e8 ~pool ~quick ~obs =
   let horizon = if quick then sec 30 else sec 90 in
   let seeds = if quick then [ 7L ] else [ 7L; 8L; 9L ] in
   let rows =
-    on pool
+    on ~obs pool
     @@ List.concat_map
          (fun variant ->
            List.map
-             (fun seed () ->
-               let result =
-                 obs_run ~obs
-                   ~label:
-                     (Printf.sprintf "e8 %s seed=%Ld"
-                        (Omega.Config.variant_name variant)
-                        seed)
-                   ~spec:
-                     Run.Spec.(
-                       default |> with_horizon horizon
-                       |> with_crashes [ (first, crash_time) ])
-                   ~env:
-                     (env ~n ~t ~scenario_seed:seed variant
-                        (Scenario.Failover { first; second; switch }))
-                   ~seed ()
+             (fun seed ->
+               let label =
+                 Printf.sprintf "e8 %s seed=%Ld"
+                   (Omega.Config.variant_name variant)
+                   seed
                in
-               let relect =
-                 match result.Run.stabilized_at with
-                 | Some at when Sim.Time.(at > crash_time) ->
-                     Table.ms
-                       (Sim.Time.to_ms_float (Sim.Time.sub at crash_time))
-                 | Some _ | None -> "-"
-               in
-               (* Leader agreed just before the crash, from the samples. *)
-               let pre_crash =
-                 List.fold_left
-                   (fun acc (s : Run.sample) ->
-                     if Sim.Time.(s.Run.time < crash_time) then
-                       match s.Run.agreed with
-                       | Some l -> string_of_int l
-                       | None -> acc
-                     else acc)
-                   "-" result.Run.samples
-               in
-               obs_cells obs result
-                 [
-                   Omega.Config.variant_name variant;
-                   Int64.to_string seed;
-                   pre_crash;
-                   leader_cell result;
-                   stab_cell result;
-                   relect;
-                   Table.intc (violations result);
-                 ])
+               {
+                 label;
+                 cost = cost_of ~n horizon;
+                 exec =
+                   (fun () ->
+                     let result =
+                       obs_run ~obs ~label
+                         ~spec:
+                           Run.Spec.(
+                             default |> with_horizon horizon
+                             |> with_crashes [ (first, crash_time) ])
+                         ~env:
+                           (env ~n ~t ~scenario_seed:seed variant
+                              (Scenario.Failover { first; second; switch }))
+                         ~seed ()
+                     in
+                     let relect =
+                       match result.Run.stabilized_at with
+                       | Some at when Sim.Time.(at > crash_time) ->
+                           Table.ms
+                             (Sim.Time.to_ms_float (Sim.Time.sub at crash_time))
+                       | Some _ | None -> "-"
+                     in
+                     (* Leader agreed just before the crash, from the
+                        samples. *)
+                     let pre_crash =
+                       List.fold_left
+                         (fun acc (s : Run.sample) ->
+                           if Sim.Time.(s.Run.time < crash_time) then
+                             match s.Run.agreed with
+                             | Some l -> string_of_int l
+                             | None -> acc
+                           else acc)
+                         "-" result.Run.samples
+                     in
+                     obs_cells obs result
+                       [
+                         Omega.Config.variant_name variant;
+                         Int64.to_string seed;
+                         pre_crash;
+                         leader_cell result;
+                         stab_cell result;
+                         relect;
+                         Table.intc (violations result);
+                       ]);
+               })
              seeds)
          [ Omega.Config.Fig2; Omega.Config.Fig3 ]
   in
@@ -736,38 +1056,44 @@ let e9 ~pool ~quick ~obs =
     ]
   in
   let rows =
-    on pool
+    on ~obs pool
     @@ List.concat_map
-         (fun (label, plan_of) ->
+         (fun (fault_label, plan_of) ->
            List.map
-             (fun d () ->
+             (fun d ->
                let horizon = horizon d in
-               let result =
-                 obs_run ~obs
-                   ~label:(Printf.sprintf "e9 %s D=%ds" label d)
-                   ~spec:
-                     Run.Spec.(
-                       default |> with_horizon horizon
-                       |> with_plan (plan_of d))
-                   ~env:
-                     (Scenarios.Env.make fault_cfg
-                        (Scenario.Rotating_star { center }))
-                   ~seed:7L ()
-               in
-               obs_cells obs result
-                 [
-                   label;
-                   Printf.sprintf "%ds" d;
-                   Format.asprintf "%a" Sim.Time.pp horizon;
-                   stab_cell result;
-                   leader_cell result;
-                   Table.yesno (result.Run.final_leader = Some center);
-                   Table.intc result.Run.re_elections;
-                   Table.intc result.Run.leadership_epochs;
-                   Format.asprintf "%a" Sim.Time.pp
-                     result.Run.partition_downtime;
-                   Table.intc (violations result);
-                 ])
+               let label = Printf.sprintf "e9 %s D=%ds" fault_label d in
+               {
+                 label;
+                 cost = cost_of ~n horizon;
+                 exec =
+                   (fun () ->
+                     let result =
+                       obs_run ~obs ~label
+                         ~spec:
+                           Run.Spec.(
+                             default |> with_horizon horizon
+                             |> with_plan (plan_of d))
+                         ~env:
+                           (Scenarios.Env.make fault_cfg
+                              (Scenario.Rotating_star { center }))
+                         ~seed:7L ()
+                     in
+                     obs_cells obs result
+                       [
+                         fault_label;
+                         Printf.sprintf "%ds" d;
+                         Format.asprintf "%a" Sim.Time.pp horizon;
+                         stab_cell result;
+                         leader_cell result;
+                         Table.yesno (result.Run.final_leader = Some center);
+                         Table.intc result.Run.re_elections;
+                         Table.intc result.Run.leadership_epochs;
+                         Format.asprintf "%a" Sim.Time.pp
+                           result.Run.partition_downtime;
+                         Table.intc (violations result);
+                       ]);
+               })
              durations)
          faults
   in
@@ -801,35 +1127,40 @@ let e10 ~pool ~quick ~obs =
     ]
   in
   let rows =
-    on pool
+    on ~obs pool
     @@ List.map
-         (fun (regime, adversary, plan) () ->
-           let result =
-             obs_run ~obs
-               ~label:
-                 (Printf.sprintf "e10 %s %s"
-                    (Scenario.regime_name regime)
-                    adversary)
-               ~spec:
-                 Run.Spec.(
-                   default |> with_horizon horizon |> with_plan plan)
-               ~env:
-                 (Scenarios.Env.make
-                    (fault_config ~n ~t Omega.Config.Fig3)
-                    regime)
-               ~seed:7L ()
+         (fun (regime, adversary, plan) ->
+           let label =
+             Printf.sprintf "e10 %s %s" (Scenario.regime_name regime) adversary
            in
-           obs_cells obs result
-             [
-               Scenario.regime_name regime;
-               adversary;
-               stab_cell result;
-               leader_cell result;
-               Table.yesno (result.Run.final_leader = Some center);
-               Table.intc result.Run.adversary_moves;
-               Table.intc result.Run.re_elections;
-               Table.intc result.Run.max_susp_level;
-             ])
+           {
+             label;
+             cost = cost_of ~n horizon;
+             exec =
+               (fun () ->
+                 let result =
+                   obs_run ~obs ~label
+                     ~spec:
+                       Run.Spec.(
+                         default |> with_horizon horizon |> with_plan plan)
+                     ~env:
+                       (Scenarios.Env.make
+                          (fault_config ~n ~t Omega.Config.Fig3)
+                          regime)
+                     ~seed:7L ()
+                 in
+                 obs_cells obs result
+                   [
+                     Scenario.regime_name regime;
+                     adversary;
+                     stab_cell result;
+                     leader_cell result;
+                     Table.yesno (result.Run.final_leader = Some center);
+                     Table.intc result.Run.adversary_moves;
+                     Table.intc result.Run.re_elections;
+                     Table.intc result.Run.max_susp_level;
+                   ]);
+           })
          cases
   in
   Table.print
@@ -882,7 +1213,7 @@ let e11 ~pool ~quick ~obs =
     ]
   in
   let results =
-    on pool
+    on ~obs pool
     @@ List.concat_map
          (fun n ->
            let t = (n - 1) / 2 in
@@ -905,51 +1236,50 @@ let e11 ~pool ~quick ~obs =
              }
            in
            List.map
-             (fun (label, regime_of) () ->
-               let t0 = Unix.gettimeofday () in
-               let result =
-                 obs_run ~obs
-                   ~label:(Printf.sprintf "e11 n=%d %s" n label)
-                   (* No checker: it costs as much as the simulation at
-                      large n, and assumption compliance is E1-E10's job —
-                      this tier measures throughput. *)
-                   ~spec:
-                     Run.Spec.(
-                       default |> with_horizon (horizon n)
-                       |> with_min_stable min_stable |> with_check false)
-                   ~env:(Scenarios.Env.make ~params cfg (regime_of center))
-                   ~seed:7L ()
-               in
-               let wall = Unix.gettimeofday () -. t0 in
-               let rounds = max 1 result.Run.min_sending_round in
-               let stab_round =
-                 match result.Run.stabilized_at with
-                 | Some at -> Table.intc (Sim.Time.to_us at / Sim.Time.to_us beta)
-                 | None -> "-"
-               in
-               let cells =
-                 obs_cells obs result
-                   [
-                     Table.intc n;
-                     Table.intc t;
-                     label;
-                     stab_cell result;
-                     stab_round;
-                     leader_cell result;
-                     Table.yesno (result.Run.final_leader = Some center);
-                     Table.intc result.Run.messages_sent;
-                     Table.intc (result.Run.messages_sent / rounds);
-                   ]
-               in
-               (Printf.sprintf "e11 n=%d %-11s %6.2f s wall" n label wall, cells))
+             (fun (rlabel, regime_of) ->
+               let label = Printf.sprintf "e11 n=%d %s" n rlabel in
+               {
+                 label;
+                 cost = cost_of ~n ~check:false (horizon n);
+                 exec =
+                   (fun () ->
+                     let result =
+                       obs_run ~obs ~label
+                         (* No checker: it costs as much as the simulation
+                            at large n, and assumption compliance is
+                            E1-E10's job — this tier measures throughput. *)
+                         ~spec:
+                           Run.Spec.(
+                             default |> with_horizon (horizon n)
+                             |> with_min_stable min_stable
+                             |> with_check false)
+                         ~env:
+                           (Scenarios.Env.make ~params cfg (regime_of center))
+                         ~seed:7L ()
+                     in
+                     let rounds = max 1 result.Run.min_sending_round in
+                     let stab_round =
+                       match result.Run.stabilized_at with
+                       | Some at ->
+                           Table.intc (Sim.Time.to_us at / Sim.Time.to_us beta)
+                       | None -> "-"
+                     in
+                     obs_cells obs result
+                       [
+                         Table.intc n;
+                         Table.intc t;
+                         rlabel;
+                         stab_cell result;
+                         stab_round;
+                         leader_cell result;
+                         Table.yesno (result.Run.final_leader = Some center);
+                         Table.intc result.Run.messages_sent;
+                         Table.intc (result.Run.messages_sent / rounds);
+                       ]);
+               })
              regimes)
          ns
   in
-  (* Wall-clock is real machine time: nondeterministic, and different under
-     every [--jobs]. It goes to stderr so the stdout tables stay
-     byte-identical (the CI determinism gate diffs stdout across pool
-     sizes). *)
-  List.iter (fun (wall, _) -> prerr_endline wall) results;
   Table.print
     ~title:
       "E11: scaling in n (fig1, tight config, mild single-round victim \
@@ -961,7 +1291,7 @@ let e11 ~pool ~quick ~obs =
            "n"; "t"; "regime"; "stabilized"; "stab_round"; "leader";
            "=center"; "msgs"; "msgs/round";
          ])
-    (List.map snd results)
+    results
 
 (* ------------------------------------------------------------------ E12 *)
 
@@ -1004,7 +1334,7 @@ let e12 ~pool ~quick ~obs =
   in
   let algos = [ ("fig3", `Gossip); ("relay", `Relay) ] in
   let results =
-    on pool
+    on ~obs pool
     @@ List.concat_map
          (fun n ->
            let t = (n - 1) / 2 in
@@ -1021,53 +1351,57 @@ let e12 ~pool ~quick ~obs =
            List.concat_map
              (fun (rlabel, regime_of) ->
                List.map
-                 (fun (alabel, algo) () ->
-                   let t0 = Unix.gettimeofday () in
-                   let result =
-                     obs_run ~obs
-                       ~label:
-                         (Printf.sprintf "e12 n=%d %s %s" n rlabel alabel)
-                       ~spec:
-                         Run.Spec.(
-                           default |> with_horizon (horizon n)
-                           |> with_min_stable min_stable
-                           |> with_check false |> with_algo algo)
-                       ~env:(Scenarios.Env.make ~params cfg (regime_of center))
-                       ~seed:7L ()
+                 (fun (alabel, algo) ->
+                   let label =
+                     Printf.sprintf "e12 n=%d %s %s" n rlabel alabel
                    in
-                   let wall = Unix.gettimeofday () -. t0 in
-                   let rounds = max 1 result.Run.min_sending_round in
-                   let per_round = result.Run.messages_sent / rounds in
-                   let stab_round =
-                     match result.Run.stabilized_at with
-                     | Some at ->
-                         Table.intc (Sim.Time.to_us at / Sim.Time.to_us beta)
-                     | None -> "-"
-                   in
-                   let cells =
-                     obs_cells obs result
-                       [
-                         Table.intc n;
-                         Table.intc t;
-                         rlabel;
-                         alabel;
-                         stab_cell result;
-                         stab_round;
-                         leader_cell result;
-                         Table.yesno (result.Run.final_leader = Some center);
-                         Table.intc result.Run.messages_sent;
-                         Table.intc per_round;
-                         Printf.sprintf "%.1f" (float_of_int per_round /. float_of_int n);
-                       ]
-                   in
-                   ( Printf.sprintf "e12 n=%d %-11s %-5s %6.2f s wall" n rlabel
-                       alabel wall,
-                     cells ))
+                   {
+                     label;
+                     cost = cost_of ~n ~algo ~check:false (horizon n);
+                     exec =
+                       (fun () ->
+                         let result =
+                           obs_run ~obs ~label
+                             ~spec:
+                               Run.Spec.(
+                                 default |> with_horizon (horizon n)
+                                 |> with_min_stable min_stable
+                                 |> with_check false |> with_algo algo)
+                             ~env:
+                               (Scenarios.Env.make ~params cfg
+                                  (regime_of center))
+                             ~seed:7L ()
+                         in
+                         let rounds = max 1 result.Run.min_sending_round in
+                         let per_round = result.Run.messages_sent / rounds in
+                         let stab_round =
+                           match result.Run.stabilized_at with
+                           | Some at ->
+                               Table.intc
+                                 (Sim.Time.to_us at / Sim.Time.to_us beta)
+                           | None -> "-"
+                         in
+                         obs_cells obs result
+                           [
+                             Table.intc n;
+                             Table.intc t;
+                             rlabel;
+                             alabel;
+                             stab_cell result;
+                             stab_round;
+                             leader_cell result;
+                             Table.yesno
+                               (result.Run.final_leader = Some center);
+                             Table.intc result.Run.messages_sent;
+                             Table.intc per_round;
+                             Printf.sprintf "%.1f"
+                               (float_of_int per_round /. float_of_int n);
+                           ]);
+                   })
                  algos)
              regimes)
          ns
   in
-  List.iter (fun (wall, _) -> prerr_endline wall) results;
   Table.print
     ~title:
       "E12: message complexity, gossip (fig3) vs relay tier (tight config, \
@@ -1080,7 +1414,7 @@ let e12 ~pool ~quick ~obs =
            "n"; "t"; "regime"; "algo"; "stabilized"; "stab_round"; "leader";
            "=center"; "msgs"; "msgs/round"; "msgs/rd/n";
          ])
-    (List.map snd results)
+    results
 
 let all =
   [

@@ -21,6 +21,27 @@
     note naming the run. E4 and E6 build their own stacks and ignore
     [obs]. *)
 
+(** Farm mode (DESIGN.md §16). Every table row is a costed cell with a
+    globally increasing id in declaration order; the id is the cell's
+    identity across shard/merge. [Local] executes everything; [Shard]
+    executes only the cells with [id mod count = index - 1] and records
+    their rows (the tables themselves render into whatever channel
+    {!Harness.Table.set_out} points at — bin/experiments.exe nulls it);
+    [Merge] executes nothing and pulls every row from the loaded shard
+    files by id, replaying the rendering byte-identically. *)
+type farm_mode =
+  | Local
+  | Shard of {
+      index : int;  (** 1-based *)
+      count : int;
+      recorded : (int * string list) list ref;
+    }
+  | Merge of (int, string list) Hashtbl.t
+
+type farm = { mode : farm_mode; mutable next_cell : int }
+
+val local_farm : unit -> farm
+
 type obs = {
   trace : Obs.Jsonl.t option;
       (** stream every run's events here; requires a sequential pool *)
@@ -29,10 +50,46 @@ type obs = {
       (** scheduler backend for every Run.run-backed row
           (bin/experiments.exe [--sched]); both backends print
           byte-identical tables — the CI determinism gate diffs them *)
+  checkpoint : (string * Sim.Time.t) option;
+      (** [(dir, every)]: advance each run in [every]-sized simulated-time
+          slices, persisting a resumable snapshot into [dir] between
+          slices and resuming from it on restart. Observationally
+          invisible — the tables stay byte-identical. Ignored while
+          tracing (a run holding a JSONL sink cannot snapshot). *)
+  farm : farm;
 }
 
-(** No tracing, no metrics: the zero-cost default. *)
+(** No tracing, no metrics, local farm: the zero-cost default. *)
 val no_obs : obs
+
+(** The shard file written by [--shard i/k --shard-out FILE] and read
+    back by bin/merge_tables.exe. *)
+module Shard : sig
+  type file = {
+    shard_magic : string;
+    index : int;
+    count : int;
+    ids : string list;  (** selected experiment ids, {!all} order *)
+    quick : bool;
+    metrics : bool;
+    sched : string;  (** ["wheel"] or ["heap"] *)
+    cells : (int * string list) list;
+  }
+
+  val save :
+    path:string ->
+    index:int ->
+    count:int ->
+    ids:string list ->
+    quick:bool ->
+    metrics:bool ->
+    sched:string ->
+    cells:(int * string list) list ->
+    unit
+
+  (** Raises [Failure] if [path] is not a shard file. *)
+  val load : string -> file
+end
 
 (** E1 — Theorem 1: stabilization of Figures 1-3 under the rotating t-star
     (A'), across system sizes, with crashes. *)

@@ -148,11 +148,77 @@ let leadership_stats samples =
   in
   walk 0 0 None None samples
 
-let run ?(spec = Spec.default) ~env ~seed () =
+(* ------------------------------------------------------------ live runs *)
+
+(* The sampler is a static task over a state record, not a recursive
+   closure: it is a pending event at every instant of the run, so it must
+   be registered with {!Sim.Checkpoint} for snapshots — and a packed
+   [(sample_task, state)] cell checkpoints as (id 12, marshalled state)
+   where a closure would pin the bytes to a code address. *)
+type sampler_state = {
+  st_engine : Sim.Engine.t;
+  st_iface : Omega.Iface.t;
+  st_net : Omega.Message.t Net.Network.t;
+  st_horizon : Sim.Time.t;
+  st_sample_every : Sim.Time.t;
+  st_fig3 : bool;
+  mutable st_samples : sample list;  (* newest first *)
+  mutable st_lattice_violations : int;
+  mutable st_max_round_state : int;
+}
+
+let observe_nodes st =
+  List.iter
+    (fun p ->
+      if not (Omega.Iface.lattice_invariant_holds st.st_iface p) then
+        st.st_lattice_violations <- st.st_lattice_violations + 1;
+      let cardinal = Omega.Iface.round_state_cardinal st.st_iface p in
+      if cardinal > st.st_max_round_state then
+        st.st_max_round_state <- cardinal)
+    (Net.Network.correct st.st_net)
+
+let min_receiving_round st =
+  List.fold_left
+    (fun acc p -> min acc (Omega.Iface.receiving_round st.st_iface p))
+    max_int
+    (Net.Network.correct st.st_net)
+
+let rec sample_task st =
+  st.st_samples <-
+    {
+      time = Sim.Engine.now st.st_engine;
+      round = min_receiving_round st;
+      leaders = Omega.Iface.leaders st.st_iface;
+      agreed = Omega.Iface.agreed_leader st.st_iface;
+    }
+    :: st.st_samples;
+  if st.st_fig3 then observe_nodes st else ignore (observe_nodes st);
+  if Sim.Time.(Sim.Engine.now st.st_engine < st.st_horizon) then
+    Sim.Engine.call_after st.st_engine st.st_sample_every sample_task st
+
+let () = Sim.Checkpoint.register ~id:12 sample_task
+
+type live = {
+  l_spec : Spec.t;
+  l_config : Omega.Config.t;
+  l_engine : Sim.Engine.t;
+  l_scenario : Scenarios.Scenario.t;
+  l_net : Omega.Message.t Net.Network.t;
+  l_iface : Omega.Iface.t;
+  l_injector : Fault.Injector.t option;
+  l_checker : Scenarios.Checker.t option;
+  l_alive_bytes : int ref;
+  l_suspicion_bytes : int ref;
+  l_metrics : Obs.Metrics.t option;
+  l_digest : Obs.Digest.t option;
+  l_sampler : sampler_state;
+}
+
+let start ?(spec = Spec.default) ~env ~seed () =
   let {
     Spec.horizon;
     sample_every;
-    min_stable;
+    min_stable = _;
     crashes;
     plan;
     check;
@@ -167,11 +233,6 @@ let run ?(spec = Spec.default) ~env ~seed () =
     spec
   in
   let config = Scenarios.Env.config env in
-  let min_stable =
-    match min_stable with
-    | Some w -> w
-    | None -> Sim.Time.of_us (Sim.Time.to_us horizon / 5)
-  in
   let engine = Sim.Engine.create ~queue:sched ~seed () in
   let scenario, net = Scenarios.Env.build ~flight_pool env engine in
   let checker =
@@ -236,43 +297,87 @@ let run ?(spec = Spec.default) ~env ~seed () =
             (match sink with Some s -> [ s ] | None -> []);
           ]));
   List.iter (fun (p, time) -> Omega.Iface.crash_at iface p time) crashes;
-  let samples = ref [] in
-  let lattice_violations = ref 0 in
-  let max_round_state = ref 0 in
-  let observe_nodes () =
-    List.iter
-      (fun p ->
-        if not (Omega.Iface.lattice_invariant_holds iface p) then
-          incr lattice_violations;
-        let cardinal = Omega.Iface.round_state_cardinal iface p in
-        if cardinal > !max_round_state then max_round_state := cardinal)
-      (Net.Network.correct net)
-  in
   let fig3 = Omega.Config.has_bounded_condition config.Omega.Config.variant in
-  let min_receiving_round () =
-    List.fold_left
-      (fun acc p ->
-        min acc (Omega.Iface.receiving_round iface p))
-      max_int
-      (Net.Network.correct net)
-  in
-  let rec sampler () =
-    samples :=
-      {
-        time = Sim.Engine.now engine;
-        round = min_receiving_round ();
-        leaders = Omega.Iface.leaders iface;
-        agreed = Omega.Iface.agreed_leader iface;
-      }
-      :: !samples;
-    if fig3 then observe_nodes () else ignore (observe_nodes ());
-    if Sim.Time.(Sim.Engine.now engine < horizon) then
-      Sim.Engine.call_after engine sample_every sampler ()
+  let sampler =
+    {
+      st_engine = engine;
+      st_iface = iface;
+      st_net = net;
+      st_horizon = horizon;
+      st_sample_every = sample_every;
+      st_fig3 = fig3;
+      st_samples = [];
+      st_lattice_violations = 0;
+      st_max_round_state = 0;
+    }
   in
   Omega.Iface.start iface;
-  Sim.Engine.call_after engine sample_every sampler ();
+  Sim.Engine.call_after engine sample_every sample_task sampler;
+  {
+    l_spec = spec;
+    l_config = config;
+    l_engine = engine;
+    l_scenario = scenario;
+    l_net = net;
+    l_iface = iface;
+    l_injector = injector;
+    l_checker = checker;
+    l_alive_bytes = alive_bytes;
+    l_suspicion_bytes = suspicion_bytes;
+    l_metrics = metrics_agg;
+    l_digest = digest_st;
+    l_sampler = sampler;
+  }
+
+let now live = Sim.Engine.now live.l_engine
+let horizon live = live.l_spec.Spec.horizon
+
+(* Slicing is observationally invisible: [run_until] only advances the
+   clock, and an [advance ~until] below the horizon leaves every pending
+   event in place — the digest of sliced and straight runs is identical. *)
+let advance live ~until =
+  Sim.Engine.run_until live.l_engine
+    (Sim.Time.min until live.l_spec.Spec.horizon)
+
+let snapshot live =
+  (match live.l_spec.Spec.sink with
+  | Some _ ->
+      invalid_arg
+        "Run.snapshot: runs with an external sink (tracing) cannot be \
+         snapshotted"
+  | None -> ());
+  Sim.Engine.snapshot live.l_engine live
+
+let restore bytes =
+  let (_ : Sim.Engine.t), (live : live) = Sim.Engine.restore bytes in
+  live
+
+let finish live =
+  let {
+    l_spec = spec;
+    l_config = config;
+    l_engine = engine;
+    l_scenario = scenario;
+    l_net = net;
+    l_iface = iface;
+    l_injector = injector;
+    l_checker = checker;
+    l_alive_bytes = alive_bytes;
+    l_suspicion_bytes = suspicion_bytes;
+    l_metrics = metrics_agg;
+    l_digest = digest_st;
+    l_sampler = sampler;
+  } =
+    live
+  in
+  let { Spec.horizon; min_stable; plan; _ } = spec in
+  let min_stable =
+    match min_stable with
+    | Some w -> w
+    | None -> Sim.Time.of_us (Sim.Time.to_us horizon / 5)
+  in
   Sim.Engine.run_until engine horizon;
-  let samples = List.rev !samples in
+  let samples = List.rev sampler.st_samples in
   let verdict =
     Stability.judge ~horizon ~min_window:min_stable
       (List.map
@@ -321,8 +426,8 @@ let run ?(spec = Spec.default) ~env ~seed () =
     suspicion_bytes = !suspicion_bytes;
     max_susp_level;
     max_timeout;
-    lattice_violations = !lattice_violations;
-    max_round_state = !max_round_state;
+    lattice_violations = sampler.st_lattice_violations;
+    max_round_state = sampler.st_max_round_state;
     min_sending_round;
     checker = checker_report;
     horizon;
@@ -336,6 +441,8 @@ let run ?(spec = Spec.default) ~env ~seed () =
     recoveries =
       (match injector with Some i -> Fault.Injector.recoveries i | None -> 0);
   }
+
+let run ?spec ~env ~seed () = finish (start ?spec ~env ~seed ())
 
 let stabilization_ms result =
   match result.stabilized_at with

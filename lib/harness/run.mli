@@ -123,6 +123,45 @@ end
     plan-free runs are byte-identical to the pre-fault-API ones. *)
 val run : ?spec:Spec.t -> env:Scenarios.Env.t -> seed:int64 -> unit -> result
 
+(** {2 Sliced execution and snapshots (DESIGN.md §16)}
+
+    [run] is [finish (start ())]. The sliced form exists for checkpointed
+    sweeps: build the stack, advance in simulated-time slices, snapshot
+    between slices, and resume a snapshot in a later process. Slicing is
+    observationally invisible — however a run is cut into [advance] calls,
+    the event stream, digest and result are bit-identical to the
+    uninterrupted [run]. *)
+
+(** A started, resumable run: the whole simulation stack plus the
+    accumulating observers. *)
+type live
+
+(** Build the stack and schedule the first events, without executing any:
+    the returned run sits at time zero. *)
+val start : ?spec:Spec.t -> env:Scenarios.Env.t -> seed:int64 -> unit -> live
+
+val now : live -> Sim.Time.t
+val horizon : live -> Sim.Time.t
+
+(** Execute every event up to [min until horizon]. *)
+val advance : live -> until:Sim.Time.t -> unit
+
+(** Marshal the whole run (engine, pending events, nodes, observers) to
+    bytes via {!Sim.Engine.snapshot}. Raises [Invalid_argument] if the
+    spec carries an external [sink] (a trace writer holds an out-channel)
+    or a broadcast batch is mid-commit (impossible between events). The
+    live run is unperturbed. *)
+val snapshot : live -> Bytes.t
+
+(** Rebuild a run from {!snapshot} bytes: a disjoint stack that continues
+    bit-identically. Same-binary only ([Marshal.Closures]). *)
+val restore : Bytes.t -> live
+
+(** Run the remaining events to the horizon and compute the {!result}.
+    Idempotent over [advance]: finishing an already-exhausted run only
+    folds the observers. *)
+val finish : live -> result
+
 (** Stabilization latency [stabilized_at] as float ms, or [nan]. *)
 val stabilization_ms : result -> float
 

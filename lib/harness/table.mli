@@ -1,7 +1,12 @@
 (** Plain-text table rendering for experiment output. *)
 
-(** [print ~title ~header rows] renders an aligned ASCII table to stdout. *)
+(** [print ~title ~header rows] renders an aligned ASCII table to the
+    current output channel (stdout unless {!set_out}). *)
 val print : title:string -> header:string list -> string list list -> unit
+
+(** Redirect all subsequent {!print} output (a sharded experiment producer
+    sends its tables nowhere — the merge step re-renders them). *)
+val set_out : out_channel -> unit
 
 (** Cell helpers. *)
 val ms : float -> string
@@ -9,3 +14,8 @@ val ms : float -> string
 
 val yesno : bool -> string
 val intc : int -> string
+
+(** One per-row wall-clock line for stderr: machine time is
+    nondeterministic, so it must never reach the (byte-diffed) stdout
+    tables. *)
+val wall : string -> float -> string

@@ -165,6 +165,8 @@ let deliver f =
     | None -> ()
   end
 
+let () = Sim.Checkpoint.register ~id:3 deliver
+
 (* One message onto one link: [now], [traced] and [info] are latched by the
    caller so [broadcast] classifies once for all n-1 destinations.
    [batched] routes the delivery through {!Sim.Engine.batch_call_after}

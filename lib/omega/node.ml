@@ -40,6 +40,17 @@ type t = {
   susp : int array;  (* == store.susp *)
   base : int;  (* == me * n *)
   rec_from : Dstruct.Bitset.t Dstruct.Rounds.t;
+  (* Full-prefix collapse (DESIGN.md §16): every round in
+     [[r_rn, full_upto)] was received from all n processes and its bitset
+     has been reclaimed — the rounds behave as present-and-full without a
+     table entry. Invariant: [full_upto >= r_rn] at all times (bumped at
+     every [r_rn] write), and the window's rounds are exactly the
+     collapsed-full ones. Under the default config the sending frontier
+     runs ahead of the receiving round without bound, and in a timely run
+     the buffered rounds are all full — the collapse is what keeps a
+     multi-minute run's round buffer O(gap-width) instead of O(elapsed
+     time). *)
+  mutable full_upto : int;
   suspicions : suspicion_entry Dstruct.Rounds.t;
   mutable timer : Sim.Timer.t option;  (* set at [create], before [start] *)
   (* Interned ALIVE payload (DESIGN.md §14): the snapshot of [susp_level]
@@ -220,66 +231,111 @@ let fresh_suspicions t () =
    ~10 ms, so the skip costs a recovered process well under a second. *)
 let catch_up_margin = 32
 
-(* Lines 9-12, fired once the conjunction of line 8 holds. *)
+(* Highest round tag still tracked, collapsed prefix included: the table's
+   max, or [full_upto - 1] when the top collapsed round is higher. The
+   [>= 1] guard excludes the initial state (rounds start at 1; [full_upto]
+   starts at 1 without any round 0 ever existing) and the floor guard
+   excludes collapsed rounds an uncollapsed table would have pruned. *)
+let max_tracked_round t =
+  let m =
+    match Dstruct.Rounds.max_round t.rec_from with
+    | Some m -> m
+    | None -> min_int
+  in
+  let hi = t.full_upto - 1 in
+  let c =
+    if hi >= 1 && hi >= Dstruct.Rounds.floor t.rec_from then hi else min_int
+  in
+  let v = if m > c then m else c in
+  if v = min_int then None else Some v
+
+(* Reclaim the contiguous prefix of fully-received rounds starting at
+   [full_upto]: each full bitset goes back to the freelist and the round
+   becomes part of the collapsed window. Rounds fill out of order (delays
+   jitter per sender), so the loop stops at the first gap and resumes when
+   a later delivery plugs it. *)
+let rec collapse_full t =
+  match Dstruct.Rounds.find_exn t.rec_from t.full_upto with
+  | s ->
+      if Dstruct.Bitset.cardinal s = t.cfg.Config.n then begin
+        Dstruct.Rounds.remove ~recycle:t.recycle_set t.rec_from t.full_upto;
+        t.full_upto <- t.full_upto + 1;
+        collapse_full t
+      end
+  | exception Not_found -> ()
+
+(* Lines 9-12, fired once the conjunction of line 8 holds. The closing
+   round is either collapsed-full ([r_rn < full_upto]: quorum holds,
+   nobody suspected, no table entry to read) or looked up as before; both
+   branches produce the identical SUSPICION broadcast and emissions. *)
 let rec try_close_round t =
-  if not (halted t) then begin
-    let received =
-      Dstruct.Rounds.find_or_add t.rec_from t.r_rn ~default:t.default_rec
-    in
-    let expired = Sim.Timer.has_expired (timer_exn t) in
-    let quorum = Dstruct.Bitset.cardinal received >= t.cfg.Config.alpha in
-    let ready =
-      match t.cfg.Config.closure with
-      | Config.Conjunction -> expired && quorum
-      | Config.Timer_only -> expired
-      | Config.Count_only -> quorum
-    in
-    if ready then begin
-      (* The suspects of line 9 are the complement of [received], read off
-         the bitset's words directly: a word whose 32 senders all delivered
-         costs one test (descending fold, so the cons-list comes out
-         ascending — the order [Bitset.complement |> to_list] produced);
-         the cardinal is known without a [List.length] re-walk. O(live)
-         work, where the per-id loop this replaces scanned all n slots. *)
-      let n_suspected = t.cfg.Config.n - Dstruct.Bitset.cardinal received in
-      let suspects =
-        Dstruct.Bitset.fold_unset_down received ~init:[] ~f:(fun acc i ->
-            i :: acc)
+  if not (halted t) then
+    if t.r_rn < t.full_upto then begin
+      let ready =
+        match t.cfg.Config.closure with
+        | Config.Conjunction | Config.Timer_only ->
+            Sim.Timer.has_expired (timer_exn t)
+        | Config.Count_only -> true
       in
-      (* Line 10 sends to every process, itself included (no [j <> i]). *)
-      t.bcast_all (Message.Suspicion { rn = t.r_rn; suspects });
-      let sink = Sim.Engine.sink t.engine in
-      if Obs.Sink.wants sink Obs.Event.c_omega then begin
-        let now = Sim.Time.to_us (Sim.Engine.now t.engine) in
-        Obs.Sink.emit sink
-          (Obs.Event.Round_close
-             {
-               now;
-               pid = t.me;
-               rn = t.r_rn;
-               suspected = n_suspected;
-             });
-        Obs.Sink.emit sink
-          (Obs.Event.Round_open { now; pid = t.me; rn = t.r_rn + 1 })
-      end;
-      t.r_rn <- t.r_rn + 1;
-      (* A catch-up (see [on_alive]) is complete only once the node closes
-         rounds *at the live frontier*. A recovered process often replays a
-         stretch of pre-crash buffered rounds first — those closes say
-         nothing about reaching the senders, so clearing on them would leave
-         the node stranded at the first buffer gap. *)
-      if t.catch_up then begin
-        match Dstruct.Rounds.max_round t.rec_from with
-        | Some m when m > t.r_rn + catch_up_margin -> ()
-        | Some _ | None -> t.catch_up <- false
-      end;
-      arm_timer t;
-      prune t;
-      (* The next round may already satisfy line 8 if the timeout was zero
-         and enough future-round ALIVEs were buffered. *)
-      try_close_round t
+      if ready then close_round t ~n_suspected:0 ~suspects:[]
     end
-  end
+    else begin
+      let received =
+        Dstruct.Rounds.find_or_add t.rec_from t.r_rn ~default:t.default_rec
+      in
+      let expired = Sim.Timer.has_expired (timer_exn t) in
+      let quorum = Dstruct.Bitset.cardinal received >= t.cfg.Config.alpha in
+      let ready =
+        match t.cfg.Config.closure with
+        | Config.Conjunction -> expired && quorum
+        | Config.Timer_only -> expired
+        | Config.Count_only -> quorum
+      in
+      if ready then begin
+        (* The suspects of line 9 are the complement of [received], read off
+           the bitset's words directly: a word whose 32 senders all delivered
+           costs one test (descending fold, so the cons-list comes out
+           ascending — the order [Bitset.complement |> to_list] produced);
+           the cardinal is known without a [List.length] re-walk. O(live)
+           work, where the per-id loop this replaces scanned all n slots. *)
+        let n_suspected = t.cfg.Config.n - Dstruct.Bitset.cardinal received in
+        let suspects =
+          Dstruct.Bitset.fold_unset_down received ~init:[] ~f:(fun acc i ->
+              i :: acc)
+        in
+        close_round t ~n_suspected ~suspects
+      end
+    end
+
+and close_round t ~n_suspected ~suspects =
+  (* Line 10 sends to every process, itself included (no [j <> i]). *)
+  t.bcast_all (Message.Suspicion { rn = t.r_rn; suspects });
+  let sink = Sim.Engine.sink t.engine in
+  if Obs.Sink.wants sink Obs.Event.c_omega then begin
+    let now = Sim.Time.to_us (Sim.Engine.now t.engine) in
+    Obs.Sink.emit sink
+      (Obs.Event.Round_close
+         { now; pid = t.me; rn = t.r_rn; suspected = n_suspected });
+    Obs.Sink.emit sink
+      (Obs.Event.Round_open { now; pid = t.me; rn = t.r_rn + 1 })
+  end;
+  t.r_rn <- t.r_rn + 1;
+  if t.full_upto < t.r_rn then t.full_upto <- t.r_rn;
+  (* A catch-up (see [on_alive]) is complete only once the node closes
+     rounds *at the live frontier*. A recovered process often replays a
+     stretch of pre-crash buffered rounds first — those closes say
+     nothing about reaching the senders, so clearing on them would leave
+     the node stranded at the first buffer gap. *)
+  if t.catch_up then begin
+    match max_tracked_round t with
+    | Some m when m > t.r_rn + catch_up_margin -> ()
+    | Some _ | None -> t.catch_up <- false
+  end;
+  arm_timer t;
+  prune t;
+  (* The next round may already satisfy line 8 if the timeout was zero
+     and enough future-round ALIVEs were buffered. *)
+  try_close_round t
 
 (* Discard rounds no rule can read again (DESIGN.md §2): [rec_from] below the
    current receiving round, [suspicions] below the deepest window any future
@@ -329,11 +385,10 @@ let on_alive t ~src rn sl =
      design. *)
   if t.catch_up && rn > t.r_rn + catch_up_margin then begin
     let frontier =
-      match Dstruct.Rounds.max_round t.rec_from with
-      | Some m -> max m rn
-      | None -> rn
+      match max_tracked_round t with Some m -> max m rn | None -> rn
     in
     t.r_rn <- frontier + catch_up_margin;
+    if t.full_upto < t.r_rn then t.full_upto <- t.r_rn;
     (* The paper has one round counter; this rendering paces [s_rn] and
        [r_rn] independently, so a recovered process would otherwise resume
        broadcasting tags from before the crash — all below its peers'
@@ -354,11 +409,21 @@ let on_alive t ~src rn sl =
     arm_timer t;
     prune t
   end;
-  if rn >= t.r_rn then begin
+  (* Rounds in [[r_rn, full_upto)] are collapsed-full: every bit is already
+     set, so the add would be a no-op on a reclaimed bitset — skip it. The
+     [full_upto >= r_rn] invariant makes this guard subsume the old
+     [rn >= r_rn] one. *)
+  if rn >= t.full_upto then begin
     let received =
       Dstruct.Rounds.find_or_add t.rec_from rn ~default:t.default_rec
     in
-    Dstruct.Bitset.add received src
+    Dstruct.Bitset.add received src;
+    (* This delivery may have completed the frontier round: reclaim the
+       contiguous full prefix. Amortized once per round per node. *)
+    if
+      rn = t.full_upto
+      && Dstruct.Bitset.cardinal received = t.cfg.Config.n
+    then collapse_full t
   end;
   (* The line-8 conjunction may have just become true (timer expired first,
      the [alpha]-th ALIVE arrived now). *)
@@ -466,6 +531,8 @@ let rec sending_task ({ node = t; epoch } as task) =
     Sim.Engine.call_after t.engine (Sim.Time.of_us period) sending_task task
   end
 
+let () = Sim.Checkpoint.register ~id:4 sending_task
+
 let create_with_transport ?store cfg (tr : transport) ~me =
   Config.validate cfg;
   if tr.n <> cfg.Config.n then
@@ -489,6 +556,7 @@ let create_with_transport ?store cfg (tr : transport) ~me =
       me;
       s_rn = 0;
       r_rn = 1;
+      full_upto = 1;
       store;
       susp = store.Store.susp;
       base = me * n;
@@ -600,5 +668,13 @@ let max_susp_level_seen t = t.max_susp_seen
 let local_increments t = t.local_increments
 let lattice_invariant_holds t = max_susp t - min_susp t <= 1
 
+(* Logical count: table entries plus the collapsed-full window — what the
+   table would hold without the collapse, so E3's boundedness column (and
+   [max_round_state]) measure the algorithm, not the representation. *)
 let round_state_cardinal t =
+  Dstruct.Rounds.cardinal t.rec_from
+  + max 0 (t.full_upto - t.r_rn)
+  + Dstruct.Rounds.cardinal t.suspicions
+
+let retained_round_entries t =
   Dstruct.Rounds.cardinal t.rec_from + Dstruct.Rounds.cardinal t.suspicions

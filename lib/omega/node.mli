@@ -126,5 +126,16 @@ val local_increments : t -> int
     Always true for Fig3/Fig3_fg; meaningless (often false) for Fig1/Fig2. *)
 val lattice_invariant_holds : t -> bool
 
-(** Live entries in the round-indexed stores (bounded iff pruning works). *)
+(** Live entries in the round-indexed stores (bounded iff pruning works).
+    This is the {e logical} count: the collapsed-full prefix (DESIGN.md
+    §16) is counted as if its rounds were still present, so the number
+    measures the algorithm's window, not the representation. *)
 val round_state_cardinal : t -> int
+
+(** Table entries {e physically} retained — the collapsed-full prefix
+    excluded. Under the default config the sending frontier outruns the
+    receiving round without bound; in a timely run the buffered rounds
+    are all fully received and collapse, so this stays O(jitter spread)
+    over arbitrarily long runs while {!round_state_cardinal} reports the
+    frontier gap. The memory regression test pins it. *)
+val retained_round_entries : t -> int

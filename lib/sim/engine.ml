@@ -262,6 +262,66 @@ let run_until t limit =
       loop ());
   t.now <- Time.max t.now limit
 
+(* ---------------------------------------------------- snapshot / restore *)
+
+let () =
+  Checkpoint.register ~id:0 ignore_obj;
+  Checkpoint.register ~id:1 call_thunk
+
+(* Swizzle a cell's packed function to its registry id (an immediate int),
+   and back. The walks below can visit the same cell several times (pool
+   slots alias, heap stale slots alias live cells, wheel freelist cells
+   share [dummy]), so both directions are idempotent: a swizzled [cfn] is
+   an int and is skipped by [swizzle_cell]; an unswizzled one is a block
+   and is skipped by [unswizzle_cell]. *)
+let swizzle_cell c =
+  if not (Obj.is_int (Obj.repr c.cfn)) then begin
+    let id = Checkpoint.id_of c.cfn in
+    if id < 0 then
+      invalid_arg
+        "Engine.snapshot: a pending event's function is not registered \
+         (Sim.Checkpoint.register)";
+    c.cfn <- Obj.magic id
+  end
+
+let unswizzle_cell c =
+  let r = Obj.repr c.cfn in
+  if Obj.is_int r then c.cfn <- Checkpoint.fn_of (Obj.magic r : int)
+
+(* Every event cell reachable through the engine's marshalled graph: the
+   queue's committed cells (plus the wheel's shared dummy, which recycled
+   freelist cells alias), and the engine's own cell pool — whose stale
+   slots may alias cells that are simultaneously live in the queue. *)
+let iter_cells t f =
+  (match t.queue with
+  | Heap q -> Dstruct.Pqueue.iter_slots q f
+  | Wheel w -> Dstruct.Wheel.iter_values w f);
+  for i = 0 to Array.length t.cpool - 1 do
+    f t.cpool.(i)
+  done
+
+let snapshot : type a. t -> a -> Bytes.t =
+ fun t root ->
+  (match t.queue with
+  | Wheel w when Dstruct.Wheel.staged_count w <> 0 ->
+      invalid_arg "Engine.snapshot: staged batch pending commit"
+  | Wheel _ | Heap _ -> ());
+  iter_cells t swizzle_cell;
+  (* Unswizzle under protect: the live engine must come back runnable even
+     if an unregistered function aborts the walk or marshalling fails
+     (e.g. an out-channel-holding sink). One [to_bytes] call, so every
+     physical sharing — the [anon] handle, interned ALIVE payloads, the
+     SoA store — survives the round trip. *)
+  Fun.protect
+    ~finally:(fun () -> iter_cells t unswizzle_cell)
+    (fun () -> Marshal.to_bytes (t, root) [ Marshal.Closures ])
+
+let restore : type a. Bytes.t -> t * a =
+ fun bytes ->
+  let ((t, _) as pair) = (Marshal.from_bytes bytes 0 : t * a) in
+  iter_cells t unswizzle_cell;
+  pair
+
 let run_until_idle ?limit t =
   match t.queue with
   | Heap q ->

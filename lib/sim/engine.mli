@@ -105,3 +105,28 @@ val run_until : t -> Time.t -> unit
 (** [run_until_idle ?limit t] executes events until none remain, or the next
     event lies beyond [limit]. Returns the reason it stopped. *)
 val run_until_idle : ?limit:Time.t -> t -> [ `Idle | `Limit ]
+
+(** {2 Snapshot / restore (DESIGN.md §16)}
+
+    [snapshot t root] is a deep copy of the whole simulation stack — the
+    engine (clock, queue contents, cell pool, RNG, sink) plus [root], the
+    caller's world reachable from it — as marshalled bytes. One marshal
+    call covers both, so every physical sharing between them (handles,
+    interned payloads, the SoA suspicion store) survives the round trip.
+    Packed event functions are swizzled to their {!Checkpoint} ids (and
+    back, even on failure — the live engine is untouched on return), so
+    the packed lane is code-address-independent; closures reachable
+    through payloads ride on [Marshal.Closures] and pin the bytes to the
+    producing binary. Raises [Invalid_argument] if a staged batch is
+    pending commit, if a pending event's function is unregistered, or if
+    the graph holds an unmarshallable value (e.g. a JSONL trace sink's
+    out-channel).
+
+    [restore bytes] rebuilds the pair. The restored stack is disjoint from
+    every live one (pool-safe) and continues bit-identically to the run
+    that was snapshotted: same event stream, same digest. The caller is
+    responsible for the root type — this is [Marshal]'s usual contract. *)
+
+val snapshot : t -> 'a -> Bytes.t
+val restore : Bytes.t -> t * 'a
+

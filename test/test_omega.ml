@@ -354,6 +354,44 @@ let test_round_state_pruned () =
      unbounded; pruning keeps ours proportional to margin + lag). *)
   check bool_t "state pruned" true (Omega.Iface.round_state_cardinal c 0 < 450)
 
+let test_round_memory_bounded_long_run () =
+  (* The full-prefix collapse (DESIGN.md §16): under the default config the
+     sending frontier outruns the receiving round without bound, so the
+     receive buffer's LOGICAL window grows linearly with simulated time —
+     but in a timely crash-free run every buffered round is received from
+     all n and its bitset is reclaimed. 60 sim-s is long enough that the
+     frontier gap reaches the thousands; physically retained entries must
+     stay two orders of magnitude below it, flat in elapsed time. *)
+  let engine = Sim.Engine.create ~seed:2L () in
+  let net = Net.Network.create engine ~n:4 ~oracle:instant in
+  let config = Omega.Config.default ~n:4 ~t:1 Omega.Config.Fig3 in
+  let cl = Omega.Cluster.create config net in
+  Omega.Iface.start (Omega.Cluster.iface cl);
+  (* Peak physically-retained entries over the first and second halves of
+     the run: without the collapse the peak tracks the frontier gap and
+     the second half's roughly doubles the first's; with it both sit at
+     the same jitter-and-suspicion-window plateau. *)
+  let peak lo hi =
+    let m = ref 0 in
+    for s = lo to hi do
+      Sim.Engine.run_until engine (Sim.Time.of_sec s);
+      for p = 0 to 3 do
+        let r = Omega.Node.retained_round_entries (Omega.Cluster.node cl p) in
+        if r > !m then m := r
+      done
+    done;
+    !m
+  in
+  let first_half = peak 1 30 in
+  let second_half = peak 31 60 in
+  let logical = Omega.Node.round_state_cardinal (Omega.Cluster.node cl 0) in
+  check bool_t "frontier gap grew into the thousands (test has teeth)" true
+    (logical > 1000);
+  check bool_t "retained entries flat across run halves" true
+    (second_half <= first_half + 16);
+  check bool_t "retained entries two orders below the logical window" true
+    (second_half * 10 < logical)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let () =
@@ -423,6 +461,8 @@ let () =
           Alcotest.test_case "config validate" `Quick test_config_validate;
           Alcotest.test_case "variant flags" `Quick test_variant_flags;
           Alcotest.test_case "state pruned" `Quick test_round_state_pruned;
+          Alcotest.test_case "60s memory flat" `Quick
+            test_round_memory_bounded_long_run;
           Alcotest.test_case "cluster agreed-leader semantics" `Quick
             test_cluster_agreed_leader_semantics;
           Alcotest.test_case "size mismatch" `Quick

@@ -1,0 +1,282 @@
+(* Tests for snapshot/restore (DESIGN.md §16): a run cut by a mid-run
+   snapshot and continued from the restored copy must be bit-identical —
+   same digest, same aggregate results — to the uninterrupted run, for
+   both schedulers, both algorithms and faulted plans; and snapshotting
+   must never perturb the run it copies. Also the failure modes: a staged
+   broadcast batch, an unregistered packed function, and a trace sink all
+   refuse to snapshot with a clean error and leave the live run usable. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let str_t = Alcotest.string
+let sec = Sim.Time.of_sec
+let ms = Sim.Time.of_ms
+
+let digest_hex result =
+  Obs.Digest.to_hex (Option.get result.Harness.Run.digest)
+
+(* Straight run vs: the same run advanced to [cut], snapshotted, restored,
+   and finished — and the snapshotted original finished too (snapshot must
+   not perturb it). All three must agree exactly. *)
+let differential ~msg ~spec ~env ~seed ~cut =
+  let straight = Harness.Run.run ~spec ~env ~seed () in
+  let live = Harness.Run.start ~spec ~env ~seed () in
+  Harness.Run.advance live ~until:cut;
+  let bytes = Harness.Run.snapshot live in
+  let restored = Harness.Run.finish (Harness.Run.restore bytes) in
+  let original = Harness.Run.finish live in
+  let agree label a b =
+    check str_t (msg ^ ": " ^ label ^ " digest") (digest_hex a) (digest_hex b);
+    check int_t
+      (msg ^ ": " ^ label ^ " messages")
+      a.Harness.Run.messages_sent b.Harness.Run.messages_sent;
+    check (Alcotest.option int_t)
+      (msg ^ ": " ^ label ^ " leader")
+      a.Harness.Run.final_leader b.Harness.Run.final_leader;
+    check int_t
+      (msg ^ ": " ^ label ^ " samples")
+      (List.length a.Harness.Run.samples)
+      (List.length b.Harness.Run.samples)
+  in
+  agree "restored continuation" straight restored;
+  agree "snapshotted original" straight original
+
+(* ------------------------------------------------------- the matrix *)
+
+let matrix_env ~n variant =
+  let t = (n - 1) / 2 in
+  let config = Omega.Config.default ~n ~t variant in
+  Scenarios.Env.make config
+    (Scenarios.Scenario.Rotating_star { center = n - 2 })
+
+let relay_env ~n =
+  let t = (n - 1) / 2 in
+  let config =
+    {
+      (Omega.Config.default ~n ~t Omega.Config.Fig3) with
+      Omega.Config.initial_timeout = ms 10;
+    }
+  in
+  Scenarios.Env.make config
+    (Scenarios.Scenario.Rotating_star { center = n - 2 })
+
+let test_matrix () =
+  List.iter
+    (fun sched ->
+      let sname = match sched with `Wheel -> "wheel" | `Heap -> "heap" in
+      List.iter
+        (fun n ->
+          (* n=8 gets a 1 sim-s horizon; n=64 is ~50x the traffic, so a
+             shorter slice keeps the suite's wall clock in budget while
+             still snapshotting tens of thousands of pending flights. *)
+          let horizon = if n = 8 then sec 1 else ms 400 in
+          let cut = Sim.Time.of_us (Sim.Time.to_us horizon * 2 / 5) in
+          let spec =
+            Harness.Run.Spec.(
+              default |> with_horizon horizon |> with_digest true
+              |> with_check false |> with_sched sched)
+          in
+          List.iter
+            (fun variant ->
+              differential
+                ~msg:(Printf.sprintf "n=%d %s fig" n sname)
+                ~spec ~env:(matrix_env ~n variant) ~seed:7L ~cut)
+            [ Omega.Config.Fig1; Omega.Config.Fig3 ];
+          differential
+            ~msg:(Printf.sprintf "n=%d %s relay" n sname)
+            ~spec:Harness.Run.Spec.(spec |> with_algo `Relay)
+            ~env:(relay_env ~n) ~seed:7L ~cut)
+        [ 8; 64 ])
+    [ `Wheel; `Heap ]
+
+let test_faulted () =
+  (* test_fault's busy plan — a partition over the center, a crash with
+     recovery, a duplication burst — with the snapshot cut inside the
+     partition window, while the injector's heal/recover events are still
+     pending. *)
+  let busy_plan =
+    Fault.Plan.(
+      empty
+      |> partition ~at:(ms 500) ~heal_at:(ms 900) [ [ 2 ] ]
+      |> crash 0 ~at:(ms 600)
+      |> recover 0 ~at:(ms 1200)
+      |> dup_burst ~at:(ms 1400) ~until:(ms 1500) ~extra:(ms 1))
+  in
+  let config = Omega.Config.default ~n:4 ~t:1 Omega.Config.Fig3 in
+  let env =
+    Scenarios.Env.make config (Scenarios.Scenario.Rotating_star { center = 2 })
+  in
+  List.iter
+    (fun sched ->
+      let sname = match sched with `Wheel -> "wheel" | `Heap -> "heap" in
+      differential
+        ~msg:("faulted " ^ sname)
+        ~spec:
+          Harness.Run.Spec.(
+            default |> with_horizon (sec 2) |> with_digest true
+            |> with_plan busy_plan |> with_sched sched)
+        ~env ~seed:7L ~cut:(ms 700))
+    [ `Wheel; `Heap ]
+
+(* ------------------------------------------------------- pinned runs *)
+
+(* The acceptance contract: snapshot -> restore -> continue reproduces the
+   exact repo-pinned digests, not merely self-consistent ones. Configs are
+   verbatim from test_obs / test_fault / test_omega_lean. *)
+
+let restored_digest ~spec ~env ~cut =
+  let live = Harness.Run.start ~spec ~env ~seed:7L () in
+  Harness.Run.advance live ~until:cut;
+  let restored = Harness.Run.restore (Harness.Run.snapshot live) in
+  digest_hex (Harness.Run.finish restored)
+
+let test_pinned_plain () =
+  let config = Omega.Config.default ~n:4 ~t:1 Omega.Config.Fig3 in
+  let env =
+    Scenarios.Env.make config (Scenarios.Scenario.Rotating_star { center = 2 })
+  in
+  let spec =
+    Harness.Run.Spec.(default |> with_horizon (sec 2) |> with_digest true)
+  in
+  check str_t "plain pin through a snapshot" "e1280e13ce38d45d"
+    (restored_digest ~spec ~env ~cut:(ms 800))
+
+let test_pinned_faulted () =
+  let busy_plan =
+    Fault.Plan.(
+      empty
+      |> partition ~at:(ms 500) ~heal_at:(ms 900) [ [ 2 ] ]
+      |> crash 0 ~at:(ms 600)
+      |> recover 0 ~at:(ms 1200)
+      |> dup_burst ~at:(ms 1400) ~until:(ms 1500) ~extra:(ms 1))
+  in
+  let config = Omega.Config.default ~n:4 ~t:1 Omega.Config.Fig3 in
+  let env =
+    Scenarios.Env.make config (Scenarios.Scenario.Rotating_star { center = 2 })
+  in
+  let spec =
+    Harness.Run.Spec.(
+      default |> with_horizon (sec 2) |> with_digest true
+      |> with_plan busy_plan)
+  in
+  check str_t "faulted pin through a snapshot" "ade8f3026d9f2689"
+    (restored_digest ~spec ~env ~cut:(ms 800))
+
+let test_pinned_relay () =
+  let config =
+    {
+      (Omega.Config.default ~n:4 ~t:1 Omega.Config.Fig3) with
+      Omega.Config.initial_timeout = ms 10;
+    }
+  in
+  let env =
+    Scenarios.Env.make config (Scenarios.Scenario.Rotating_star { center = 2 })
+  in
+  let spec =
+    Harness.Run.Spec.(
+      default |> with_check false |> with_algo `Relay
+      |> with_horizon (sec 2) |> with_digest true)
+  in
+  check str_t "relay pin through a snapshot" "82a9c40982bed37a"
+    (restored_digest ~spec ~env ~cut:(ms 800))
+
+(* ------------------------------------------------------- file round trip *)
+
+let test_file_round_trip () =
+  let config = Omega.Config.default ~n:4 ~t:1 Omega.Config.Fig3 in
+  let env =
+    Scenarios.Env.make config (Scenarios.Scenario.Rotating_star { center = 2 })
+  in
+  let spec =
+    Harness.Run.Spec.(default |> with_horizon (sec 2) |> with_digest true)
+  in
+  let live = Harness.Run.start ~spec ~env ~seed:7L () in
+  Harness.Run.advance live ~until:(ms 800);
+  let bytes = Harness.Run.snapshot live in
+  let path = Filename.temp_file "snapshot" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_bytes oc bytes;
+      close_out oc;
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let read = Bytes.create len in
+      really_input ic read 0 len;
+      close_in ic;
+      check int_t "length round-trips" (Bytes.length bytes) len;
+      let restored = Harness.Run.restore read in
+      check str_t "digest through the file" "e1280e13ce38d45d"
+        (digest_hex (Harness.Run.finish restored)))
+
+(* ----------------------------------------------------------- refusals *)
+
+let test_pending_batch_raises () =
+  let engine = Sim.Engine.create ~seed:1L () in
+  Sim.Engine.batch_call_after engine (ms 1) ignore 0;
+  (match Sim.Engine.snapshot engine 0 with
+  | (_ : Bytes.t) -> Alcotest.fail "snapshot accepted a pending batch"
+  | exception Invalid_argument _ -> ());
+  (* The engine is untouched: committing and running still works. *)
+  Sim.Engine.batch_commit engine;
+  Sim.Engine.run_until engine (ms 2);
+  check int_t "batched event still fires" 1 (Sim.Engine.executed engine)
+
+let test_unregistered_fn_raises () =
+  let engine = Sim.Engine.create ~seed:1L () in
+  let hits = ref 0 in
+  (* A dynamic closure as the packed fn: no Checkpoint id, so the snapshot
+     must refuse — and the protect must leave the live engine runnable. *)
+  Sim.Engine.call_after engine (ms 1) (fun k -> hits := !hits + k) 2;
+  (match Sim.Engine.snapshot engine 0 with
+  | (_ : Bytes.t) -> Alcotest.fail "snapshot accepted an unregistered fn"
+  | exception Invalid_argument _ -> ());
+  Sim.Engine.run_until engine (ms 2);
+  check int_t "event still fires after refused snapshot" 2 !hits
+
+let test_trace_sink_raises () =
+  let config = Omega.Config.default ~n:4 ~t:1 Omega.Config.Fig3 in
+  let env =
+    Scenarios.Env.make config (Scenarios.Scenario.Rotating_star { center = 2 })
+  in
+  let spec =
+    Harness.Run.Spec.(
+      default |> with_horizon (sec 1)
+      |> with_sink (Obs.Sink.make ~mask:Obs.Event.all (fun _ -> ())))
+  in
+  let live = Harness.Run.start ~spec ~env ~seed:7L () in
+  Harness.Run.advance live ~until:(ms 100);
+  check bool_t "external sink refused" true
+    (match Harness.Run.snapshot live with
+    | (_ : Bytes.t) -> false
+    | exception Invalid_argument _ -> true);
+  (* Still finishes normally. *)
+  let result = Harness.Run.finish live in
+  check bool_t "run completes" true (result.Harness.Run.messages_sent > 0)
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "n x algo x sched matrix" `Quick test_matrix;
+          Alcotest.test_case "faulted plan" `Quick test_faulted;
+        ] );
+      ( "pinned",
+        [
+          Alcotest.test_case "plain pin" `Quick test_pinned_plain;
+          Alcotest.test_case "faulted pin" `Quick test_pinned_faulted;
+          Alcotest.test_case "relay pin" `Quick test_pinned_relay;
+        ] );
+      ( "file",
+        [ Alcotest.test_case "marshal round trip" `Quick test_file_round_trip ] );
+      ( "refusals",
+        [
+          Alcotest.test_case "pending batch" `Quick test_pending_batch_raises;
+          Alcotest.test_case "unregistered fn" `Quick
+            test_unregistered_fn_raises;
+          Alcotest.test_case "trace sink" `Quick test_trace_sink_raises;
+        ] );
+    ]
