@@ -16,7 +16,8 @@ open Toolkit
    so the n-scaling rows can A/B the wheel+pools stack against the
    heap/no-pool reference in the same build. *)
 let sim_run ?(digest = false) ?(sched = `Wheel) ?(flight_pool = true)
-    ?(algo = `Gossip) ~variant ~n ~horizon_ms () =
+    ?(algo = `Gossip) ?(topology = Net.Topology.Complete) ~variant ~n
+    ~horizon_ms () =
   let t = (n - 1) / 2 in
   let config = Omega.Config.default ~n ~t variant in
   let env =
@@ -27,6 +28,7 @@ let sim_run ?(digest = false) ?(sched = `Wheel) ?(flight_pool = true)
     Harness.Run.Spec.(
       default |> with_check false |> with_digest digest
       |> with_sched sched |> with_flight_pool flight_pool |> with_algo algo
+      |> with_topology topology
       |> with_horizon (Sim.Time.of_ms horizon_ms))
   in
   let result = Harness.Run.run ~spec ~env ~seed:7L () in
@@ -147,6 +149,22 @@ let micro_tests =
            ignore
              (sim_run ~algo:`Relay ~variant:Omega.Config.Fig3 ~n:64
                 ~horizon_ms:1000 ())));
+    (* Routed topologies (DESIGN.md §17): the same n=64 second over a ring
+       (diameter 32 — every send relays through ~16 pooled hops) and a
+       fat-tree (diameter 3). The routed path shares the one-pooled-cell-
+       per-hop allocation-free contract, so both sit under the strict-alloc
+       gate. *)
+    Test.make ~name:"micro:sim-1s-n64-ring"
+      (Staged.stage (fun () ->
+           ignore
+             (sim_run ~topology:Net.Topology.Ring ~variant:Omega.Config.Fig1
+                ~n:64 ~horizon_ms:1000 ())));
+    Test.make ~name:"micro:sim-1s-n64-fattree"
+      (Staged.stage (fun () ->
+           ignore
+             (sim_run
+                ~topology:(Net.Topology.Fat_tree { rack = 4 })
+                ~variant:Omega.Config.Fig1 ~n:64 ~horizon_ms:1000 ())));
     (* Snapshot/restore (DESIGN.md §16): marshal a mid-flight n=64 run and
        rebuild it. Both allocate by design (Marshal) — the contract is that
        the *null* path (no snapshot taken) stays allocation-free, which the

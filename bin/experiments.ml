@@ -61,6 +61,29 @@ let sched_term =
         ~doc:
           "Engine scheduler backend for every run: $(b,wheel) (the default            timing wheel) or $(b,heap) (the binary-heap A/B reference). Both            print byte-identical tables — the CI determinism gate diffs            them.")
 
+let topology_conv =
+  let parse s =
+    match Net.Topology.kind_of_string s with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (`Msg "expected complete, ring, grid, rgg, fattree, or wan")
+  in
+  let print ppf k = Format.pp_print_string ppf (Net.Topology.kind_to_string k) in
+  Cmdliner.Arg.conv (parse, print)
+
+let topology_term =
+  Cmdliner.Arg.(
+    value
+    & opt (some topology_conv) None
+    & info [ "topology" ] ~docv:"KIND"
+        ~doc:
+          "Run every simulation over this network graph instead of the \
+           paper's complete one: $(b,ring), $(b,grid), $(b,rgg), \
+           $(b,fattree), $(b,wan) (or $(b,complete), the default). Rows \
+           that pick their own topology (E13) keep it. Routed runs produce \
+           different (still deterministic) tables than the default.")
+
 let checkpoint_dir_term =
   Cmdliner.Arg.(
     value
@@ -117,10 +140,10 @@ let ids_term =
   Cmdliner.Arg.(
     value & pos_all string []
     & info [] ~docv:"EXPERIMENT"
-        ~doc:"Experiment ids to run (e1..e12). Default: all.")
+        ~doc:"Experiment ids to run (e1..e13). Default: all.")
 
-let run list quick jobs metrics trace sched checkpoint_dir checkpoint_every
-    shard shard_out ids =
+let run list quick jobs metrics trace sched topology checkpoint_dir
+    checkpoint_every shard shard_out ids =
   if list then begin
     List.iter
       (fun (id, doc, _) -> Printf.printf "%-4s %s\n" id doc)
@@ -170,7 +193,14 @@ let run list quick jobs metrics trace sched checkpoint_dir checkpoint_every
               }
         in
         let obs =
-          { Experiments.Suite.trace = jsonl; metrics; sched; checkpoint; farm }
+          {
+            Experiments.Suite.trace = jsonl;
+            metrics;
+            sched;
+            checkpoint;
+            farm;
+            topology;
+          }
         in
         (* The JSONL writer is one shared out-channel: events from
            concurrent runs would interleave, so tracing pins the run farm
@@ -185,6 +215,10 @@ let run list quick jobs metrics trace sched checkpoint_dir checkpoint_every
               ~ids:(List.map (fun (id, _, _) -> id) selected)
               ~quick ~metrics
               ~sched:(match sched with `Wheel -> "wheel" | `Heap -> "heap")
+              ~topology:
+                (match topology with
+                | Some k -> Net.Topology.kind_to_string k
+                | None -> "-")
               ~cells:!recorded
         | _ -> ());
         `Ok ()
@@ -200,7 +234,7 @@ let cmd =
     Cmdliner.Term.(
       ret
         (const run $ list_term $ quick_term $ jobs_term $ metrics_term
-       $ trace_term $ sched_term $ checkpoint_dir_term $ checkpoint_every_term
-       $ shard_term $ shard_out_term $ ids_term))
+       $ trace_term $ sched_term $ topology_term $ checkpoint_dir_term
+       $ checkpoint_every_term $ shard_term $ shard_out_term $ ids_term))
 
 let () = exit (Cmdliner.Cmd.eval cmd)

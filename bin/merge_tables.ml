@@ -29,7 +29,9 @@ let () =
       if s.ids <> first.ids then fail "shards ran different experiment sets";
       if s.quick <> first.quick then fail "shards mix --quick and full runs";
       if s.metrics <> first.metrics then fail "shards mix --metrics settings";
-      if s.sched <> first.sched then fail "shards mix --sched backends")
+      if s.sched <> first.sched then fail "shards mix --sched backends";
+      if s.topology <> first.topology then
+        fail "shards mix --topology overrides")
     shards;
   let seen =
     List.sort Int.compare
@@ -48,6 +50,9 @@ let () =
       Experiments.Suite.no_obs with
       metrics = first.metrics;
       sched = (if first.sched = "heap" then `Heap else `Wheel);
+      topology =
+        (if first.topology = "-" then None
+         else Net.Topology.kind_of_string first.topology);
       farm = { Experiments.Suite.mode = Merge table; next_cell = 0 };
     }
   in

@@ -43,7 +43,10 @@ let () =
     in
     Net.Network.Deliver_after (us (base + hiccup))
   in
-  let net = Net.Network.create engine ~n ~oracle in
+  let net =
+    Net.Spec.(default |> with_oracle oracle) |> fun spec ->
+    Net.Network.of_spec spec engine ~n
+  in
   let config = Omega.Config.default ~n ~t Omega.Config.Fig3 in
   let cluster = Omega.Cluster.create config net in
   Omega.Cluster.start cluster;

@@ -2,9 +2,14 @@
 
    The base model assumes reliable links, but the paper notes fair-lossy
    links suffice: acknowledge and piggyback unacknowledged messages. This
-   example runs Figure 3 over a network that drops 40% of all envelopes,
-   through the Retransmit layer that implements exactly that construction,
-   and shows the election still working — including detection of a crash.
+   example runs Figure 3 over a network whose every edge is a
+   [Fair_lossy 0.4] channel — each envelope survives a hop with
+   probability 0.6, decided by a coin the network draws from its own
+   engine-seeded stream (DESIGN.md §17) — through the Retransmit layer
+   that implements exactly that construction, and shows the election
+   still working, including detection of a crash. (The older burst-lossy
+   variant of this example lives on as {!Net.Lossy.wrap}, which composes
+   with any oracle.)
 
      dune exec examples/lossy_network.exe *)
 
@@ -13,14 +18,14 @@ let () =
   let engine = Sim.Engine.create ~seed:8L () in
   let rng = Dstruct.Rng.split (Sim.Engine.rng engine) in
 
-  (* A fair-lossy network: 40% loss, bursts of at most 12 consecutive
-     losses per link, 0.5-2ms delays otherwise. *)
+  (* Delays of 0.5-2ms; the 40% loss is the channel class's business. *)
   let base ~now:_ ~seq:_ ~src:_ ~dst:_ _ =
     Net.Network.Deliver_after (Sim.Time.of_us (500 + Dstruct.Rng.int rng 1500))
   in
-  let oracle = Net.Lossy.wrap ~loss:0.4 ~burst:12 ~rng ~n base in
+  let channels ~src:_ ~dst:_ = Net.Topology.Fair_lossy 0.4 in
   let layer =
-    Net.Retransmit.create engine ~n ~oracle ~resend_every:(Sim.Time.of_ms 5)
+    Net.Retransmit.create ~channels engine ~n ~oracle:base
+      ~resend_every:(Sim.Time.of_ms 5)
   in
   Net.Retransmit.start layer;
 

@@ -35,16 +35,18 @@ let () =
   in
 
   (* Omega runs on its own channel; the replication traffic on another. *)
+  let net_for oracle =
+    Net.Spec.(default |> with_oracle oracle) |> fun spec ->
+    Net.Network.of_spec spec engine ~n
+  in
   let omega_net =
-    Net.Network.create engine ~n
-      ~oracle:
-        (Scenarios.Scenario.oracle scenario
-           ~round_of:Scenarios.Scenario.round_of_omega)
+    net_for
+      (Scenarios.Scenario.oracle scenario
+         ~round_of:Scenarios.Scenario.round_of_omega)
   in
   let omega = Omega.Cluster.create config omega_net in
   let log_net =
-    Net.Network.create engine ~n
-      ~oracle:(Scenarios.Scenario.oracle scenario ~round_of:(fun _ -> None))
+    net_for (Scenarios.Scenario.oracle scenario ~round_of:(fun _ -> None))
   in
   let replicas =
     Array.init n (fun me ->

@@ -30,7 +30,10 @@ let omega_instance ~variant ~closure engine scenario =
     Scenarios.Scenario.oracle scenario
       ~round_of:Scenarios.Scenario.round_of_omega
   in
-  let net = Net.Network.create engine ~n:p.Scenarios.Scenario.n ~oracle in
+  let net =
+    Net.Spec.(default |> with_oracle oracle)
+    |> fun spec -> Net.Network.of_spec spec engine ~n:p.Scenarios.Scenario.n
+  in
   let cluster = Omega.Cluster.create config net in
   {
     start = (fun () -> Omega.Cluster.start cluster);
@@ -91,7 +94,9 @@ let heartbeat =
           Scenarios.Scenario.oracle scenario ~round_of:Heartbeat.round_of
         in
         let net =
-          Net.Network.create engine ~n:p.Scenarios.Scenario.n ~oracle
+          Net.Spec.(default |> with_oracle oracle)
+          |> fun spec ->
+          Net.Network.of_spec spec engine ~n:p.Scenarios.Scenario.n
         in
         let cluster =
           Heartbeat.create_cluster net ~beta:p.Scenarios.Scenario.beta

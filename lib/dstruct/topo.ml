@@ -1,0 +1,84 @@
+(* All-pairs shortest-path routing tables over an undirected graph, flat
+   n*n int arrays (same layout discipline as the rest of the hot-path
+   state). One BFS per destination fills [dist]; the next-hop choice is
+   then canonicalized in a second pass — [next.(src, dst)] is the
+   *smallest-id* neighbour of [src] strictly closer to [dst] — so the
+   tables are a pure function of the adjacency structure, independent of
+   BFS queue order or neighbour-list order. Determinism rests on that:
+   the same topology always routes the same way. *)
+
+type t = {
+  n : int;
+  next : int array;  (* next.(src*n + dst): next hop, -1 unreachable *)
+  dist : int array;  (* dist.(src*n + dst): hop count, max_int unreachable *)
+  diameter : int;
+  connected : bool;
+}
+
+let unreached = max_int
+
+let of_adjacency adj =
+  let n = Array.length adj in
+  if n <= 0 then invalid_arg "Topo.of_adjacency: empty graph";
+  Array.iteri
+    (fun i ns ->
+      List.iter
+        (fun j ->
+          if j < 0 || j >= n then
+            invalid_arg "Topo.of_adjacency: neighbour out of range";
+          if j = i then invalid_arg "Topo.of_adjacency: self-loop")
+        ns)
+    adj;
+  let dist = Array.make (n * n) unreached in
+  let next = Array.make (n * n) (-1) in
+  let queue = Array.make n 0 in
+  for dst = 0 to n - 1 do
+    dist.((dst * n) + dst) <- 0;
+    next.((dst * n) + dst) <- dst;
+    queue.(0) <- dst;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      let du = dist.((u * n) + dst) in
+      List.iter
+        (fun v ->
+          if dist.((v * n) + dst) = unreached then begin
+            dist.((v * n) + dst) <- du + 1;
+            queue.(!tail) <- v;
+            incr tail
+          end)
+        adj.(u)
+    done;
+    for v = 0 to n - 1 do
+      let dv = dist.((v * n) + dst) in
+      if v <> dst && dv <> unreached then begin
+        let best = ref (-1) in
+        List.iter
+          (fun u ->
+            if
+              dist.((u * n) + dst) = dv - 1 && (!best = -1 || u < !best)
+            then best := u)
+          adj.(v);
+        next.((v * n) + dst) <- !best
+      end
+    done
+  done;
+  let diameter = ref 0 in
+  let connected = ref true in
+  Array.iter
+    (fun d ->
+      if d = unreached then connected := false
+      else if d > !diameter then diameter := d)
+    dist;
+  { n; next; dist; diameter = !diameter; connected = !connected }
+
+let n t = t.n
+let next_hop t ~src ~dst = Array.unsafe_get t.next ((src * t.n) + dst)
+
+let dist t ~src ~dst =
+  let d = t.dist.((src * t.n) + dst) in
+  if d = unreached then -1 else d
+
+let diameter t = t.diameter
+let connected t = t.connected

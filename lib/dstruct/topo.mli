@@ -1,0 +1,33 @@
+(** All-pairs next-hop routing tables for undirected graphs.
+
+    Built once per network from an adjacency structure (one BFS per
+    destination over flat n*n arrays) and read on every routed hop. The
+    next hop is canonical: [next_hop ~src ~dst] is the {e smallest-id}
+    neighbour of [src] on a shortest path to [dst], so the table is a pure
+    function of the adjacency structure — independent of neighbour-list
+    order — and two builds of the same topology route identically. *)
+
+type t
+
+(** [of_adjacency adj] builds the tables for the graph whose node [i] has
+    neighbour list [adj.(i)]. The graph is taken as given (callers are
+    responsible for symmetry); self-loops and out-of-range neighbours are
+    rejected. *)
+val of_adjacency : int list array -> t
+
+val n : t -> int
+
+(** [next_hop t ~src ~dst] is the first relay on the canonical shortest
+    path [src -> dst] ([dst] itself on the last hop, [src = dst] included),
+    or [-1] if [dst] is unreachable from [src]. No bounds check — the
+    routed hot path calls this per hop. *)
+val next_hop : t -> src:int -> dst:int -> int
+
+(** Hop count of the shortest path, [-1] if unreachable, [0] for
+    [src = dst]. *)
+val dist : t -> src:int -> dst:int -> int
+
+(** Largest finite pairwise distance. *)
+val diameter : t -> int
+
+val connected : t -> bool

@@ -72,6 +72,9 @@ type obs = {
   sched : [ `Heap | `Wheel ];
   checkpoint : (string * Sim.Time.t) option;
   farm : farm;
+  topology : Net.Topology.kind option;
+      (* session-wide graph override (--topology): applied to every run
+         that did not pick a topology itself (E13's rows keep theirs) *)
 }
 
 let no_obs =
@@ -81,6 +84,7 @@ let no_obs =
     sched = `Wheel;
     checkpoint = None;
     farm = local_farm ();
+    topology = None;
   }
 
 (* ------------------------------------------------- on-disk checkpoints *)
@@ -175,6 +179,12 @@ let obs_run ~obs ~label ?(spec = Run.Spec.default) ~env ~seed () =
       digest = obs.metrics;
       sched = obs.sched;
     }
+  in
+  let spec =
+    match obs.topology with
+    | Some k when spec.Run.Spec.topology = Net.Topology.Complete ->
+        Run.Spec.with_topology k spec
+    | _ -> spec
   in
   let spec =
     match obs.trace with
@@ -302,7 +312,7 @@ let on ~obs pool cells =
    bin/merge_tables.exe validates that the headers agree pairwise and
    cover 1..count before replaying. *)
 module Shard = struct
-  let magic = "omega-experiment-shard-v1"
+  let magic = "omega-experiment-shard-v2"
 
   type file = {
     shard_magic : string;
@@ -312,13 +322,24 @@ module Shard = struct
     quick : bool;
     metrics : bool;
     sched : string;  (* "wheel" | "heap" *)
+    topology : string;  (* --topology override kind name; "-" = none *)
     cells : (int * string list) list;
   }
 
-  let save ~path ~index ~count ~ids ~quick ~metrics ~sched ~cells =
+  let save ~path ~index ~count ~ids ~quick ~metrics ~sched ~topology ~cells =
     let oc = open_out_bin path in
     Marshal.to_channel oc
-      { shard_magic = magic; index; count; ids; quick; metrics; sched; cells }
+      {
+        shard_magic = magic;
+        index;
+        count;
+        ids;
+        quick;
+        metrics;
+        sched;
+        topology;
+        cells;
+      }
       [];
     close_out oc
 
@@ -684,15 +705,15 @@ let consensus_run ~n ~t ~d ~horizon ~seed =
   let center = n - 2 in
   let cfg = config ~n ~t Omega.Config.Fig3 in
   let scen = scenario ~n ~t (Scenario.Intermittent_star { center; d }) in
+  let net_for oracle =
+    Net.Spec.(default |> with_oracle oracle) |> fun spec ->
+    Net.Network.of_spec spec engine ~n
+  in
   let omega_net =
-    Net.Network.create engine ~n
-      ~oracle:(Scenario.oracle scen ~round_of:Scenario.round_of_omega)
+    net_for (Scenario.oracle scen ~round_of:Scenario.round_of_omega)
   in
   let omega = Omega.Cluster.create cfg omega_net in
-  let cons_net =
-    Net.Network.create engine ~n
-      ~oracle:(Scenario.oracle scen ~round_of:(fun _ -> None))
-  in
+  let cons_net = net_for (Scenario.oracle scen ~round_of:(fun _ -> None)) in
   let cluster =
     Consensus.Single.create cons_net
       ~oracle:(fun p () -> Omega.Node.leader (Omega.Cluster.node omega p))
@@ -731,15 +752,15 @@ let broadcast_run ~n ~t ~d ~commands ~horizon ~seed =
   let center = n - 2 in
   let cfg = config ~n ~t Omega.Config.Fig3 in
   let scen = scenario ~n ~t (Scenario.Intermittent_star { center; d }) in
+  let net_for oracle =
+    Net.Spec.(default |> with_oracle oracle) |> fun spec ->
+    Net.Network.of_spec spec engine ~n
+  in
   let omega_net =
-    Net.Network.create engine ~n
-      ~oracle:(Scenario.oracle scen ~round_of:Scenario.round_of_omega)
+    net_for (Scenario.oracle scen ~round_of:Scenario.round_of_omega)
   in
   let omega = Omega.Cluster.create cfg omega_net in
-  let bc_net =
-    Net.Network.create engine ~n
-      ~oracle:(Scenario.oracle scen ~round_of:(fun _ -> None))
-  in
+  let bc_net = net_for (Scenario.oracle scen ~round_of:(fun _ -> None)) in
   let nodes =
     Array.init n (fun me ->
         Consensus.Broadcast.create bc_net ~me
@@ -1416,6 +1437,152 @@ let e12 ~pool ~quick ~obs =
          ])
     results
 
+(* ------------------------------------------------------------------ E13 *)
+
+let e13 ~pool ~quick ~obs =
+  (* Topology sweep (DESIGN.md §17): the paper's complete-graph model
+     generalized to routed graphs with per-edge channel classes, both Ω
+     algorithms under the same rotating-star adversary and tight config as
+     E12. The headline: election still lands on the star's center on every
+     structured graph — the checker's bounds and the adversary's victim
+     blocks both stretch with the diameter, but the assumption's promise
+     survives multi-hop relaying, a 0.5% fair-lossy floor, and
+     eventually-timely links whose pre-GST delays are unconstrained. *)
+  let ns = if quick then [ 8 ] else [ 8; 16 ] in
+  let beta = ms 10 in
+  let topologies =
+    [
+      ("ring", Net.Topology.Ring);
+      ("grid", Net.Topology.Grid);
+      ("fattree", Net.Topology.Fat_tree { rack = 4 });
+    ]
+  in
+  let channels =
+    [
+      ("reliable", Net.Topology.Reliable);
+      ("lossy-.5%", Net.Topology.Fair_lossy 0.005);
+      ( "ev-timely",
+        Net.Topology.Eventually_timely { gst = ms 500; bound = sec 2 } );
+    ]
+  in
+  let algos = [ ("fig3", `Gossip); ("relay", `Relay) ] in
+  (* The victim block must beat the relay tier's staleness slack
+     (6 + 4 (diam-1) + level, see Omega.Lean) with margin, as E12's 8-round
+     blocks beat the complete graph's 6 + level. *)
+  let block diam = 10 + (4 * (diam - 1)) in
+  (* One victim rotation is [block (n-1)] rounds of beta; the horizon buys
+     several (the relay tier moves one accusation per block, so it needs
+     a few full rotations before the last arm lifts past the center). *)
+  let horizon n diam =
+    if quick then sec 8
+    else Sim.Time.of_ms (Stdlib.max 20_000 ((5 * block diam * (n - 1) * 10) + 2_000)
+    )
+  in
+  let min_stable = if quick then sec 1 else sec 2 in
+  (* The structured kinds draw nothing from the RNG, so a scratch stream
+     recovers the exact diameter the run's network will compute. *)
+  let diameter_of kind n =
+    Net.Topology.diameter
+      (Net.Topology.build kind ~n ~rng:(Dstruct.Rng.create 0L))
+  in
+  let results =
+    on ~obs pool
+    @@ List.concat_map
+         (fun n ->
+           let t = (n - 1) / 2 in
+           let center = n - 2 in
+           let cfg = fault_config ~n ~t Omega.Config.Fig3 in
+           List.concat_map
+             (fun (tlabel, kind) ->
+               let diam = diameter_of kind n in
+               (* Same adversary for both algorithms in a row; the block
+                  length scales with the topology's slack (above). *)
+               let params =
+                 {
+                   (Scenario.default_params ~n ~t ~beta) with
+                   Scenario.rn0 = 2;
+                   victim_block0 = block diam;
+                   victim_block_step = 0;
+                 }
+               in
+               List.concat_map
+                 (fun (clabel, chan) ->
+                   List.map
+                     (fun (alabel, algo) ->
+                       let label =
+                         Printf.sprintf "e13 n=%d %s %s %s" n tlabel clabel
+                           alabel
+                       in
+                       {
+                         label;
+                         (* Every message crosses ~diam links, so routed
+                            traffic scales the cost estimate. *)
+                         cost =
+                           float_of_int diam
+                           *. cost_of ~n ~algo ~check:false (horizon n diam);
+                         exec =
+                           (fun () ->
+                             let result =
+                               obs_run ~obs ~label
+                                 ~spec:
+                                   Run.Spec.(
+                                     default |> with_horizon (horizon n diam)
+                                     |> with_min_stable min_stable
+                                     |> with_check false |> with_algo algo
+                                     |> with_topology kind
+                                     |> with_link_channel chan)
+                                 ~env:
+                                   (Scenarios.Env.make ~params cfg
+                                      (Scenario.Rotating_star { center }))
+                                 ~seed:7L ()
+                             in
+                             let rounds =
+                               max 1 result.Run.min_sending_round
+                             in
+                             let per_round =
+                               result.Run.messages_sent / rounds
+                             in
+                             let stab_round =
+                               match result.Run.stabilized_at with
+                               | Some at ->
+                                   Table.intc
+                                     (Sim.Time.to_us at / Sim.Time.to_us beta)
+                               | None -> "-"
+                             in
+                             obs_cells obs result
+                               [
+                                 Table.intc n;
+                                 tlabel;
+                                 Table.intc diam;
+                                 clabel;
+                                 alabel;
+                                 stab_cell result;
+                                 stab_round;
+                                 leader_cell result;
+                                 Table.yesno
+                                   (result.Run.final_leader = Some center);
+                                 Table.intc result.Run.messages_sent;
+                                 Table.intc per_round;
+                               ]);
+                       })
+                     algos)
+                 channels)
+             topologies)
+         ns
+  in
+  Table.print
+    ~title:
+      "E13: topology x channel class x algorithm (routed graphs, tight \
+       config, diameter-scaled victim blocks, same seeds as E12; 'msgs' \
+       counts sends, each crossing up to 'diam' links) [DESIGN.md 17]"
+    ~header:
+      (obs_header obs
+         [
+           "n"; "topo"; "diam"; "chan"; "algo"; "stabilized"; "stab_round";
+           "leader"; "=center"; "msgs"; "msgs/round";
+         ])
+    results
+
 let all =
   [
     ("e1", "Theorem 1: rotating star stabilization vs n", e1);
@@ -1430,4 +1597,5 @@ let all =
     ("e10", "Fault plans: adaptive leader-chasing adversary", e10);
     ("e11", "Scaling in n: large-cluster throughput tier", e11);
     ("e12", "Message complexity: gossip vs communication-efficient relay", e12);
+    ("e13", "Topologies: routed graphs x channel classes x algorithms", e13);
   ]

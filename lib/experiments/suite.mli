@@ -57,6 +57,12 @@ type obs = {
           invisible — the tables stay byte-identical. Ignored while
           tracing (a run holding a JSONL sink cannot snapshot). *)
   farm : farm;
+  topology : Net.Topology.kind option;
+      (** session-wide network-graph override (bin/experiments.exe
+          [--topology]): applied to every run that kept the default
+          [Complete] topology; rows that pick their own (E13) are
+          untouched. Routed tables differ from the default ones but stay
+          deterministic and [--jobs]-invariant. *)
 }
 
 (** No tracing, no metrics, local farm: the zero-cost default. *)
@@ -73,6 +79,7 @@ module Shard : sig
     quick : bool;
     metrics : bool;
     sched : string;  (** ["wheel"] or ["heap"] *)
+    topology : string;  (** [--topology] override kind name; ["-"] = none *)
     cells : (int * string list) list;
   }
 
@@ -84,6 +91,7 @@ module Shard : sig
     quick:bool ->
     metrics:bool ->
     sched:string ->
+    topology:string ->
     cells:(int * string list) list ->
     unit
 

@@ -65,6 +65,29 @@ type dup_ev = { d_inj : t; d_until : Sim.Time.t; d_extra : Sim.Time.t }
 let apply_dup { d_inj = inj; d_until; d_extra } =
   Net.Network.set_dup_burst inj.net ~until:d_until ~extra:d_extra
 
+(* One packed handler covers all four edge moves, keyed by the event's
+   state code (mirrored verbatim in [Edge_fault]): 0 cut, 1 healed,
+   2 degraded, 3 degradation lifted. *)
+type edge_ev = { e_inj : t; e_a : pid; e_b : pid; e_state : int; e_us : int }
+
+let apply_edge { e_inj = inj; e_a; e_b; e_state; e_us } =
+  (match e_state with
+  | 0 -> Net.Network.set_edge_cut inj.net ~a:e_a ~b:e_b true
+  | 1 -> Net.Network.set_edge_cut inj.net ~a:e_a ~b:e_b false
+  | 2 -> Net.Network.set_edge_degrade inj.net ~a:e_a ~b:e_b ~extra_us:e_us
+  | _ -> Net.Network.set_edge_degrade inj.net ~a:e_a ~b:e_b ~extra_us:0);
+  emit_fault inj
+    (Obs.Event.Edge_fault
+       { now = now_us inj; a = e_a; b = e_b; state = e_state })
+
+type rack_ev = { k_inj : t; k_rack : int; k_on : bool }
+
+let apply_rack { k_inj = inj; k_rack; k_on } =
+  Net.Network.set_rack_cut inj.net ~rack:k_rack k_on;
+  emit_fault inj
+    (Obs.Event.Rack_fault
+       { now = now_us inj; rack = k_rack; state = (if k_on then 0 else 1) })
+
 (* ---- the adaptive adversary ---- *)
 
 (* Re-target when every non-crashed process currently believes in the same
@@ -102,7 +125,9 @@ let () =
   Sim.Checkpoint.register ~id:8 apply_crash;
   Sim.Checkpoint.register ~id:9 apply_recover;
   Sim.Checkpoint.register ~id:10 apply_dup;
-  Sim.Checkpoint.register ~id:11 activate
+  Sim.Checkpoint.register ~id:11 activate;
+  Sim.Checkpoint.register ~id:14 apply_edge;
+  Sim.Checkpoint.register ~id:15 apply_rack
 
 let on_event inj = function
   | Obs.Event.Leader_change { pid; leader; _ } ->
@@ -163,7 +188,34 @@ let attach plan ~iface ~scenario =
       | Plan.Adaptive { from } -> Sim.Engine.call_at engine from activate inj
       | Plan.Dup_burst { at; until; extra } ->
           Sim.Engine.call_at engine at apply_dup
-            { d_inj = inj; d_until = until; d_extra = extra })
+            { d_inj = inj; d_until = until; d_extra = extra }
+      | Plan.Cut_edge { a; b; at; heal_at } -> (
+          Sim.Engine.call_at engine at apply_edge
+            { e_inj = inj; e_a = a; e_b = b; e_state = 0; e_us = 0 };
+          match heal_at with
+          | None -> ()
+          | Some h ->
+              Sim.Engine.call_at engine h apply_edge
+                { e_inj = inj; e_a = a; e_b = b; e_state = 1; e_us = 0 })
+      | Plan.Degrade_edge { a; b; extra; at; until } ->
+          Sim.Engine.call_at engine at apply_edge
+            {
+              e_inj = inj;
+              e_a = a;
+              e_b = b;
+              e_state = 2;
+              e_us = Sim.Time.to_us extra;
+            };
+          Sim.Engine.call_at engine until apply_edge
+            { e_inj = inj; e_a = a; e_b = b; e_state = 3; e_us = 0 }
+      | Plan.Cut_rack { rack; at; heal_at } -> (
+          Sim.Engine.call_at engine at apply_rack
+            { k_inj = inj; k_rack = rack; k_on = true };
+          match heal_at with
+          | None -> ()
+          | Some h ->
+              Sim.Engine.call_at engine h apply_rack
+                { k_inj = inj; k_rack = rack; k_on = false }))
     (Plan.actions plan);
   inj
 

@@ -6,6 +6,20 @@ type action =
   | Recover of { pid : pid; at : Sim.Time.t }
   | Adaptive of { from : Sim.Time.t }
   | Dup_burst of { at : Sim.Time.t; until : Sim.Time.t; extra : Sim.Time.t }
+  | Cut_edge of {
+      a : pid;
+      b : pid;
+      at : Sim.Time.t;
+      heal_at : Sim.Time.t option;
+    }
+  | Degrade_edge of {
+      a : pid;
+      b : pid;
+      extra : Sim.Time.t;
+      at : Sim.Time.t;
+      until : Sim.Time.t;
+    }
+  | Cut_rack of { rack : int; at : Sim.Time.t; heal_at : Sim.Time.t option }
 
 type t = { actions : action list }
 
@@ -19,6 +33,12 @@ let crash pid ~at t = add (Crash { pid; at }) t
 let recover pid ~at t = add (Recover { pid; at }) t
 let adaptive ~from t = add (Adaptive { from }) t
 let dup_burst ~at ~until ~extra t = add (Dup_burst { at; until; extra }) t
+let cut_edge ~a ~b ~at ?heal_at () t = add (Cut_edge { a; b; at; heal_at }) t
+
+let degrade_edge ~a ~b ~extra ~at ~until t =
+  add (Degrade_edge { a; b; extra; at; until }) t
+
+let cut_rack rack ~at ?heal_at () t = add (Cut_rack { rack; at; heal_at }) t
 
 (* [groups.(p)] = connectivity group of [p]; processes not named by any
    explicit group share one implicit remainder group, so e.g.
@@ -77,7 +97,30 @@ let validate ~n t =
           if Sim.Time.(until <= at) then
             invalid_arg "Fault.Plan: duplication burst ends before it starts";
           if Sim.Time.(extra < Sim.Time.zero) then
-            invalid_arg "Fault.Plan: negative duplicate extra delay")
+            invalid_arg "Fault.Plan: negative duplicate extra delay"
+      | Cut_edge { a; b; at; heal_at } ->
+          check_pid ~n a "cut_edge";
+          check_pid ~n b "cut_edge";
+          if a = b then invalid_arg "Fault.Plan: cut_edge of a self-loop";
+          (match heal_at with
+          | Some h when Sim.Time.(h <= at) ->
+              invalid_arg "Fault.Plan: edge heals before it is cut"
+          | _ -> ())
+      | Degrade_edge { a; b; extra; at; until } ->
+          check_pid ~n a "degrade_edge";
+          check_pid ~n b "degrade_edge";
+          if a = b then invalid_arg "Fault.Plan: degrade_edge of a self-loop";
+          if Sim.Time.(until <= at) then
+            invalid_arg "Fault.Plan: degradation lifts before it starts";
+          if Sim.Time.(extra < Sim.Time.zero) then
+            invalid_arg "Fault.Plan: negative degrade extra delay"
+      | Cut_rack { rack; at; heal_at } ->
+          if rack < 0 then invalid_arg "Fault.Plan: cut_rack rack negative";
+          ignore at;
+          (match heal_at with
+          | Some h when Sim.Time.(h <= at) ->
+              invalid_arg "Fault.Plan: rack heals before it is cut"
+          | _ -> ()))
     t.actions
 
 let partition_windows t =
@@ -86,10 +129,18 @@ let partition_windows t =
       | Partition { at; heal_at; _ } -> Some (at, heal_at) | _ -> None)
     t.actions
 
-(* Windows during which link or process outages may lose messages: every
-   partition, plus every crash window that ends in a recovery (a permanent
-   crash is not an outage window — the checker's [crashed] predicate covers
-   it, per A2(1)). Used to mask assumption checking; see Harness.Run. *)
+(* A permanent edge/rack cut never heals: its outage window runs to the
+   end of (virtual) time, so every checkable round overlapping it is
+   masked. *)
+let forever = Sim.Time.of_us max_int
+
+(* Windows during which link or process outages may lose or delay messages
+   beyond the assumption's promise: every partition, every crash window
+   that ends in a recovery (a permanent crash is not an outage window — the
+   checker's [crashed] predicate covers it, per A2(1)), every edge or rack
+   cut, and every edge degradation (it loses nothing, but can break the
+   δ-timeliness promise). Used to mask assumption checking; see
+   Harness.Run. *)
 let outage_windows t =
   let crashes =
     List.filter_map
@@ -106,7 +157,16 @@ let outage_windows t =
         | _ -> None)
       t.actions
   in
-  partition_windows t @ crashes
+  let topo =
+    List.filter_map
+      (function
+        | Cut_edge { at; heal_at; _ } | Cut_rack { at; heal_at; _ } ->
+            Some (at, Option.value heal_at ~default:forever)
+        | Degrade_edge { at; until; _ } -> Some (at, until)
+        | _ -> None)
+      t.actions
+  in
+  partition_windows t @ crashes @ topo
 
 let partition_downtime ~horizon t =
   List.fold_left

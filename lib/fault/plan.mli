@@ -37,6 +37,30 @@ type action =
   | Dup_burst of { at : Sim.Time.t; until : Sim.Time.t; extra : Sim.Time.t }
       (** every message sent in [[at, until)] is delivered twice, the
           duplicate [extra] later ({!Net.Network.set_dup_burst}) *)
+  | Cut_edge of {
+      a : pid;
+      b : pid;
+      at : Sim.Time.t;
+      heal_at : Sim.Time.t option;
+          (** [None] = permanent: the outage window runs forever *)
+    }
+      (** sever the undirected link [a—b] ({!Net.Network.set_edge_cut});
+          routing tables are {e not} recomputed — on a routed topology
+          traffic through the edge is lost hop by hop, exactly like a
+          physical cable cut under static routing *)
+  | Degrade_edge of {
+      a : pid;
+      b : pid;
+      extra : Sim.Time.t;
+      at : Sim.Time.t;
+      until : Sim.Time.t;
+    }
+      (** add [extra] to every traversal of the link [a—b] in
+          [[at, until)] ({!Net.Network.set_edge_degrade}) *)
+  | Cut_rack of { rack : int; at : Sim.Time.t; heal_at : Sim.Time.t option }
+      (** sever every link crossing the boundary of group [rack]
+          ({!Net.Network.set_rack_cut}); only meaningful on grouped
+          topologies ([Fat_tree]/[Wan]) *)
 
 type t
 
@@ -52,6 +76,17 @@ val recover : pid -> at:Sim.Time.t -> t -> t
 val adaptive : from:Sim.Time.t -> t -> t
 val dup_burst : at:Sim.Time.t -> until:Sim.Time.t -> extra:Sim.Time.t -> t -> t
 
+(** [cut_edge ~a ~b ~at ()] severs [a—b] at [at], forever; add
+    [?heal_at] to restore it. *)
+val cut_edge :
+  a:pid -> b:pid -> at:Sim.Time.t -> ?heal_at:Sim.Time.t -> unit -> t -> t
+
+val degrade_edge :
+  a:pid -> b:pid -> extra:Sim.Time.t -> at:Sim.Time.t -> until:Sim.Time.t ->
+  t -> t
+
+val cut_rack : int -> at:Sim.Time.t -> ?heal_at:Sim.Time.t -> unit -> t -> t
+
 (** Raises [Invalid_argument] on out-of-range pids, a pid in two groups of
     one partition, a window that ends before it starts, a crash of an
     already-down process, or a recover without a preceding crash. *)
@@ -64,11 +99,12 @@ val groups_array : n:int -> pid list list -> int array * int
 (** The [(at, heal_at)] window of every partition action. *)
 val partition_windows : t -> (Sim.Time.t * Sim.Time.t) list
 
-(** Windows during which the plan may lose messages: every partition window
-    plus every crash window that ends in a recovery (permanent crashes are
-    covered by the checker's [crashed] predicate instead). [Harness.Run]
-    masks assumption checking for rounds whose messages could be in flight
-    during one of these. *)
+(** Windows during which the plan may lose or over-delay messages: every
+    partition window, every crash window that ends in a recovery (permanent
+    crashes are covered by the checker's [crashed] predicate instead),
+    every edge/rack cut (a permanent cut's window runs forever), and every
+    edge degradation. [Harness.Run] masks assumption checking for rounds
+    whose messages could be in flight during one of these. *)
 val outage_windows : t -> (Sim.Time.t * Sim.Time.t) list
 
 (** Total partition time within [[0, horizon]] (overlaps count double —

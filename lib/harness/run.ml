@@ -46,6 +46,8 @@ module Spec = struct
     sched : [ `Heap | `Wheel ];
     flight_pool : bool;
     algo : [ `Gossip | `Relay ];
+    topology : Net.Topology.kind;
+    link_channel : Net.Topology.channel;
   }
 
   let default =
@@ -63,6 +65,8 @@ module Spec = struct
       sched = `Wheel;
       flight_pool = true;
       algo = `Gossip;
+      topology = Net.Topology.Complete;
+      link_channel = Net.Topology.Reliable;
     }
 
   let with_horizon horizon t = { t with horizon }
@@ -78,13 +82,17 @@ module Spec = struct
   let with_sched sched t = { t with sched }
   let with_flight_pool flight_pool t = { t with flight_pool }
   let with_algo algo t = { t with algo }
+  let with_topology topology t = { t with topology }
+  let with_link_channel link_channel t = { t with link_channel }
 end
 
 (* The largest round whose every non-victim message is guaranteed delivered
-   by [horizon] (Scenario.arrival_bound is monotone in the round number). *)
-let checkable_round scenario horizon =
+   by [horizon] (Scenario.arrival_bound is monotone in the round number).
+   [hops] is the routed network's diameter — every hop redraws its delay,
+   so the per-link bound multiplies end to end. *)
+let checkable_round ?(hops = 1) scenario horizon =
   let fits rn =
-    Sim.Time.(Scenarios.Scenario.arrival_bound scenario rn <= horizon)
+    Sim.Time.(Scenarios.Scenario.arrival_bound ~hops scenario rn <= horizon)
   in
   if not (fits 1) then 0
   else begin
@@ -109,7 +117,7 @@ let checkable_round scenario horizon =
    end by [arrival_bound rn]. Conservative in both directions — masking a
    round the outage never touched only shrinks checked coverage, never
    forges a violation. *)
-let masked_rounds ~plan ~config ~scenario =
+let masked_rounds ?(hops = 1) ~plan ~config ~scenario () =
   match Fault.Plan.outage_windows plan with
   | [] -> fun _ -> false
   | windows ->
@@ -120,7 +128,7 @@ let masked_rounds ~plan ~config ~scenario =
           int_of_float (float_of_int ((rn - 1) * beta) *. (1. -. jitter))
         in
         let hi =
-          Sim.Time.to_us (Scenarios.Scenario.arrival_bound scenario rn)
+          Sim.Time.to_us (Scenarios.Scenario.arrival_bound ~hops scenario rn)
         in
         List.exists
           (fun (a, b) -> lo <= Sim.Time.to_us b && Sim.Time.to_us a <= hi)
@@ -229,12 +237,17 @@ let start ?(spec = Spec.default) ~env ~seed () =
     sched;
     flight_pool;
     algo;
+    topology;
+    link_channel;
   } =
     spec
   in
   let config = Scenarios.Env.config env in
   let engine = Sim.Engine.create ~queue:sched ~seed () in
-  let scenario, net = Scenarios.Env.build ~flight_pool env engine in
+  let scenario, net =
+    Scenarios.Env.build ~flight_pool ~topology ~channel:link_channel env
+      engine
+  in
   let checker =
     if check && Option.is_some (Scenarios.Scenario.center scenario) then
       Some (Scenarios.Checker.create scenario)
@@ -407,11 +420,16 @@ let finish live =
       max_int correct
   in
   let checker_report =
+    (* On a routed topology a message crosses [diameter] links, each with
+       its own oracle draw: the arrival horizon and the checker's
+       timeliness bound both scale by the diameter. *)
+    let hops = max 1 (Net.Network.diameter net) in
     Option.map
       (fun c ->
-        Scenarios.Checker.verify c
-          ~masked:(masked_rounds ~plan ~config ~scenario)
-          ~upto_round:(min (checkable_round scenario horizon) min_sending_round)
+        Scenarios.Checker.verify c ~stretch:hops
+          ~masked:(masked_rounds ~hops ~plan ~config ~scenario ())
+          ~upto_round:
+            (min (checkable_round ~hops scenario horizon) min_sending_round)
           ~crashed:(Net.Network.is_crashed net))
       checker
   in

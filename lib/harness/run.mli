@@ -91,6 +91,14 @@ module Spec : sig
             {!Omega.Config.variant}); [`Relay] is the
             communication-efficient {!Omega.Lean} variant — O(n) messages
             per round instead of Θ(n²) (DESIGN.md §15) *)
+    topology : Net.Topology.kind;
+        (** network graph (default [Complete]); any other kind routes every
+            message hop by hop over precomputed shortest paths and scales
+            the checker's timeliness bound by the diameter (DESIGN.md §17) *)
+    link_channel : Net.Topology.channel;
+        (** channel class applied uniformly to every edge (default
+            [Reliable]); a non-default class also switches the network to
+            the routed path, even on [Complete] *)
   }
 
   val default : t
@@ -107,6 +115,8 @@ module Spec : sig
   val with_sched : [ `Heap | `Wheel ] -> t -> t
   val with_flight_pool : bool -> t -> t
   val with_algo : [ `Gossip | `Relay ] -> t -> t
+  val with_topology : Net.Topology.kind -> t -> t
+  val with_link_channel : Net.Topology.channel -> t -> t
 end
 
 (** [run ~env ~seed ()] executes one simulation of [env] under [spec]

@@ -15,6 +15,21 @@ let batch_fanout_min = 48
 type 'm t = {
   engine : Sim.Engine.t;
   n : int;
+  (* Routing state (DESIGN.md §17). [routed] selects the per-hop forward
+     path; it is false exactly when the topology is complete AND no
+     channel classes were given, and then none of the fields below are
+     ever read on the hot path — the legacy direct dispatch is untouched.
+     [chan] is flat n*n ([||] = all Reliable); [link_rng] exists only
+     when some edge is fair-lossy, so reliable builds leave the engine's
+     stream where the legacy constructor left it. *)
+  topo : Topology.t;
+  routed : bool;
+  chan : Topology.channel array;
+  link_rng : Dstruct.Rng.t option;
+  (* Edge-level fault surfaces, lazily materialized n*n (length 0 until a
+     plan first touches them, so plan-free runs pay one length check). *)
+  mutable cut_edges : Bytes.t;
+  mutable degrade_us : int array;
   (* The unboxed rendering of the oracle: delay in microseconds, negative =
      Drop. Boxed oracles are adapted at [create]; the per-message call then
      never allocates a [Deliver_after] box when the caller provided
@@ -70,6 +85,10 @@ and 'm flight = {
   mutable fseq : int;
   mutable fsrc : pid;
   mutable fdst : pid;
+  (* Routed runs thread the SAME record through every hop: [fvia] is the
+     node the scheduled arrival lands on (= [fdst] on the final hop). The
+     direct path writes it once at acquisition and never reads it. *)
+  mutable fvia : pid;
   mutable fmsg : 'm;
   mutable finfo : Obs.Event.msg_info;
   mutable frecycle : bool;
@@ -88,17 +107,95 @@ let boxed_oracle_us oracle ~now ~seq ~src ~dst msg =
       else us
   | Drop -> -1
 
-let create ?(classify = default_classify) ?(pool = true) ?oracle_us engine ~n
-    ~oracle =
-  if n <= 0 then invalid_arg "Network.create: n must be positive";
+(* The builder record that replaced [create]'s accreted optional
+   arguments. The boxed/unboxed oracle precedence rule lives here, in
+   [of_spec], instead of prose: [oracle_us] wins whenever both are set. *)
+module Spec = struct
+  type 'm t = {
+    classify : 'm -> Obs.Event.msg_info;
+    pool : bool;
+    oracle : 'm delay_oracle option;
+    oracle_us : 'm delay_oracle_us option;
+    topology : Topology.kind;
+    channels : (src:pid -> dst:pid -> Topology.channel) option;
+  }
+
+  let default =
+    {
+      classify = default_classify;
+      pool = true;
+      oracle = None;
+      oracle_us = None;
+      topology = Topology.Complete;
+      channels = None;
+    }
+
+  let with_classify classify t = { t with classify }
+  let with_pool pool t = { t with pool }
+  let with_oracle oracle t = { t with oracle = Some oracle }
+  let with_oracle_us oracle_us t = { t with oracle_us = Some oracle_us }
+  let with_topology topology t = { t with topology }
+  let with_channels channels t = { t with channels = Some channels }
+end
+
+let of_spec (spec : 'm Spec.t) engine ~n =
+  if n <= 0 then invalid_arg "Network.of_spec: n must be positive";
   let oracle_us =
-    match oracle_us with Some f -> f | None -> boxed_oracle_us oracle
+    match (spec.Spec.oracle_us, spec.Spec.oracle) with
+    | Some f, _ -> f
+    | None, Some oracle -> boxed_oracle_us oracle
+    | None, None ->
+        invalid_arg
+          "Network.of_spec: spec needs with_oracle or with_oracle_us"
   in
+  (* Routing tables are built from a stream split off the engine seed; the
+     complete default splits nothing, so legacy runs see an untouched
+     engine stream (digest-load-bearing). *)
+  let topo =
+    match spec.Spec.topology with
+    | Topology.Complete -> Topology.complete n
+    | kind ->
+        Topology.build kind ~n ~rng:(Dstruct.Rng.split (Sim.Engine.rng engine))
+  in
+  if not (Topology.connected topo) then
+    invalid_arg "Network.of_spec: topology is not connected";
+  let chan, has_lossy =
+    match spec.Spec.channels with
+    | None -> ([||], false)
+    | Some f ->
+        let a = Array.make (n * n) Topology.Reliable in
+        let lossy = ref false in
+        for src = 0 to n - 1 do
+          for dst = 0 to n - 1 do
+            if src <> dst then begin
+              let c = f ~src ~dst in
+              (match c with
+              | Topology.Fair_lossy _ -> lossy := true
+              | _ -> ());
+              a.((src * n) + dst) <- c
+            end
+          done
+        done;
+        (a, !lossy)
+  in
+  let link_rng =
+    if has_lossy then Some (Dstruct.Rng.split (Sim.Engine.rng engine))
+    else None
+  in
+  (* Any channel array forces the routed path (its classes compose per
+     hop), even over a complete graph where every route is one hop. *)
+  let routed = (not (Topology.is_complete topo)) || Array.length chan > 0 in
   {
     engine;
     n;
+    topo;
+    routed;
+    chan;
+    link_rng;
+    cut_edges = Bytes.empty;
+    degrade_us = [||];
     oracle_us;
-    classify;
+    classify = spec.Spec.classify;
     handlers = Array.make n None;
     crashed = Array.make n false;
     seq = 0;
@@ -108,11 +205,21 @@ let create ?(classify = default_classify) ?(pool = true) ?oracle_us engine ~n
     groups = None;
     dup_until = Sim.Time.zero;
     dup_extra = Sim.Time.zero;
-    pooling = pool;
+    pooling = spec.Spec.pool;
     pool = [||];
     pool_n = 0;
-    batch = n - 1 >= batch_fanout_min;
+    (* Batched fan-out is a property of the direct path only; routed
+       broadcasts schedule first hops individually. *)
+    batch = (not routed) && n - 1 >= batch_fanout_min;
   }
+
+(* Deprecated shim (one PR): [Spec]/[of_spec] is the construction API. *)
+let create ?(classify = default_classify) ?(pool = true) ?oracle_us engine ~n
+    ~oracle =
+  let spec =
+    { Spec.default with Spec.classify; pool; oracle = Some oracle; oracle_us }
+  in
+  of_spec spec engine ~n
 
 let n t = t.n
 let engine t = t.engine
@@ -181,11 +288,14 @@ let dispatch t ~batched ~now ~traced ~info ~src ~dst msg =
   let sink = Sim.Engine.sink t.engine in
   if traced then
     Obs.Sink.emit_send sink ~now:(Sim.Time.to_us now) ~seq ~src ~dst info;
-  (* A partition cuts the link before the oracle is consulted: messages
-     across a group boundary are dropped without drawing delay randomness,
-     so the same plan gives the same stream whatever the oracle. *)
+  (* A partition (or an explicit cut_edge fault) cuts the link before the
+     oracle is consulted: messages across the cut are dropped without
+     drawing delay randomness, so the same plan gives the same stream
+     whatever the oracle. *)
   let cut =
-    match t.groups with Some g -> g.(src) <> g.(dst) | None -> false
+    (match t.groups with Some g -> g.(src) <> g.(dst) | None -> false)
+    || Bytes.length t.cut_edges > 0
+       && Bytes.unsafe_get t.cut_edges ((src * t.n) + dst) <> '\000'
   in
   if cut then begin
     t.dropped <- t.dropped + 1;
@@ -200,6 +310,10 @@ let dispatch t ~batched ~now ~traced ~info ~src ~dst msg =
         Obs.Sink.emit_drop sink ~now:(Sim.Time.to_us now) ~seq ~src ~dst info
     end
     else begin
+      let delay_us =
+        if Array.length t.degrade_us = 0 then delay_us
+        else delay_us + Array.unsafe_get t.degrade_us ((src * t.n) + dst)
+      in
       let delay = Sim.Time.of_us delay_us in
       let flight =
           if t.pool_n = 0 then
@@ -209,6 +323,7 @@ let dispatch t ~batched ~now ~traced ~info ~src ~dst msg =
               fseq = seq;
               fsrc = src;
               fdst = dst;
+              fvia = dst;
               fmsg = msg;
               finfo = info;
               frecycle = t.pooling;
@@ -242,6 +357,155 @@ let dispatch t ~batched ~now ~traced ~info ~src ~dst msg =
     end
   end
 
+(* ---- Routed dispatch (DESIGN.md §17) ----------------------------------
+
+   A routed send walks the precomputed shortest path one scheduled hop at
+   a time, reusing ONE pooled flight record for the whole trip: [forward]
+   applies the outgoing edge's fault and channel state, asks the oracle
+   for the hop delay, stamps [fvia] and schedules [hop_arrive] through the
+   packed [call_after]; [hop_arrive] either finishes through the shared
+   [deliver] (same latch-then-release, same Deliver event with the
+   original [sent_at]/[src]) or emits a Hop and forwards again. The
+   oracle is consulted per hop with the ORIGINAL (seq, src, dst) — the
+   scenario's per-link policies (victim blocks, winning order) keep their
+   meaning, they are just drawn once per hop. Drops before the oracle
+   (cut edge, partition boundary, fair-lossy coin) emit Link_drop naming
+   the hop and draw no delay randomness; an oracle drop stays the legacy
+   end-to-end Drop event. *)
+
+let acquire t ~now ~seq ~src ~dst ~info msg =
+  if t.pool_n = 0 then
+    {
+      net = t;
+      sent_at = now;
+      fseq = seq;
+      fsrc = src;
+      fdst = dst;
+      fvia = dst;
+      fmsg = msg;
+      finfo = info;
+      frecycle = t.pooling;
+    }
+  else begin
+    let k = t.pool_n - 1 in
+    t.pool_n <- k;
+    let f = t.pool.(k) in
+    f.sent_at <- now;
+    f.fseq <- seq;
+    f.fsrc <- src;
+    f.fdst <- dst;
+    f.fvia <- dst;
+    f.fmsg <- msg;
+    f.finfo <- info;
+    f.frecycle <- true;
+    f
+  end
+
+let drop_on_link t f ~now ~hop_src ~hop_dst =
+  t.dropped <- t.dropped + 1;
+  let sink = Sim.Engine.sink t.engine in
+  if Obs.Sink.wants sink Obs.Event.c_net then
+    Obs.Sink.emit_link_drop sink
+      ~now:(Sim.Time.to_us now)
+      ~seq:f.fseq ~src:f.fsrc ~dst:f.fdst ~hop_src ~hop_dst f.finfo;
+  if f.frecycle then begin
+    f.frecycle <- false;
+    release t f
+  end
+
+let rec forward t f ~now ~extra_us u =
+  let dst = f.fdst in
+  let v = Topology.next_hop t.topo ~src:u ~dst in
+  if v < 0 then drop_on_link t f ~now ~hop_src:u ~hop_dst:u
+  else begin
+    let e = (u * t.n) + v in
+    let cut =
+      (match t.groups with Some g -> g.(u) <> g.(v) | None -> false)
+      || Bytes.length t.cut_edges > 0
+         && Bytes.unsafe_get t.cut_edges e <> '\000'
+      || Array.length t.chan > 0
+         && (match Array.unsafe_get t.chan e with
+            | Topology.Fair_lossy p -> (
+                match t.link_rng with
+                | Some rng -> Dstruct.Rng.chance rng p
+                | None -> false)
+            | _ -> false)
+    in
+    if cut then drop_on_link t f ~now ~hop_src:u ~hop_dst:v
+    else begin
+      let delay_us = t.oracle_us ~now ~seq:f.fseq ~src:f.fsrc ~dst f.fmsg in
+      if delay_us < 0 then begin
+        t.dropped <- t.dropped + 1;
+        let sink = Sim.Engine.sink t.engine in
+        if Obs.Sink.wants sink Obs.Event.c_net then
+          Obs.Sink.emit_drop sink
+            ~now:(Sim.Time.to_us now)
+            ~seq:f.fseq ~src:f.fsrc ~dst f.finfo;
+        if f.frecycle then begin
+          f.frecycle <- false;
+          release t f
+        end
+      end
+      else begin
+        let delay_us =
+          if Array.length t.chan = 0 then delay_us
+          else
+            match Array.unsafe_get t.chan e with
+            | Topology.Eventually_timely { gst; bound } ->
+                let b = Sim.Time.to_us bound in
+                if Sim.Time.(now >= gst) && delay_us > b then b else delay_us
+            | _ -> delay_us
+        in
+        let delay_us =
+          if Array.length t.degrade_us = 0 then delay_us
+          else delay_us + Array.unsafe_get t.degrade_us e
+        in
+        f.fvia <- v;
+        Sim.Engine.call_after t.engine
+          (Sim.Time.of_us (delay_us + extra_us))
+          hop_arrive f
+      end
+    end
+  end
+
+and hop_arrive f =
+  let t = f.net in
+  let v = f.fvia in
+  if v = f.fdst then deliver f
+  else begin
+    let now = Sim.Engine.now t.engine in
+    (* The relay halted with the message in hand: the hop consumed it. *)
+    if t.crashed.(v) then drop_on_link t f ~now ~hop_src:v ~hop_dst:v
+    else begin
+      let sink = Sim.Engine.sink t.engine in
+      if Obs.Sink.wants sink Obs.Event.c_net then
+        Obs.Sink.emit_hop sink
+          ~now:(Sim.Time.to_us now)
+          ~seq:f.fseq ~src:f.fsrc ~dst:f.fdst ~via:v f.finfo;
+      forward t f ~now ~extra_us:0 v
+    end
+  end
+
+let () = Sim.Checkpoint.register ~id:13 hop_arrive
+
+let dispatch_routed t ~now ~traced ~info ~src ~dst msg =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  t.sent <- t.sent + 1;
+  let sink = Sim.Engine.sink t.engine in
+  if traced then
+    Obs.Sink.emit_send sink ~now:(Sim.Time.to_us now) ~seq ~src ~dst info;
+  let f = acquire t ~now ~seq ~src ~dst ~info msg in
+  forward t f ~now ~extra_us:0 src;
+  if Sim.Time.(now < t.dup_until) then begin
+    (* Unlike the direct path, a routed duplicate cannot share the
+       original's record (every hop mutates it), so it travels as its own
+       flight — and both can recycle. The [dup_extra] lag lands on the
+       duplicate's first hop. *)
+    let g = acquire t ~now ~seq ~src ~dst ~info msg in
+    forward t g ~now ~extra_us:(Sim.Time.to_us t.dup_extra) src
+  end
+
 let send t ~src ~dst msg =
   check_pid t src ~op:"send";
   check_pid t dst ~op:"send";
@@ -250,7 +514,8 @@ let send t ~src ~dst msg =
     let sink = Sim.Engine.sink t.engine in
     let traced = Obs.Sink.wants sink Obs.Event.c_net in
     let info = if traced then t.classify msg else Obs.Event.no_info in
-    dispatch t ~batched:false ~now ~traced ~info ~src ~dst msg
+    if t.routed then dispatch_routed t ~now ~traced ~info ~src ~dst msg
+    else dispatch t ~batched:false ~now ~traced ~info ~src ~dst msg
   end
 
 let broadcast t ~src msg =
@@ -262,7 +527,8 @@ let broadcast t ~src msg =
     let info = if traced then t.classify msg else Obs.Event.no_info in
     for dst = 0 to t.n - 1 do
       if dst <> src then
-        dispatch t ~batched:t.batch ~now ~traced ~info ~src ~dst msg
+        if t.routed then dispatch_routed t ~now ~traced ~info ~src ~dst msg
+        else dispatch t ~batched:t.batch ~now ~traced ~info ~src ~dst msg
     done;
     if t.batch then Sim.Engine.batch_commit t.engine
   end
@@ -275,7 +541,8 @@ let broadcast_all t ~src msg =
     let traced = Obs.Sink.wants sink Obs.Event.c_net in
     let info = if traced then t.classify msg else Obs.Event.no_info in
     for dst = 0 to t.n - 1 do
-      dispatch t ~batched:t.batch ~now ~traced ~info ~src ~dst msg
+      if t.routed then dispatch_routed t ~now ~traced ~info ~src ~dst msg
+      else dispatch t ~batched:t.batch ~now ~traced ~info ~src ~dst msg
     done;
     if t.batch then Sim.Engine.batch_commit t.engine
   end
@@ -300,6 +567,57 @@ let set_dup_burst t ~until ~extra =
     invalid_arg "Network.set_dup_burst: negative extra delay";
   t.dup_until <- until;
   t.dup_extra <- extra
+
+let set_edge_cut t ~a ~b on =
+  check_pid t a ~op:"set_edge_cut";
+  check_pid t b ~op:"set_edge_cut";
+  if a = b then invalid_arg "Network.set_edge_cut: a = b";
+  if Bytes.length t.cut_edges = 0 then begin
+    if not on then () else t.cut_edges <- Bytes.make (t.n * t.n) '\000'
+  end;
+  if Bytes.length t.cut_edges > 0 then begin
+    let v = if on then '\001' else '\000' in
+    Bytes.set t.cut_edges ((a * t.n) + b) v;
+    Bytes.set t.cut_edges ((b * t.n) + a) v
+  end
+
+let set_edge_degrade t ~a ~b ~extra_us =
+  check_pid t a ~op:"set_edge_degrade";
+  check_pid t b ~op:"set_edge_degrade";
+  if a = b then invalid_arg "Network.set_edge_degrade: a = b";
+  if extra_us < 0 then
+    invalid_arg "Network.set_edge_degrade: negative extra delay";
+  if Array.length t.degrade_us = 0 then begin
+    if extra_us = 0 then () else t.degrade_us <- Array.make (t.n * t.n) 0
+  end;
+  if Array.length t.degrade_us > 0 then begin
+    t.degrade_us.((a * t.n) + b) <- extra_us;
+    t.degrade_us.((b * t.n) + a) <- extra_us
+  end
+
+let set_rack_cut t ~rack on =
+  let groups = Topology.group_count t.topo in
+  if groups = 0 then
+    invalid_arg "Network.set_rack_cut: topology has no racks/LANs";
+  if rack < 0 || rack >= groups then
+    invalid_arg "Network.set_rack_cut: rack out of range";
+  if Bytes.length t.cut_edges = 0 && on then
+    t.cut_edges <- Bytes.make (t.n * t.n) '\000';
+  if Bytes.length t.cut_edges > 0 then begin
+    let v = if on then '\001' else '\000' in
+    for i = 0 to t.n - 1 do
+      for j = 0 to t.n - 1 do
+        if
+          i <> j
+          && (Topology.group_of t.topo i = rack)
+             <> (Topology.group_of t.topo j = rack)
+        then Bytes.set t.cut_edges ((i * t.n) + j) v
+      done
+    done
+  end
+
+let topology t = t.topo
+let diameter t = Topology.diameter t.topo
 
 let is_crashed t i =
   check_pid t i ~op:"is_crashed";

@@ -10,7 +10,13 @@
 
     Crash faults: a crashed process neither sends nor receives from the crash
     time on (its handler is never invoked again), which is exactly premature
-    halting. *)
+    halting.
+
+    Beyond the paper's model, a network can be built over a {!Topology}
+    (with per-edge {!Topology.channel} classes): sends are then routed hop
+    by hop over precomputed shortest paths, each hop drawing its own delay
+    from the oracle. The complete default is observationally identical to
+    the historical direct-dispatch network. See DESIGN.md §17. *)
 
 type pid = int
 
@@ -33,30 +39,75 @@ type 'm delay_oracle_us =
 
 type 'm t
 
-(** [create engine ~n ~oracle] is a network for processes [0 .. n-1].
+(** The construction spec, a builder record mirroring [Run.Spec]:
 
-    [classify] projects a message into the monomorphic {!Obs.Event.msg_info}
-    carried by [Send]/[Deliver]/[Drop] events on the engine's sink (see
-    {!Sim.Engine.set_sink}): a static kind string, the assumption-relevant
-    round ([-1] when none, mirroring [round_of] returning [None] — the
-    {!Scenarios.Checker} keys on it), and the wire size. Defaults to
-    {!Obs.Event.no_info}. It is only invoked when a sink wants [c_net]
-    events, so the untraced path never calls it.
+    {[
+      Net.Spec.default
+      |> Net.Spec.with_oracle_us oracle_us
+      |> Net.Spec.with_topology Net.Topology.Ring
+      |> Net.Spec.with_classify classify
+      |> fun spec -> Net.Network.of_spec spec engine ~n
+    ]}
 
-    [oracle_us], when given, takes precedence over [oracle] for every
-    per-message decision ([oracle] is then never called): the two must
-    agree if both are meaningful. The boxed [oracle] remains the primary
-    API — a missing [oracle_us] is adapted once at creation, preserving
-    behaviour (including the negative-delay rejection) at the cost of the
-    per-message verdict box.
+    (Also exposed as {!Net.Spec} at the library level.) Field semantics:
 
-    [pool] (default [true]) recycles in-flight message records through a
-    network-local freelist: a delivery latches its fields and releases the
-    record before invoking the handler, so steady-state traffic allocates
-    no flight records at all. Pooling changes no observable value — the
-    event stream is bit-identical either way ([pool:false] exists for A/B
-    allocation measurements). The pool is network-local state like the
-    handlers: never share a network across parallel pool tasks. *)
+    - [with_classify] projects a message into the monomorphic
+      {!Obs.Event.msg_info} carried by net events on the engine's sink
+      (see {!Sim.Engine.set_sink}): a static kind string, the
+      assumption-relevant round ([-1] when none — the {!Scenarios.Checker}
+      keys on it), and the wire size. Default {!Obs.Event.no_info}; only
+      invoked when a sink wants [c_net] events.
+    - [with_oracle] / [with_oracle_us] set the delay oracle; at least one
+      is required. The precedence rule lives here, not in prose:
+      {e [oracle_us] wins whenever both are set} ([oracle] is then never
+      called; the two must agree if both are meaningful). A spec with only
+      the boxed [oracle] is adapted once at creation, preserving behaviour
+      (including the negative-delay rejection) at the cost of the
+      per-message verdict box.
+    - [with_pool] (default [true]) recycles in-flight message records
+      through a network-local freelist: a delivery latches its fields and
+      releases the record before invoking the handler, so steady-state
+      traffic allocates no flight records at all. Pooling changes no
+      observable value ([pool:false] exists for A/B allocation
+      measurements). The pool is network-local state like the handlers:
+      never share a network across parallel pool tasks.
+    - [with_topology] (default {!Topology.Complete}) selects the graph.
+      Non-complete kinds route every send hop by hop over precomputed
+      shortest paths (see {!Topology} and DESIGN.md §17); the complete
+      default is the paper's model and keeps the legacy direct-dispatch
+      path, bit for bit.
+    - [with_channels] assigns a {!Topology.channel} class to every
+      directed edge (consulted once per ordered pair at construction).
+      Channel classes compose {e before} the delay oracle the way
+      partitions cut traffic: a fair-lossy hop drops without drawing
+      delay randomness, an eventually-timely hop clamps the oracle's
+      delay to its bound once [now >= gst]. Giving channels — even all
+      [Reliable] — selects the routed path. *)
+module Spec : sig
+  type 'm t
+
+  val default : 'm t
+  val with_classify : ('m -> Obs.Event.msg_info) -> 'm t -> 'm t
+  val with_pool : bool -> 'm t -> 'm t
+  val with_oracle : 'm delay_oracle -> 'm t -> 'm t
+  val with_oracle_us : 'm delay_oracle_us -> 'm t -> 'm t
+  val with_topology : Topology.kind -> 'm t -> 'm t
+
+  val with_channels :
+    (src:pid -> dst:pid -> Topology.channel) -> 'm t -> 'm t
+end
+
+(** [of_spec spec engine ~n] is a network for processes [0 .. n-1].
+    Raises [Invalid_argument] if [spec] carries no oracle of either
+    flavour, or if the topology is not connected. A non-complete topology
+    splits its routing-table stream off the engine seed (and a second
+    stream for fair-lossy coins when some edge needs one); the complete
+    reliable default splits nothing, so legacy digests are unchanged. *)
+val of_spec : 'm Spec.t -> Sim.Engine.t -> n:int -> 'm t
+
+(** [create engine ~n ~oracle] — deprecated shim over {!of_spec}, kept one
+    PR for the migration: equivalent to [Spec.default] with the given
+    options and [with_oracle oracle]. New code should build a {!Spec.t}. *)
 val create :
   ?classify:('m -> Obs.Event.msg_info) ->
   ?pool:bool ->
@@ -111,8 +162,31 @@ val set_partition : 'm t -> int array option -> unit
 
 (** [set_dup_burst t ~until ~extra] makes every send with [now < until]
     deliver twice, the duplicate [extra] after the original — the fair-lossy
-    model's "finite duplication" exercised en masse (see {!Retransmit}). *)
+    model's "finite duplication" exercised en masse (see {!Retransmit}).
+    On a routed network the duplicate travels as its own flight with
+    [extra] added to its first hop. *)
 val set_dup_burst : 'm t -> until:Sim.Time.t -> extra:Sim.Time.t -> unit
+
+(** [set_edge_cut t ~a ~b on] cuts (or heals) the undirected edge
+    [a]<->[b]: messages attempting that hop are dropped before the delay
+    oracle runs, exactly like a partition boundary. On the complete graph
+    this cuts the direct link; on a routed topology it cuts the physical
+    edge, so every route through it. Routing tables are NOT recomputed —
+    faults cut traffic, not the map (the paper's model repairs links, it
+    does not re-plan around them). *)
+val set_edge_cut : 'm t -> a:pid -> b:pid -> bool -> unit
+
+(** [set_edge_degrade t ~a ~b ~extra_us] adds [extra_us] to every delay
+    the oracle assigns across [a]<->[b] (both directions); [0] restores.
+    Applied after the oracle (and after any eventually-timely clamp), so a
+    degraded edge can exceed channel bounds — that is the fault. *)
+val set_edge_degrade : 'm t -> a:pid -> b:pid -> extra_us:int -> unit
+
+(** [set_rack_cut t ~rack on] cuts (or heals) every edge with exactly one
+    endpoint in [rack] — isolating one rack/LAN of a {!Topology.Fat_tree}
+    or {!Topology.Wan_of_lans}. Raises [Invalid_argument] on topologies
+    without racks. *)
+val set_rack_cut : 'm t -> rack:int -> bool -> unit
 
 (** Ids of processes that have not crashed. *)
 val correct : 'm t -> pid list
@@ -124,3 +198,10 @@ val sent_count : 'm t -> int
 
 val delivered_count : 'm t -> int
 val dropped_count : 'm t -> int
+
+(** The topology the network was built with ({!Topology.complete} for the
+    default), and its diameter — the multi-hop stretch factor the checker
+    and {!Scenarios.Scenario.arrival_bound} apply on routed runs. *)
+val topology : 'm t -> Topology.t
+
+val diameter : 'm t -> int

@@ -22,11 +22,22 @@ type 'm t = {
 
 let link t src dst = (src * t.n) + dst
 
-let create ?(max_pending = 256) engine ~n ~oracle ~resend_every =
+let create ?(max_pending = 256) ?(topology = Topology.Complete) ?channels
+    engine ~n ~oracle ~resend_every =
   if max_pending <= 0 then
     invalid_arg "Retransmit.create: max_pending must be positive";
+  let spec =
+    Network.Spec.default
+    |> Network.Spec.with_oracle oracle
+    |> Network.Spec.with_topology topology
+  in
+  let spec =
+    match channels with
+    | None -> spec
+    | Some f -> Network.Spec.with_channels f spec
+  in
   {
-    net = Network.create engine ~n ~oracle;
+    net = Network.of_spec spec engine ~n;
     engine;
     rng = Dstruct.Rng.split (Sim.Engine.rng engine);
     n;

@@ -34,9 +34,16 @@ type 'm t
     count it in {!shed} instead of queueing. Refusing the newest (rather
     than evicting the oldest) keeps the queue a contiguous seq range, which
     the receiver's in-order cursor requires; shed payloads are simply lost,
-    as on any fair-lossy link, and callers that need them re-offer. *)
+    as on any fair-lossy link, and callers that need them re-offer.
+
+    [topology] / [channels] configure the internal network's graph and
+    per-edge reliability classes (see {!Network.Spec}): the canonical use
+    is per-edge {!Topology.Fair_lossy} channels under this layer, which
+    then delivers exactly-once in-order anyway — the footnote's point. *)
 val create :
   ?max_pending:int ->
+  ?topology:Topology.kind ->
+  ?channels:(src:pid -> dst:pid -> Topology.channel) ->
   Sim.Engine.t ->
   n:int ->
   oracle:'m envelope Network.delay_oracle ->

@@ -1,0 +1,215 @@
+(* Topology kinds and per-edge channel classes (DESIGN.md §17).
+
+   A built topology is a routing table ({!Dstruct.Topo}) plus the rack/LAN
+   grouping the fault plans target. Construction is deterministic: the
+   structured kinds (ring, grid, fat-tree, WAN-of-LANs) draw nothing from
+   the RNG stream they are handed, and the random-geometric kind draws its
+   point set in pid order from that stream alone — so the same engine seed
+   always yields the same graph, whatever else the run does. The complete
+   kind builds no table at all: it is the legacy direct-dispatch network
+   and must stay observationally identical to it. *)
+
+type kind =
+  | Complete
+  | Ring
+  | Grid
+  | Random_geometric of { radius : float }
+  | Fat_tree of { rack : int }
+  | Wan_of_lans of { lan : int }
+
+type channel =
+  | Reliable
+  | Fair_lossy of float
+  | Eventually_timely of { gst : Sim.Time.t; bound : Sim.Time.t }
+
+type t = {
+  kind : kind;
+  n : int;
+  table : Dstruct.Topo.t option;  (* None = complete graph *)
+  group : int array;  (* rack/LAN id per pid; [||] when the kind has none *)
+  group_count : int;
+}
+
+let kind t = t.kind
+let n t = t.n
+let is_complete t = Option.is_none t.table
+
+let complete n =
+  if n <= 0 then invalid_arg "Topology.complete: n must be positive";
+  { kind = Complete; n; table = None; group = [||]; group_count = 0 }
+
+(* Sorted, deduplicated neighbour sets from an edge predicate. The sort is
+   cosmetic (Topo canonicalizes next hops itself) but keeps the adjacency
+   readable in the debugger. *)
+let adjacency n edge =
+  Array.init n (fun i ->
+      let rec collect j acc =
+        if j < 0 then acc
+        else collect (j - 1) (if j <> i && edge i j then j :: acc else acc)
+      in
+      collect (n - 1) [])
+
+let ring_adj n = adjacency n (fun i j -> (i + 1) mod n = j || (j + 1) mod n = i)
+
+let grid_adj n =
+  let cols = int_of_float (ceil (sqrt (float_of_int n))) in
+  adjacency n (fun i j ->
+      let ri = i / cols and ci = i mod cols in
+      let rj = j / cols and cj = j mod cols in
+      (ri = rj && abs (ci - cj) = 1) || (ci = cj && abs (ri - rj) = 1))
+
+(* Racks of [rack] consecutive pids, complete inside; the lowest pid of
+   each rack is its gateway (top-of-rack uplink), and the gateways form a
+   complete core — diameter <= 3 whatever n. *)
+let fat_tree_adj ~rack n =
+  adjacency n (fun i j ->
+      i / rack = j / rack
+      || (i mod rack = 0 && j mod rack = 0))
+
+(* Complete LANs of [lan] consecutive pids; the lowest pid of each LAN is
+   its border gateway, and the gateways sit on a WAN ring — diameter grows
+   with the number of sites, unlike the fat tree's flat core. *)
+let wan_adj ~lan n =
+  let sites = (n + lan - 1) / lan in
+  adjacency n (fun i j ->
+      i / lan = j / lan
+      || (i mod lan = 0 && j mod lan = 0 && sites > 1
+         && ((i / lan + 1) mod sites = j / lan
+            || (j / lan + 1) mod sites = i / lan)))
+
+(* Unit-square points drawn in pid order (x then y), edges within [radius].
+   A sparse draw can disconnect the graph; the repair is deterministic too:
+   while some node is unreachable from 0, bridge the closest
+   (reached, unreached) pair — ties broken by pid — and retry. *)
+let geometric_adj ~radius ~rng n =
+  if radius <= 0. then
+    invalid_arg "Topology.build: random-geometric radius must be positive";
+  let xs = Array.make n 0. and ys = Array.make n 0. in
+  for i = 0 to n - 1 do
+    xs.(i) <- Dstruct.Rng.float rng 1.0;
+    ys.(i) <- Dstruct.Rng.float rng 1.0
+  done;
+  let d2 i j =
+    let dx = xs.(i) -. xs.(j) and dy = ys.(i) -. ys.(j) in
+    (dx *. dx) +. (dy *. dy)
+  in
+  let r2 = radius *. radius in
+  let extra = Hashtbl.create 8 in
+  let edge i j = d2 i j <= r2 || Hashtbl.mem extra (min i j, max i j) in
+  let reached () =
+    let seen = Array.make n false in
+    let stack = ref [ 0 ] in
+    seen.(0) <- true;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | u :: rest ->
+          stack := rest;
+          for v = 0 to n - 1 do
+            if v <> u && (not seen.(v)) && edge u v then begin
+              seen.(v) <- true;
+              stack := v :: !stack
+            end
+          done
+    done;
+    seen
+  in
+  let rec repair () =
+    let seen = reached () in
+    if Array.exists not seen then begin
+      let best = ref (-1, -1) and best_d = ref infinity in
+      for u = 0 to n - 1 do
+        if seen.(u) then
+          for v = 0 to n - 1 do
+            if not seen.(v) then begin
+              let d = d2 u v in
+              if d < !best_d then begin
+                best_d := d;
+                best := (u, v)
+              end
+            end
+          done
+      done;
+      let u, v = !best in
+      Hashtbl.replace extra (min u v, max u v) ();
+      repair ()
+    end
+  in
+  repair ();
+  adjacency n edge
+
+let build kind ~n ~rng =
+  if n <= 0 then invalid_arg "Topology.build: n must be positive";
+  match kind with
+  | Complete -> complete n
+  | Ring ->
+      let table = Dstruct.Topo.of_adjacency (ring_adj n) in
+      { kind; n; table = Some table; group = [||]; group_count = 0 }
+  | Grid ->
+      let table = Dstruct.Topo.of_adjacency (grid_adj n) in
+      { kind; n; table = Some table; group = [||]; group_count = 0 }
+  | Random_geometric { radius } ->
+      let table = Dstruct.Topo.of_adjacency (geometric_adj ~radius ~rng n) in
+      { kind; n; table = Some table; group = [||]; group_count = 0 }
+  | Fat_tree { rack } ->
+      if rack < 1 then invalid_arg "Topology.build: rack size must be >= 1";
+      let table = Dstruct.Topo.of_adjacency (fat_tree_adj ~rack n) in
+      let group = Array.init n (fun i -> i / rack) in
+      {
+        kind;
+        n;
+        table = Some table;
+        group;
+        group_count = ((n - 1) / rack) + 1;
+      }
+  | Wan_of_lans { lan } ->
+      if lan < 1 then invalid_arg "Topology.build: lan size must be >= 1";
+      let table = Dstruct.Topo.of_adjacency (wan_adj ~lan n) in
+      let group = Array.init n (fun i -> i / lan) in
+      {
+        kind;
+        n;
+        table = Some table;
+        group;
+        group_count = ((n - 1) / lan) + 1;
+      }
+
+let next_hop t ~src ~dst =
+  match t.table with
+  | None -> dst
+  | Some table -> Dstruct.Topo.next_hop table ~src ~dst
+
+let dist t ~src ~dst =
+  match t.table with
+  | None -> if src = dst then 0 else 1
+  | Some table -> Dstruct.Topo.dist table ~src ~dst
+
+let diameter t =
+  match t.table with
+  | None -> if t.n > 1 then 1 else 0
+  | Some table -> Dstruct.Topo.diameter table
+
+let connected t =
+  match t.table with None -> true | Some table -> Dstruct.Topo.connected table
+
+let group_count t = t.group_count
+
+let group_of t i =
+  if Array.length t.group = 0 then -1 else t.group.(i)
+
+let kind_of_string = function
+  | "complete" -> Some Complete
+  | "ring" -> Some Ring
+  | "grid" -> Some Grid
+  | "rgg" -> Some (Random_geometric { radius = 0.35 })
+  | "fattree" -> Some (Fat_tree { rack = 4 })
+  | "wan" -> Some (Wan_of_lans { lan = 4 })
+  | _ -> None
+
+let kind_to_string = function
+  | Complete -> "complete"
+  | Ring -> "ring"
+  | Grid -> "grid"
+  | Random_geometric _ -> "rgg"
+  | Fat_tree _ -> "fattree"
+  | Wan_of_lans _ -> "wan"

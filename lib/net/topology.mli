@@ -1,0 +1,80 @@
+(** Network topologies and per-edge channel classes (DESIGN.md §17).
+
+    The paper's model is a complete graph of reliable links; this module
+    is the generalization axis (López, Rajsbaum, Raynal & Vargas):
+    multi-hop routing over a structured graph, with a reliability class
+    per undirected edge. A built topology is immutable — precomputed
+    next-hop tables ({!Dstruct.Topo}) plus the rack/LAN grouping that
+    {!Fault.Plan.cut_rack} targets.
+
+    Construction is deterministic. {!build} is handed an RNG stream (the
+    network splits one off the engine seed); only {!Random_geometric}
+    draws from it — in pid order, before anything else — so the same seed
+    always yields the same graph, and the structured kinds do not depend
+    on the stream at all. *)
+
+type kind =
+  | Complete  (** the paper's model; no routing, the legacy direct path *)
+  | Ring  (** pid i <-> i+1 mod n; diameter n/2 *)
+  | Grid  (** ~sqrt n x sqrt n mesh, row-major pids *)
+  | Random_geometric of { radius : float }
+      (** unit-square points, edges within [radius]; deterministically
+          bridged if the draw disconnects *)
+  | Fat_tree of { rack : int }
+      (** complete racks of [rack] consecutive pids; the lowest pid of
+          each rack is its gateway, gateways form a complete core
+          (diameter <= 3) *)
+  | Wan_of_lans of { lan : int }
+      (** complete LANs of [lan] consecutive pids; LAN gateways sit on a
+          WAN ring, so diameter grows with the number of sites *)
+
+(** Per-edge reliability class, composed {e before} the delay oracle the
+    way partitions cut traffic: a fair-lossy coin drops the hop without
+    drawing delay randomness, and an eventually-timely promise clamps the
+    oracle's delay to [bound] once [now >= gst]. *)
+type channel =
+  | Reliable
+  | Fair_lossy of float  (** per-hop loss probability *)
+  | Eventually_timely of { gst : Sim.Time.t; bound : Sim.Time.t }
+
+type t
+
+(** [complete n] is the no-table complete graph ({!Complete} without an
+    RNG); {!build} returns it for [Complete]. *)
+val complete : int -> t
+
+(** [build kind ~n ~rng] precomputes the routing tables for [kind] over
+    pids [0 .. n-1]. Only {!Random_geometric} draws from [rng]. *)
+val build : kind -> n:int -> rng:Dstruct.Rng.t -> t
+
+val kind : t -> kind
+val n : t -> int
+val is_complete : t -> bool
+
+(** [next_hop t ~src ~dst] is the canonical first relay toward [dst]
+    ([dst] itself when adjacent or complete; [-1] if unreachable — built
+    kinds are always connected, but a fault plan cannot disconnect the
+    table, only the traffic). No bounds check: called once per hop. *)
+val next_hop : t -> src:int -> dst:int -> int
+
+(** Shortest-path hop count ([1] for every distinct pair when complete). *)
+val dist : t -> src:int -> dst:int -> int
+
+(** Worst-case hop count; the factor by which {!Scenarios.Scenario.arrival_bound}
+    and the checker's timeliness bound stretch on routed runs. *)
+val diameter : t -> int
+
+val connected : t -> bool
+
+(** Rack/LAN grouping: [group_count] is [0] for kinds without one
+    ({!Fat_tree} and {!Wan_of_lans} have [ceil (n / size)] groups), and
+    [group_of t i] is [i]'s group id ([-1] when there is none). *)
+val group_count : t -> int
+
+val group_of : t -> int -> int
+
+(** CLI names: ["complete"], ["ring"], ["grid"], ["rgg"] (radius 0.35),
+    ["fattree"] (racks of 4), ["wan"] (LANs of 4). *)
+val kind_of_string : string -> kind option
+
+val kind_to_string : kind -> string

@@ -124,6 +124,35 @@ let add t ev =
       mix_int t pid;
       mix_int t target;
       mix_int t level
+  | Event.Hop { now; seq; src; dst; via; kind; round; bytes } ->
+      mix_int t now;
+      mix_int t seq;
+      mix_int t src;
+      mix_int t dst;
+      mix_int t via;
+      mix_string t kind;
+      mix_int t round;
+      mix_int t bytes
+  | Event.Link_drop { now; seq; src; dst; hop_src; hop_dst; kind; round; bytes }
+    ->
+      mix_int t now;
+      mix_int t seq;
+      mix_int t src;
+      mix_int t dst;
+      mix_int t hop_src;
+      mix_int t hop_dst;
+      mix_string t kind;
+      mix_int t round;
+      mix_int t bytes
+  | Event.Edge_fault { now; a; b; state } ->
+      mix_int t now;
+      mix_int t a;
+      mix_int t b;
+      mix_int t state
+  | Event.Rack_fault { now; rack; state } ->
+      mix_int t now;
+      mix_int t rack;
+      mix_int t state
 
 (* The scalar lane folds exactly what [add] folds for the corresponding
    event — same tag, same field order — without the event ever existing. *)
@@ -160,6 +189,31 @@ let scalar t =
         mix_int t seq;
         mix_int t src;
         mix_int t dst;
+        mix_string t info.kind;
+        mix_int t info.round;
+        mix_int t info.bytes);
+    s_hop =
+      (fun ~now ~seq ~src ~dst ~via (info : Event.msg_info) ->
+        t.events <- t.events + 1;
+        mix_int t Event.tag_hop;
+        mix_int t now;
+        mix_int t seq;
+        mix_int t src;
+        mix_int t dst;
+        mix_int t via;
+        mix_string t info.kind;
+        mix_int t info.round;
+        mix_int t info.bytes);
+    s_link_drop =
+      (fun ~now ~seq ~src ~dst ~hop_src ~hop_dst (info : Event.msg_info) ->
+        t.events <- t.events + 1;
+        mix_int t Event.tag_link_drop;
+        mix_int t now;
+        mix_int t seq;
+        mix_int t src;
+        mix_int t dst;
+        mix_int t hop_src;
+        mix_int t hop_dst;
         mix_string t info.kind;
         mix_int t info.round;
         mix_int t info.bytes);

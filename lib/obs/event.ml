@@ -47,6 +47,29 @@ type t =
   | Adversary_move of { now : int; target : int }
   | Relay_round of { now : int; pid : int; rn : int; stale : int }
   | Accusation of { now : int; pid : int; target : int; level : int }
+  | Hop of {
+      now : int;
+      seq : int;
+      src : int;
+      dst : int;
+      via : int;
+      kind : string;
+      round : int;
+      bytes : int;
+    }
+  | Link_drop of {
+      now : int;
+      seq : int;
+      src : int;
+      dst : int;
+      hop_src : int;
+      hop_dst : int;
+      kind : string;
+      round : int;
+      bytes : int;
+    }
+  | Edge_fault of { now : int; a : int; b : int; state : int }
+  | Rack_fault of { now : int; rack : int; state : int }
 
 let c_engine = 1
 let c_timer = 2
@@ -61,11 +84,12 @@ let all =
 let class_of = function
   | Sched _ | Fire _ | Cancel _ -> c_engine
   | Timer_fire _ -> c_timer
-  | Send _ | Deliver _ | Drop _ | Duplicate _ -> c_net
+  | Send _ | Deliver _ | Drop _ | Duplicate _ | Hop _ | Link_drop _ -> c_net
   | Round_open _ | Round_close _ | Suspicion _ | Leader_change _
   | Relay_round _ | Accusation _ -> c_omega
   | Ballot_open _ | Decided _ -> c_consensus
-  | Partition _ | Recover _ | Adversary_move _ -> c_fault
+  | Partition _ | Recover _ | Adversary_move _ | Edge_fault _ | Rack_fault _
+    -> c_fault
 
 let name = function
   | Sched _ -> "sched"
@@ -87,6 +111,10 @@ let name = function
   | Adversary_move _ -> "adversary_move"
   | Relay_round _ -> "relay_round"
   | Accusation _ -> "accusation"
+  | Hop _ -> "hop"
+  | Link_drop _ -> "link_drop"
+  | Edge_fault _ -> "edge_fault"
+  | Rack_fault _ -> "rack_fault"
 
 (* Small integer tags for digesting; must stay stable across PRs or pinned
    digests in tests/CI change meaning. Append-only. The named constants are
@@ -95,6 +123,8 @@ let name = function
 let tag_send = 5
 let tag_deliver = 6
 let tag_drop = 7
+let tag_hop = 20
+let tag_link_drop = 21
 
 let tag = function
   | Sched _ -> 1
@@ -116,6 +146,10 @@ let tag = function
   | Adversary_move _ -> 17
   | Relay_round _ -> 18
   | Accusation _ -> 19
+  | Hop _ -> tag_hop
+  | Link_drop _ -> tag_link_drop
+  | Edge_fault _ -> 22
+  | Rack_fault _ -> 23
 
 let time = function
   | Sched { now; _ }
@@ -136,7 +170,11 @@ let time = function
   | Recover { now; _ }
   | Adversary_move { now; _ }
   | Relay_round { now; _ }
-  | Accusation { now; _ } -> now
+  | Accusation { now; _ }
+  | Hop { now; _ }
+  | Link_drop { now; _ }
+  | Edge_fault { now; _ }
+  | Rack_fault { now; _ } -> now
 
 let pp ppf ev =
   match ev with
@@ -179,6 +217,16 @@ let pp ppf ev =
   | Accusation { now; pid; target; level } ->
       Format.fprintf ppf "[%d] p%d accusation target=%d level=%d" now pid
         target level
+  | Hop { now; seq; src; dst; via; kind; round; bytes } ->
+      Format.fprintf ppf "[%d] hop #%d %d->%d via %d %s rn=%d %dB" now seq
+        src dst via kind round bytes
+  | Link_drop { now; seq; src; dst; hop_src; hop_dst; kind; round; bytes } ->
+      Format.fprintf ppf "[%d] link_drop #%d %d->%d at %d->%d %s rn=%d %dB"
+        now seq src dst hop_src hop_dst kind round bytes
+  | Edge_fault { now; a; b; state } ->
+      Format.fprintf ppf "[%d] edge_fault %d<->%d state=%d" now a b state
+  | Rack_fault { now; rack; state } ->
+      Format.fprintf ppf "[%d] rack_fault rack=%d state=%d" now rack state
 
 (* One JSON object per event, written without a trailing newline. All field
    values are ints or static ASCII kind strings, so no escaping is needed. *)
@@ -248,5 +296,33 @@ let to_json buf ev =
   | Accusation { pid; target; level; _ } ->
       field buf "pid" pid;
       field buf "target" target;
-      field buf "level" level);
+      field buf "level" level
+  | Hop { seq; src; dst; via; kind; round; bytes; _ } ->
+      field buf "seq" seq;
+      field buf "src" src;
+      field buf "dst" dst;
+      field buf "via" via;
+      add_string buf ",\"kind\":\"";
+      add_string buf kind;
+      add_string buf "\"";
+      field buf "rn" round;
+      field buf "bytes" bytes
+  | Link_drop { seq; src; dst; hop_src; hop_dst; kind; round; bytes; _ } ->
+      field buf "seq" seq;
+      field buf "src" src;
+      field buf "dst" dst;
+      field buf "hop_src" hop_src;
+      field buf "hop_dst" hop_dst;
+      add_string buf ",\"kind\":\"";
+      add_string buf kind;
+      add_string buf "\"";
+      field buf "rn" round;
+      field buf "bytes" bytes
+  | Edge_fault { a; b; state; _ } ->
+      field buf "a" a;
+      field buf "b" b;
+      field buf "state" state
+  | Rack_fault { rack; state; _ } ->
+      field buf "rack" rack;
+      field buf "state" state);
   add_string buf "}"

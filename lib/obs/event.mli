@@ -75,6 +75,38 @@ type t =
   | Accusation of { now : int; pid : int; target : int; level : int }
       (** communication-efficient variant: [pid] broadcast an accusation
           against its silent relay [target] at suspicion [level] *)
+  | Hop of {
+      now : int;
+      seq : int;
+      src : int;
+      dst : int;
+      via : int;
+      kind : string;
+      round : int;
+      bytes : int;
+    }
+      (** routed topology: message [seq] on its way [src]->[dst] was
+          forwarded by the intermediate relay [via] *)
+  | Link_drop of {
+      now : int;
+      seq : int;
+      src : int;
+      dst : int;
+      hop_src : int;
+      hop_dst : int;
+      kind : string;
+      round : int;
+      bytes : int;
+    }
+      (** routed topology: message [seq] ([src]->[dst] end to end) was lost
+          on the hop [hop_src]->[hop_dst] — edge cut, fair-lossy coin, no
+          route, or a crashed relay ([hop_src = hop_dst] for the last two) *)
+  | Edge_fault of { now : int; a : int; b : int; state : int }
+      (** fault plan: the undirected edge [a]<->[b] changed state
+          ([0] cut, [1] healed, [2] degraded, [3] degradation lifted) *)
+  | Rack_fault of { now : int; rack : int; state : int }
+      (** fault plan: every edge crossing the boundary of [rack] was cut
+          ([state = 0]) or healed ([state = 1]) *)
 
 (** {2 Event classes}
 
@@ -101,12 +133,15 @@ val name : t -> string
     Append-only: renumbering silently changes every pinned digest. *)
 val tag : t -> int
 
-(** [tag (Send _)], [tag (Deliver _)], [tag (Drop _)] as constants, for
-    scalar-lane consumers that have the fields but no event value. *)
+(** [tag (Send _)], [tag (Deliver _)], [tag (Drop _)], [tag (Hop _)] and
+    [tag (Link_drop _)] as constants, for scalar-lane consumers that have
+    the fields but no event value. *)
 val tag_send : int
 
 val tag_deliver : int
 val tag_drop : int
+val tag_hop : int
+val tag_link_drop : int
 
 (** The [now] field, whichever constructor. *)
 val time : t -> int

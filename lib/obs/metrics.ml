@@ -24,6 +24,10 @@ type t = {
   mutable adversary_moves : int;
   mutable relay_rounds : int;
   mutable accusations : int;
+  mutable hops : int;
+  mutable link_drops : int;
+  mutable edge_faults : int;
+  mutable rack_faults : int;
 }
 
 (* Counters + one delay histogram: everything the sink touches is O(1) per
@@ -48,6 +52,10 @@ let create ?(mask = Event.all) () =
     adversary_moves = 0;
     relay_rounds = 0;
     accusations = 0;
+    hops = 0;
+    link_drops = 0;
+    edge_faults = 0;
+    rack_faults = 0;
   }
 
 let kind_cell t kind =
@@ -87,6 +95,12 @@ let add t ev =
   | Event.Adversary_move _ -> t.adversary_moves <- t.adversary_moves + 1
   | Event.Relay_round _ -> t.relay_rounds <- t.relay_rounds + 1
   | Event.Accusation _ -> t.accusations <- t.accusations + 1
+  | Event.Hop _ -> t.hops <- t.hops + 1
+  | Event.Link_drop { kind; _ } ->
+      t.link_drops <- t.link_drops + 1;
+      (kind_cell t kind).dropped <- (kind_cell t kind).dropped + 1
+  | Event.Edge_fault _ -> t.edge_faults <- t.edge_faults + 1
+  | Event.Rack_fault _ -> t.rack_faults <- t.rack_faults + 1
 
 let sink t = Sink.make ~mask:t.mask (add t)
 
@@ -121,6 +135,10 @@ let recoveries t = t.recoveries
 let adversary_moves t = t.adversary_moves
 let relay_rounds t = t.relay_rounds
 let accusations t = t.accusations
+let hops t = t.hops
+let link_drops t = t.link_drops
+let edge_faults t = t.edge_faults
+let rack_faults t = t.rack_faults
 let delivery_delay_us t = t.delivery_delay_us
 
 let pp_summary ppf t =
@@ -144,6 +162,11 @@ let pp_summary ppf t =
   if t.relay_rounds > 0 || t.accusations > 0 then
     Format.fprintf ppf "@,relay: rounds=%d accusations=%d" t.relay_rounds
       t.accusations;
+  if t.hops > 0 || t.link_drops > 0 then
+    Format.fprintf ppf "@,routing: hops=%d link_drops=%d" t.hops t.link_drops;
+  if t.edge_faults > 0 || t.rack_faults > 0 then
+    Format.fprintf ppf "@,edges: edge_faults=%d rack_faults=%d" t.edge_faults
+      t.rack_faults;
   if t.scheduled > 0 then
     Format.fprintf ppf "@,engine: scheduled=%d fired=%d cancelled=%d"
       t.scheduled t.fired t.cancelled;

@@ -55,6 +55,17 @@ val relay_rounds : t -> int
 
 val accusations : t -> int
 
+(** {2 Routed-topology counters}
+
+    [link_drops] also count into the per-kind [dropped] column — a message
+    lost mid-route is a dropped message, whichever hop lost it. *)
+
+val hops : t -> int
+
+val link_drops : t -> int
+val edge_faults : t -> int
+val rack_faults : t -> int
+
 (** Transfer delays of delivered messages, in microseconds. *)
 val delivery_delay_us : t -> Dstruct.Stats.t
 

@@ -17,6 +17,23 @@ type scalar = {
     unit;
   s_drop :
     now:int -> seq:int -> src:int -> dst:int -> Event.msg_info -> unit;
+  s_hop :
+    now:int ->
+    seq:int ->
+    src:int ->
+    dst:int ->
+    via:int ->
+    Event.msg_info ->
+    unit;
+  s_link_drop :
+    now:int ->
+    seq:int ->
+    src:int ->
+    dst:int ->
+    hop_src:int ->
+    hop_dst:int ->
+    Event.msg_info ->
+    unit;
 }
 
 type t = { mask : int; emit : Event.t -> unit; scalar : scalar option }
@@ -77,6 +94,42 @@ let emit_drop t ~now ~seq ~src ~dst (info : Event.msg_info) =
              seq;
              src;
              dst;
+             kind = info.kind;
+             round = info.round;
+             bytes = info.bytes;
+           })
+
+let emit_hop t ~now ~seq ~src ~dst ~via (info : Event.msg_info) =
+  match t.scalar with
+  | Some s -> s.s_hop ~now ~seq ~src ~dst ~via info
+  | None ->
+      t.emit
+        (Event.Hop
+           {
+             now;
+             seq;
+             src;
+             dst;
+             via;
+             kind = info.kind;
+             round = info.round;
+             bytes = info.bytes;
+           })
+
+let emit_link_drop t ~now ~seq ~src ~dst ~hop_src ~hop_dst
+    (info : Event.msg_info) =
+  match t.scalar with
+  | Some s -> s.s_link_drop ~now ~seq ~src ~dst ~hop_src ~hop_dst info
+  | None ->
+      t.emit
+        (Event.Link_drop
+           {
+             now;
+             seq;
+             src;
+             dst;
+             hop_src;
+             hop_dst;
              kind = info.kind;
              round = info.round;
              bytes = info.bytes;
@@ -161,6 +214,50 @@ let tee sinks =
                           seq;
                           src;
                           dst;
+                          kind = info.Event.kind;
+                          round = info.Event.round;
+                          bytes = info.Event.bytes;
+                        }
+                    in
+                    Array.iter (fun s -> s.emit ev) recs
+                  end);
+              s_hop =
+                (fun ~now ~seq ~src ~dst ~via info ->
+                  Array.iter
+                    (fun s -> s.s_hop ~now ~seq ~src ~dst ~via info)
+                    scalars;
+                  if Array.length recs > 0 then begin
+                    let ev =
+                      Event.Hop
+                        {
+                          now;
+                          seq;
+                          src;
+                          dst;
+                          via;
+                          kind = info.Event.kind;
+                          round = info.Event.round;
+                          bytes = info.Event.bytes;
+                        }
+                    in
+                    Array.iter (fun s -> s.emit ev) recs
+                  end);
+              s_link_drop =
+                (fun ~now ~seq ~src ~dst ~hop_src ~hop_dst info ->
+                  Array.iter
+                    (fun s ->
+                      s.s_link_drop ~now ~seq ~src ~dst ~hop_src ~hop_dst info)
+                    scalars;
+                  if Array.length recs > 0 then begin
+                    let ev =
+                      Event.Link_drop
+                        {
+                          now;
+                          seq;
+                          src;
+                          dst;
+                          hop_src;
+                          hop_dst;
                           kind = info.Event.kind;
                           round = info.Event.round;
                           bytes = info.Event.bytes;

@@ -39,6 +39,23 @@ type scalar = {
     unit;
   s_drop :
     now:int -> seq:int -> src:int -> dst:int -> Event.msg_info -> unit;
+  s_hop :
+    now:int ->
+    seq:int ->
+    src:int ->
+    dst:int ->
+    via:int ->
+    Event.msg_info ->
+    unit;
+  s_link_drop :
+    now:int ->
+    seq:int ->
+    src:int ->
+    dst:int ->
+    hop_src:int ->
+    hop_dst:int ->
+    Event.msg_info ->
+    unit;
 }
 
 (** Mask [0]: wants nothing, [emit] is [ignore]. The default everywhere. *)
@@ -73,6 +90,30 @@ val emit_deliver :
 
 val emit_drop :
   t -> now:int -> seq:int -> src:int -> dst:int -> Event.msg_info -> unit
+
+(** Fast-lane emission of the per-hop routed-topology events (Hop and
+    Link_drop), same contract as {!emit_send}: call only under a
+    [wants t Event.c_net] guard. *)
+val emit_hop :
+  t ->
+  now:int ->
+  seq:int ->
+  src:int ->
+  dst:int ->
+  via:int ->
+  Event.msg_info ->
+  unit
+
+val emit_link_drop :
+  t ->
+  now:int ->
+  seq:int ->
+  src:int ->
+  dst:int ->
+  hop_src:int ->
+  hop_dst:int ->
+  Event.msg_info ->
+  unit
 
 val mask : t -> int
 val is_null : t -> bool

@@ -41,6 +41,7 @@ type t = {
   rng : Dstruct.Rng.t;
   me : pid;
   mutable hb_rn : int;  (* own heartbeat round; sending and receiving clock *)
+  hop_slack : int;  (* extra staleness rounds a routed topology adds *)
   (* Struct-of-arrays suspicion rows, shared across the cluster like the
      gossip family's (DESIGN.md §14): this process's level vector is the
      row of [store.susp] at [base = me * n]. *)
@@ -82,14 +83,20 @@ type t = {
    (async_base = 3 rounds at the defaults) plus send jitter — with margin,
    so only victim blocks longer than this register. Adaptive in the
    target's level so repeated victimization self-limits, mirroring the
-   Figure family's adaptive timeouts. *)
-let stale_slack t k = 6 + t.susp.(t.base + k)
+   Figure family's adaptive timeouts. On a routed topology every message
+   crosses up to [diameter] links, each a fresh oracle draw — one
+   heartbeat period plus the async cap per hop, the same ~4-round budget
+   the complete-graph constant absorbs once — so [hop_slack] adds that
+   budget for every extra hop (it is 0 when complete, keeping the pinned
+   digests). *)
+let stale_slack t k = 6 + t.hop_slack + t.susp.(t.base + k)
 
 (* Monitor miss budget, in monitor periods: consecutive AGGREGATE arrivals
    from a live relay can gap by one heartbeat period plus the async cap
    (~4 monitor periods under the tight config), so the budget starts above
-   that and adapts with the relay's level. *)
-let miss_slack t k = 5 + t.susp.(t.base + k)
+   that and adapts with the relay's level — plus the routed hop slack,
+   like [stale_slack]. *)
+let miss_slack t k = 5 + t.hop_slack + t.susp.(t.base + k)
 
 let halted t = Net.Network.is_crashed t.net t.me
 
@@ -342,6 +349,7 @@ let create_node cfg net ~store ~me =
       rng = Dstruct.Rng.split (Sim.Engine.rng engine);
       me;
       hb_rn = 0;
+      hop_slack = 4 * max 0 (Net.Network.diameter net - 1);
       store;
       susp = store.Store.susp;
       base = me * n;

@@ -73,7 +73,8 @@ let center_arrival t ~q ~rn ~center =
       in
       scan 1 in_order
 
-let verify ?(masked = fun _ -> false) t ~upto_round ~crashed =
+let verify ?(masked = fun _ -> false) ?(stretch = 1) t ~upto_round ~crashed =
+  if stretch < 1 then invalid_arg "Checker.verify: stretch must be >= 1";
   let p = Scenario.params t.scenario in
   let winning_rank = p.Scenario.n - p.Scenario.t in
   let rounds_checked = ref 0 in
@@ -101,9 +102,15 @@ let verify ?(masked = fun _ -> false) t ~upto_round ~crashed =
               incr points_checked;
               if crashed q then incr crashed_ok
               else begin
+                (* [stretch] is the routed network's diameter: each hop is
+                   its own timely draw, so a δ + g(s) promise per link
+                   becomes hops * (δ + g(s)) end to end. *)
                 let delta_bound =
-                  Sim.Time.add p.Scenario.delta
-                    (Scenario.g_function t.scenario rn)
+                  Sim.Time.of_us
+                    (stretch
+                    * Sim.Time.to_us
+                        (Sim.Time.add p.Scenario.delta
+                           (Scenario.g_function t.scenario rn)))
                 in
                 match center_arrival t ~q ~rn ~center with
                 | `Found (pos, delay) ->

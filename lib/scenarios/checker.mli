@@ -57,6 +57,15 @@ val sink : t -> Obs.Sink.t
     entirely — used by fault plans for rounds whose messages could be in
     flight during a partition or crash–recovery window, when the
     assumption's promise is deliberately suspended (see
-    [Harness.Run]). Masked rounds are counted in [rounds_masked]. *)
+    [Harness.Run]). Masked rounds are counted in [rounds_masked].
+
+    [stretch] (default 1) scales the timeliness bound to
+    [stretch * (δ + g s)]: on a routed topology each hop draws its own
+    timely delay, so the harness passes the network diameter. *)
 val verify :
-  ?masked:(int -> bool) -> t -> upto_round:int -> crashed:(pid -> bool) -> report
+  ?masked:(int -> bool) ->
+  ?stretch:int ->
+  t ->
+  upto_round:int ->
+  crashed:(pid -> bool) ->
+  report

@@ -52,7 +52,8 @@ let center_at t rn = Scenario.center_at_round t.regime rn
    engine only when a wrapper is requested — a lossless [build] leaves the
    engine's stream exactly where hand-wiring left it, which keeps plan-free
    digests byte-identical across the API migration. *)
-let build ?(flight_pool = true) t engine =
+let build ?(flight_pool = true) ?(topology = Net.Topology.Complete)
+    ?(channel = Net.Topology.Reliable) t engine =
   let scenario =
     Scenario.create t.params t.regime ~seed:t.scenario_seed
   in
@@ -65,6 +66,21 @@ let build ?(flight_pool = true) t engine =
     Scenario.oracle_rn scenario ~round_of:Scenario.round_rn_of_omega ~now ~seq
       ~src ~dst msg
   in
+  let spec =
+    Net.Spec.default
+    |> Net.Spec.with_classify t.classify
+    |> Net.Spec.with_pool flight_pool
+    |> Net.Spec.with_topology topology
+  in
+  (* A channel selector — even a uniform one — switches the network to the
+     routed path, so only install one when the row asked for a non-default
+     class: the complete/Reliable default must stay on the legacy direct
+     dispatch, digests included. *)
+  let spec =
+    match channel with
+    | Net.Topology.Reliable -> spec
+    | c -> Net.Spec.with_channels (fun ~src:_ ~dst:_ -> c) spec
+  in
   let net =
     match t.lossy with
     | None ->
@@ -75,16 +91,19 @@ let build ?(flight_pool = true) t engine =
           Scenario.oracle_us scenario ~round_of:Scenario.round_rn_of_omega
             ~now ~seq ~src ~dst msg
         in
-        Net.Network.create ~classify:t.classify ~pool:flight_pool ~oracle_us
-          engine ~n:t.config.Omega.Config.n ~oracle
+        Net.Network.of_spec
+          (spec |> Net.Spec.with_oracle oracle
+          |> Net.Spec.with_oracle_us oracle_us)
+          engine ~n:t.config.Omega.Config.n
     | Some (loss, burst) ->
         let oracle =
           Net.Lossy.wrap ~loss ~burst
             ~rng:(Dstruct.Rng.split (Sim.Engine.rng engine))
             ~n:t.config.Omega.Config.n oracle
         in
-        Net.Network.create ~classify:t.classify ~pool:flight_pool engine
-          ~n:t.config.Omega.Config.n ~oracle
+        Net.Network.of_spec
+          (spec |> Net.Spec.with_oracle oracle)
+          engine ~n:t.config.Omega.Config.n
   in
   (scenario, net)
 

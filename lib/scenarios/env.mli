@@ -49,14 +49,24 @@ val center : t -> pid option
 (** The center in charge of round [rn]. *)
 val center_at : t -> int -> pid option
 
-(** [build t engine] instantiates the scenario and network for one engine.
-    Both are run-local: call once per simulation stack. When [lossy] is
-    set, one RNG stream is split off the engine for the wrapper; a
-    lossless build draws nothing from the engine. [flight_pool] (default
-    [true]) is passed to {!Net.Network.create}'s [pool] — set it to
-    [false] only for A/B allocation measurements. *)
+(** [build t engine] instantiates the scenario and network for one engine
+    (through {!Net.Network.of_spec}). Both are run-local: call once per
+    simulation stack. When [lossy] is set, one RNG stream is split off the
+    engine for the wrapper; a lossless build over the default topology
+    draws nothing from the engine. [flight_pool] (default [true]) feeds
+    the spec's [with_pool] — set it to [false] only for A/B allocation
+    measurements.
+
+    [topology] (default [Complete]) selects the network graph, and
+    [channel] (default [Reliable]) applies one channel class uniformly to
+    every edge; any non-default value of either switches the network to
+    the routed multi-hop path (fresh digests). Heterogeneous per-edge
+    channel maps are a [Net.Spec.with_channels] affair — build the network
+    by hand for those. *)
 val build :
   ?flight_pool:bool ->
+  ?topology:Net.Topology.kind ->
+  ?channel:Net.Topology.channel ->
   t ->
   Sim.Engine.t ->
   Scenario.t * Omega.Message.t Net.Network.t

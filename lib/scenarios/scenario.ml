@@ -557,7 +557,8 @@ let oracle t ~round_of ~now ~seq ~src ~dst msg =
   let rn = match round_of msg with None -> -1 | Some rn -> rn in
   Net.Network.Deliver_after (Sim.Time.of_us (delay_us_of t ~now ~src ~dst rn))
 
-let arrival_bound t rn =
+let arrival_bound ?(hops = 1) t rn =
+  if hops < 1 then invalid_arg "Scenario.arrival_bound: hops must be >= 1";
   let u = u_bound t rn in
   let async_cap =
     us t.p.async_base
@@ -565,7 +566,10 @@ let arrival_bound t rn =
   in
   let winning_cap = winning_lag t rn + (3 * us t.p.order_gap) in
   let timely_cap = us t.p.delta + us (g_function t rn) in
-  Sim.Time.of_us (u + max async_cap (max winning_cap timely_cap))
+  (* Routed topologies redraw the oracle per hop, so the worst case is
+     [hops] maximal draws end to end; the factor keeps the bound monotone
+     in [rn] (each cap is) and in [hops]. *)
+  Sim.Time.of_us (u + (hops * max async_cap (max winning_cap timely_cap)))
 
 (* The adversary's projection: which messages the round-tagged delay
    policies (victim blocks, timely/winning star points) apply to. ALIVE for

@@ -173,8 +173,13 @@ val oracle_us : t -> round_of:('m -> int) -> 'm Net.Network.delay_oracle_us
 (** [arrival_bound t rn] is an upper bound on the arrival time of any
     round-[rn] ALIVE that is not victim-delayed, across all delay policies.
     Harnesses use it to pick the checker's verification horizon: every round
-    whose bound lies before the run's end has fully arrived. *)
-val arrival_bound : t -> int -> Sim.Time.t
+    whose bound lies before the run's end has fully arrived.
+
+    [hops] (default 1) is the network diameter on routed topologies: every
+    hop draws its own delay from the oracle, so the worst case multiplies.
+    The bound is monotone in [rn] for every fixed [hops] (the property
+    test pins this) and monotone in [hops]. *)
+val arrival_bound : ?hops:int -> t -> int -> Sim.Time.t
 
 (** [round_of] for the core algorithm's messages. *)
 val round_of_omega : Omega.Message.t -> int option

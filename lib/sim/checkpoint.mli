@@ -26,6 +26,9 @@
       10 Fault.Injector    apply_dup
       11 Fault.Injector    activate
       12 Harness.Run       sample_task
+      13 Net.Network       hop_arrive
+      14 Fault.Injector    apply_edge
+      15 Fault.Injector    apply_rack
     v}
 
     New entries take the next free id and are recorded in this list. *)

@@ -97,6 +97,34 @@ let prop_arrival_bound_monotone =
       in
       Sim.Time.(Scenario.arrival_bound s rn <= Scenario.arrival_bound s (rn + 1)))
 
+(* ... and monotone in the hop count: a routed topology stretches the
+   bound by its diameter (DESIGN.md §17), never shrinks it. *)
+let prop_arrival_bound_monotone_hops =
+  QCheck.Test.make ~name:"arrival bound monotone in hops" ~count:50
+    QCheck.(triple (int_range 0 8) (int_range 1 2000) (int_range 1 8))
+    (fun (which, rn, hops) ->
+      let n = 8 and t = 3 in
+      let regime =
+        match which with
+        | 0 -> Scenario.Full_timely
+        | 1 -> Scenario.T_source { center = 6 }
+        | 2 -> Scenario.Moving_source { center = 6 }
+        | 3 -> Scenario.Message_pattern { center = 6 }
+        | 4 -> Scenario.Combined { center = 6 }
+        | 5 -> Scenario.Rotating_star { center = 6 }
+        | 6 -> Scenario.Intermittent_star { center = 6; d = 5 }
+        | 7 -> Scenario.Growing_star { center = 6; d = 5; g_step = ms 2 }
+        | _ -> Scenario.Chaos
+      in
+      let s =
+        Scenario.create (Scenario.default_params ~n ~t ~beta:(ms 10)) regime
+          ~seed:3L
+      in
+      Sim.Time.(
+        Scenario.arrival_bound ~hops s rn
+        <= Scenario.arrival_bound ~hops:(hops + 1) s rn)
+      && Scenario.arrival_bound ~hops:1 s rn = Scenario.arrival_bound s rn)
+
 (* Atomic broadcast delivers identical sequences under random workloads
    (random submitters, random submission times), with a mid-run crash. *)
 let prop_broadcast_total_order =
@@ -182,6 +210,7 @@ let () =
           qtest prop_eventual_leadership;
           qtest prop_lattice_full_stack;
           qtest prop_arrival_bound_monotone;
+          qtest prop_arrival_bound_monotone_hops;
           qtest prop_broadcast_total_order;
           qtest prop_retransmit_exactly_once;
         ] );
