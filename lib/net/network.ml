@@ -5,8 +5,15 @@ type verdict = Deliver_after of Sim.Time.t | Drop
 type 'm delay_oracle =
   now:Sim.Time.t -> seq:int -> src:pid -> dst:pid -> 'm -> verdict
 
+(* The unboxed oracle additionally names the executor [at] — the process
+   whose code performs the draw: the sender on the direct path, the
+   relaying node on routed hops. Scenario oracles key their jitter streams
+   on it (one stream per executor), which is what makes the draw sequence
+   a pure function of each process's local computation — the property the
+   intra-run parallel mode needs (DESIGN.md §18). The boxed [delay_oracle]
+   keeps its arity for compatibility; adapted boxed oracles ignore [at]. *)
 type 'm delay_oracle_us =
-  now:Sim.Time.t -> seq:int -> src:pid -> dst:pid -> 'm -> int
+  now:Sim.Time.t -> seq:int -> at:pid -> src:pid -> dst:pid -> 'm -> int
 
 (* Minimum broadcast fan-out (n - 1) for the batched wheel path; see the
    [batch] field below. *)
@@ -19,13 +26,14 @@ type 'm t = {
      path; it is false exactly when the topology is complete AND no
      channel classes were given, and then none of the fields below are
      ever read on the hot path — the legacy direct dispatch is untouched.
-     [chan] is flat n*n ([||] = all Reliable); [link_rng] exists only
-     when some edge is fair-lossy, so reliable builds leave the engine's
+     [chan] is flat n*n ([||] = all Reliable); [link_rngs] is non-empty
+     only when some edge is fair-lossy (one stream per executor, indexed
+     by the hop's sending node), so reliable builds leave the engine's
      stream where the legacy constructor left it. *)
   topo : Topology.t;
   routed : bool;
   chan : Topology.channel array;
-  link_rng : Dstruct.Rng.t option;
+  link_rngs : Dstruct.Rng.t array;
   (* Edge-level fault surfaces, lazily materialized n*n (length 0 until a
      plan first touches them, so plan-free runs pay one length check). *)
   mutable cut_edges : Bytes.t;
@@ -38,7 +46,11 @@ type 'm t = {
   classify : 'm -> Obs.Event.msg_info;
   handlers : (src:pid -> 'm -> unit) option array;
   crashed : bool array;
-  mutable seq : int;
+  (* Per-source sequence counters: [seqs.(src)] numbers [src]'s sends
+     0, 1, 2, … so a message's (src, seq) pair depends only on the
+     sender's own history, never on how sends of different processes
+     interleave — interleaving-invariant like the jitter streams. *)
+  seqs : int array;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -64,6 +76,19 @@ type 'm t = {
      (−19%). The event stream is bit-identical either way; this is a
      clock-only choice, fixed per network at [create]. *)
   batch : bool;
+  (* Intra-run sharding (DESIGN.md §18), all inert by default. [shard_of]
+     maps each pid to its owning shard ([||] = sequential mode, the only
+     state the hot path ever checks); [my_shard] is this replica's index
+     (-1 on the control network the fault injector mutates);
+     [outboxes.(s)] accumulates cross-shard event creations bound for
+     shard [s] (newest first; the barrier commit sorts canonically); and
+     [siblings] — every replica of the run including this one — is the
+     fan-out list the fault mutators keep in lockstep so a barrier-time
+     partition or crash lands on all shards at once. *)
+  mutable shard_of : int array;
+  mutable my_shard : int;
+  mutable outboxes : 'm xmsg list array;
+  mutable siblings : 'm t array;
 }
 
 (* The in-flight message, packed into one record: scheduling a delivery is
@@ -94,12 +119,30 @@ and 'm flight = {
   mutable frecycle : bool;
 }
 
+(* A cross-shard event creation in transit between a window and its
+   barrier: the canonical identity ([x_key]/[x_cidx]) was drawn on the
+   creating shard by {!Sim.Engine.stamp}; everything else is what
+   [commit_inbox] needs to materialize a flight from the owning replica's
+   pool. Plain immutable records — they live only between barriers, and
+   the barrier runs on the main domain. *)
+and 'm xmsg = {
+  x_key : int;
+  x_cidx : int;
+  x_sent_at : Sim.Time.t;
+  x_seq : int;
+  x_src : pid;
+  x_dst : pid;
+  x_via : pid;
+  x_msg : 'm;
+  x_info : Obs.Event.msg_info;
+}
+
 let default_classify _ = Obs.Event.no_info
 
 (* Adapter for boxed oracles: one closure per network, not per message; the
    box itself is still paid on this compatibility path (the caller's oracle
    allocates it), which is why hot setups pass [oracle_us] directly. *)
-let boxed_oracle_us oracle ~now ~seq ~src ~dst msg =
+let boxed_oracle_us oracle ~now ~seq ~at:_ ~src ~dst msg =
   match oracle ~now ~seq ~src ~dst msg with
   | Deliver_after d ->
       let us = Sim.Time.to_us d in
@@ -178,9 +221,20 @@ let of_spec (spec : 'm Spec.t) engine ~n =
         done;
         (a, !lossy)
   in
-  let link_rng =
-    if has_lossy then Some (Dstruct.Rng.split (Sim.Engine.rng engine))
-    else None
+  (* One fair-lossy coin stream per executor, split in pid order: hop
+     coins at node u come from [link_rngs.(u)], so each node's coin
+     sequence is a function of its own forwarding history only. *)
+  let link_rngs =
+    if not has_lossy then [||]
+    else begin
+      let a =
+        Array.make n (Dstruct.Rng.split (Sim.Engine.rng engine))
+      in
+      for i = 1 to n - 1 do
+        a.(i) <- Dstruct.Rng.split (Sim.Engine.rng engine)
+      done;
+      a
+    end
   in
   (* Any channel array forces the routed path (its classes compose per
      hop), even over a complete graph where every route is one hop. *)
@@ -191,14 +245,14 @@ let of_spec (spec : 'm Spec.t) engine ~n =
     topo;
     routed;
     chan;
-    link_rng;
+    link_rngs;
     cut_edges = Bytes.empty;
     degrade_us = [||];
     oracle_us;
     classify = spec.Spec.classify;
     handlers = Array.make n None;
     crashed = Array.make n false;
-    seq = 0;
+    seqs = Array.make n 0;
     sent = 0;
     delivered = 0;
     dropped = 0;
@@ -211,6 +265,10 @@ let of_spec (spec : 'm Spec.t) engine ~n =
     (* Batched fan-out is a property of the direct path only; routed
        broadcasts schedule first hops individually. *)
     batch = (not routed) && n - 1 >= batch_fanout_min;
+    shard_of = [||];
+    my_shard = -1;
+    outboxes = [||];
+    siblings = [||];
   }
 
 (* Deprecated shim (one PR): [Spec]/[of_spec] is the construction API. *)
@@ -247,6 +305,30 @@ let release t f =
   t.pool.(k) <- f;
   t.pool_n <- k + 1
 
+(* Cross-shard creation (DESIGN.md §18): draw the canonical identity the
+   local [call_after] would have drawn — same [Sched] emission, same
+   creation-counter movement — and buffer the payload for the shard that
+   owns [via] instead of scheduling a flight here. The window barrier
+   materializes it on the owning replica via [commit_inbox]; together the
+   two halves are observationally identical to the local path. *)
+let defer t ~delay ~sent_at ~seq ~src ~dst ~via ~info msg =
+  let time = Sim.Time.add (Sim.Engine.now t.engine) delay in
+  let x_key, x_cidx = Sim.Engine.stamp t.engine time in
+  let s = Array.unsafe_get t.shard_of via in
+  t.outboxes.(s) <-
+    {
+      x_key;
+      x_cidx;
+      x_sent_at = sent_at;
+      x_seq = seq;
+      x_src = src;
+      x_dst = dst;
+      x_via = via;
+      x_msg = msg;
+      x_info = info;
+    }
+    :: t.outboxes.(s)
+
 let deliver f =
   let t = f.net in
   let sent_at = f.sent_at in
@@ -267,6 +349,9 @@ let deliver f =
       Obs.Sink.emit_deliver sink
         ~now:(Sim.Time.to_us (Sim.Engine.now t.engine))
         ~sent_at:(Sim.Time.to_us sent_at) ~seq ~src ~dst finfo;
+    (* The handler is [dst]'s code: everything it schedules (timers, its
+       own sends' deliveries) is created by [dst]. *)
+    Sim.Engine.set_rank t.engine dst;
     match t.handlers.(dst) with
     | Some f -> f ~src msg
     | None -> ()
@@ -282,8 +367,8 @@ let () = Sim.Checkpoint.register ~id:3 deliver
    (seq numbers, Send/Drop/Sched emission, FIFO order) is identical either
    way. *)
 let dispatch t ~batched ~now ~traced ~info ~src ~dst msg =
-  let seq = t.seq in
-  t.seq <- seq + 1;
+  let seq = t.seqs.(src) in
+  t.seqs.(src) <- seq + 1;
   t.sent <- t.sent + 1;
   let sink = Sim.Engine.sink t.engine in
   if traced then
@@ -303,7 +388,7 @@ let dispatch t ~batched ~now ~traced ~info ~src ~dst msg =
       Obs.Sink.emit_drop sink ~now:(Sim.Time.to_us now) ~seq ~src ~dst info
   end
   else begin
-    let delay_us = t.oracle_us ~now ~seq ~src ~dst msg in
+    let delay_us = t.oracle_us ~now ~seq ~at:src ~src ~dst msg in
     if delay_us < 0 then begin
       t.dropped <- t.dropped + 1;
       if traced then
@@ -315,6 +400,18 @@ let dispatch t ~batched ~now ~traced ~info ~src ~dst msg =
         else delay_us + Array.unsafe_get t.degrade_us ((src * t.n) + dst)
       in
       let delay = Sim.Time.of_us delay_us in
+      let cross =
+        Array.length t.shard_of > 0
+        && Array.unsafe_get t.shard_of dst <> t.my_shard
+      in
+      if cross then begin
+        defer t ~delay ~sent_at:now ~seq ~src ~dst ~via:dst ~info msg;
+        if Sim.Time.(now < t.dup_until) then
+          defer t
+            ~delay:(Sim.Time.add delay t.dup_extra)
+            ~sent_at:now ~seq ~src ~dst ~via:dst ~info msg
+      end
+      else begin
       let flight =
           if t.pool_n = 0 then
             {
@@ -353,6 +450,7 @@ let dispatch t ~batched ~now ~traced ~info ~src ~dst msg =
         if batched then
           Sim.Engine.batch_call_after t.engine extra deliver flight
         else Sim.Engine.call_after t.engine extra deliver flight
+      end
       end
     end
   end
@@ -425,15 +523,16 @@ let rec forward t f ~now ~extra_us u =
          && Bytes.unsafe_get t.cut_edges e <> '\000'
       || Array.length t.chan > 0
          && (match Array.unsafe_get t.chan e with
-            | Topology.Fair_lossy p -> (
-                match t.link_rng with
-                | Some rng -> Dstruct.Rng.chance rng p
-                | None -> false)
+            | Topology.Fair_lossy p ->
+                Array.length t.link_rngs > 0
+                && Dstruct.Rng.chance t.link_rngs.(u) p
             | _ -> false)
     in
     if cut then drop_on_link t f ~now ~hop_src:u ~hop_dst:v
     else begin
-      let delay_us = t.oracle_us ~now ~seq:f.fseq ~src:f.fsrc ~dst f.fmsg in
+      let delay_us =
+        t.oracle_us ~now ~seq:f.fseq ~at:u ~src:f.fsrc ~dst f.fmsg
+      in
       if delay_us < 0 then begin
         t.dropped <- t.dropped + 1;
         let sink = Sim.Engine.sink t.engine in
@@ -460,10 +559,26 @@ let rec forward t f ~now ~extra_us u =
           if Array.length t.degrade_us = 0 then delay_us
           else delay_us + Array.unsafe_get t.degrade_us e
         in
-        f.fvia <- v;
-        Sim.Engine.call_after t.engine
-          (Sim.Time.of_us (delay_us + extra_us))
-          hop_arrive f
+        let delay = Sim.Time.of_us (delay_us + extra_us) in
+        let cross =
+          Array.length t.shard_of > 0
+          && Array.unsafe_get t.shard_of v <> t.my_shard
+        in
+        if cross then begin
+          (* The next hop executes on another shard: ship the latched
+             fields and retire the local record — the owning replica's
+             pool provides the flight that finishes the trip. *)
+          defer t ~delay ~sent_at:f.sent_at ~seq:f.fseq ~src:f.fsrc ~dst
+            ~via:v ~info:f.finfo f.fmsg;
+          if f.frecycle then begin
+            f.frecycle <- false;
+            release t f
+          end
+        end
+        else begin
+          f.fvia <- v;
+          Sim.Engine.call_after t.engine delay hop_arrive f
+        end
       end
     end
   end
@@ -482,6 +597,9 @@ and hop_arrive f =
         Obs.Sink.emit_hop sink
           ~now:(Sim.Time.to_us now)
           ~seq:f.fseq ~src:f.fsrc ~dst:f.fdst ~via:v f.finfo;
+      (* The relay [v] is the executor of the next hop: its coin, its
+         jitter draw, its scheduled event. *)
+      Sim.Engine.set_rank t.engine v;
       forward t f ~now ~extra_us:0 v
     end
   end
@@ -489,8 +607,8 @@ and hop_arrive f =
 let () = Sim.Checkpoint.register ~id:13 hop_arrive
 
 let dispatch_routed t ~now ~traced ~info ~src ~dst msg =
-  let seq = t.seq in
-  t.seq <- seq + 1;
+  let seq = t.seqs.(src) in
+  t.seqs.(src) <- seq + 1;
   t.sent <- t.sent + 1;
   let sink = Sim.Engine.sink t.engine in
   if traced then
@@ -547,28 +665,53 @@ let broadcast_all t ~src msg =
     if t.batch then Sim.Engine.batch_commit t.engine
   end
 
-let crash t i =
+(* Fault mutators come in two layers: the [*1] body applies the mutation
+   to ONE replica, and the public entry fans it out over [siblings] when
+   the run is sharded (intra-run parallel mode keeps a full network
+   replica per shard, plus a control replica for the injector — a
+   barrier-time crash or cut must land on all of them at once, or the
+   shards would disagree on link state). [siblings] includes the receiver
+   itself; sequential runs have it empty and take the single-replica
+   path untouched. *)
+
+let crash1 t i =
   check_pid t i ~op:"crash";
   t.crashed.(i) <- true
 
-let recover t i =
+let crash t i =
+  if Array.length t.siblings = 0 then crash1 t i
+  else Array.iter (fun u -> crash1 u i) t.siblings
+
+let recover1 t i =
   check_pid t i ~op:"recover";
   t.crashed.(i) <- false
 
-let set_partition t groups =
+let recover t i =
+  if Array.length t.siblings = 0 then recover1 t i
+  else Array.iter (fun u -> recover1 u i) t.siblings
+
+let set_partition1 t groups =
   (match groups with
   | Some g when Array.length g <> t.n ->
       invalid_arg "Network.set_partition: groups must have length n"
   | _ -> ());
   t.groups <- groups
 
-let set_dup_burst t ~until ~extra =
+let set_partition t groups =
+  if Array.length t.siblings = 0 then set_partition1 t groups
+  else Array.iter (fun u -> set_partition1 u groups) t.siblings
+
+let set_dup_burst1 t ~until ~extra =
   if Sim.Time.(extra < Sim.Time.zero) then
     invalid_arg "Network.set_dup_burst: negative extra delay";
   t.dup_until <- until;
   t.dup_extra <- extra
 
-let set_edge_cut t ~a ~b on =
+let set_dup_burst t ~until ~extra =
+  if Array.length t.siblings = 0 then set_dup_burst1 t ~until ~extra
+  else Array.iter (fun u -> set_dup_burst1 u ~until ~extra) t.siblings
+
+let set_edge_cut1 t ~a ~b on =
   check_pid t a ~op:"set_edge_cut";
   check_pid t b ~op:"set_edge_cut";
   if a = b then invalid_arg "Network.set_edge_cut: a = b";
@@ -581,7 +724,11 @@ let set_edge_cut t ~a ~b on =
     Bytes.set t.cut_edges ((b * t.n) + a) v
   end
 
-let set_edge_degrade t ~a ~b ~extra_us =
+let set_edge_cut t ~a ~b on =
+  if Array.length t.siblings = 0 then set_edge_cut1 t ~a ~b on
+  else Array.iter (fun u -> set_edge_cut1 u ~a ~b on) t.siblings
+
+let set_edge_degrade1 t ~a ~b ~extra_us =
   check_pid t a ~op:"set_edge_degrade";
   check_pid t b ~op:"set_edge_degrade";
   if a = b then invalid_arg "Network.set_edge_degrade: a = b";
@@ -595,7 +742,11 @@ let set_edge_degrade t ~a ~b ~extra_us =
     t.degrade_us.((b * t.n) + a) <- extra_us
   end
 
-let set_rack_cut t ~rack on =
+let set_edge_degrade t ~a ~b ~extra_us =
+  if Array.length t.siblings = 0 then set_edge_degrade1 t ~a ~b ~extra_us
+  else Array.iter (fun u -> set_edge_degrade1 u ~a ~b ~extra_us) t.siblings
+
+let set_rack_cut1 t ~rack on =
   let groups = Topology.group_count t.topo in
   if groups = 0 then
     invalid_arg "Network.set_rack_cut: topology has no racks/LANs";
@@ -616,6 +767,10 @@ let set_rack_cut t ~rack on =
     done
   end
 
+let set_rack_cut t ~rack on =
+  if Array.length t.siblings = 0 then set_rack_cut1 t ~rack on
+  else Array.iter (fun u -> set_rack_cut1 u ~rack on) t.siblings
+
 let topology t = t.topo
 let diameter t = Topology.diameter t.topo
 
@@ -633,3 +788,51 @@ let correct t =
 let sent_count t = t.sent
 let delivered_count t = t.delivered
 let dropped_count t = t.dropped
+
+(* ---- Intra-run sharding barrier API (DESIGN.md §18) ------------------- *)
+
+let set_sharding t ~my_shard ~shard_of ~shards =
+  t.my_shard <- my_shard;
+  t.shard_of <- shard_of;
+  t.outboxes <- Array.make shards []
+
+let link_siblings nets = Array.iter (fun t -> t.siblings <- nets) nets
+
+let drain_outbox t s =
+  let l = t.outboxes.(s) in
+  t.outboxes.(s) <- [];
+  l
+
+let xcompare a b =
+  if a.x_key <> b.x_key then compare a.x_key b.x_key
+  else compare a.x_cidx b.x_cidx
+
+let commit_inbox t lists =
+  (* Keys are globally unique below the cidx tie-break, and (key, cidx)
+     pairs are unique outright, so this sort is a total order: the commit
+     sequence — and hence queue insertion order, which is the residual
+     FIFO tie-break — is independent of how the window interleaved. *)
+  let all = List.sort xcompare (List.concat lists) in
+  List.iter
+    (fun x ->
+      let f =
+        acquire t ~now:x.x_sent_at ~seq:x.x_seq ~src:x.x_src ~dst:x.x_dst
+          ~info:x.x_info x.x_msg
+      in
+      f.fvia <- x.x_via;
+      Sim.Engine.enqueue_committed t.engine ~key:x.x_key ~cidx:x.x_cidx
+        (if t.routed then hop_arrive else deliver)
+        f)
+    all
+
+let channel_floor_us t =
+  if Array.length t.chan = 0 then max_int
+  else
+    Array.fold_left
+      (fun acc c ->
+        match c with
+        | Topology.Eventually_timely { bound; _ } ->
+            let b = Sim.Time.to_us bound in
+            if b < acc then b else acc
+        | _ -> acc)
+      max_int t.chan

@@ -24,8 +24,9 @@ type verdict =
   | Deliver_after of Sim.Time.t  (** transfer delay for this message *)
   | Drop  (** lose the message (extension; not used by the base model) *)
 
-(** The oracle sees the send time, the link and the message, plus a
-    per-message sequence number (total order of sends) for tie-breaking. *)
+(** The oracle sees the send time, the link and the message, plus the
+    sender's per-source sequence number ([seqs.(src)]-th send of [src]) for
+    tie-breaking. *)
 type 'm delay_oracle =
   now:Sim.Time.t -> seq:int -> src:pid -> dst:pid -> 'm -> verdict
 
@@ -33,9 +34,16 @@ type 'm delay_oracle =
     negative value meaning [Drop]. Semantically identical to
     {!delay_oracle}, but the per-message call returns a plain [int] — no
     [Deliver_after] box, which on the simulator's hot path was two words
-    for every message sent ({!Scenarios.Env} passes this flavour). *)
+    for every message sent ({!Scenarios.Env} passes this flavour) — and it
+    additionally receives [at], the {e executor} performing the draw: the
+    sender on the direct path, the relaying node on a routed hop. Oracles
+    that draw randomness must key their streams on [at] (one sub-stream
+    per executor) so the draw sequence is a pure function of each
+    process's local computation — the interleaving-invariance the
+    intra-run parallel mode relies on (DESIGN.md §18). Boxed oracles
+    adapted by {!of_spec} never see [at]. *)
 type 'm delay_oracle_us =
-  now:Sim.Time.t -> seq:int -> src:pid -> dst:pid -> 'm -> int
+  now:Sim.Time.t -> seq:int -> at:pid -> src:pid -> dst:pid -> 'm -> int
 
 type 'm t
 
@@ -205,3 +213,51 @@ val dropped_count : 'm t -> int
 val topology : 'm t -> Topology.t
 
 val diameter : 'm t -> int
+
+(** {2 Intra-run sharded execution (DESIGN.md §18)}
+
+    A conservative-window parallel run keeps one full network replica per
+    shard (plus a control replica for the fault injector), all built from
+    the same seed so their derived streams coincide. Each replica routes
+    events for processes it owns through the normal local path; an event
+    whose {e executor} (delivery target on the direct path, next hop on a
+    routed one) lives on another shard is stamped with its canonical
+    identity ({!Sim.Engine.stamp}) and buffered in a per-target-shard
+    outbox, then materialized on the owning replica at the window barrier.
+    All of this is inert until {!set_sharding}: sequential networks never
+    touch the shard map. *)
+
+(** A buffered cross-shard event creation (opaque outside the barrier
+    protocol: produced by {!drain_outbox}, consumed by {!commit_inbox}). *)
+type 'm xmsg
+
+(** [set_sharding t ~my_shard ~shard_of ~shards] turns on sharded dispatch
+    for this replica: [shard_of.(pid)] is the owning shard of each process,
+    [my_shard] this replica's index ([-1] for the control replica, which
+    owns no process). *)
+val set_sharding : 'm t -> my_shard:int -> shard_of:int array -> shards:int -> unit
+
+(** [link_siblings nets] registers every replica of one run (shards and
+    control) with every other: fault mutators ({!crash}, {!set_partition},
+    {!set_edge_cut}, …) then apply to all replicas at once, keeping link
+    state in lockstep. Mutators only ever run at barriers on the main
+    domain, so no synchronisation is involved. *)
+val link_siblings : 'm t array -> unit
+
+(** [drain_outbox t s] removes and returns this replica's buffered
+    creations bound for shard [s] (unordered). *)
+val drain_outbox : 'm t -> int -> 'm xmsg list
+
+(** [commit_inbox t lists] materializes every buffered creation owned by
+    this replica, in canonical (key, creation index) order — flights come
+    from this replica's pool and are enqueued silently with
+    {!Sim.Engine.enqueue_committed}. Call only at a window barrier, with
+    the target engine's clock at or past every sender's window end. *)
+val commit_inbox : 'm t -> 'm xmsg list list -> unit
+
+(** The smallest delay a channel class can impose on a hop of this
+    network — an eventually-timely clamp can pull any oracle delay down
+    to its bound, so the certified cross-shard lookahead must not exceed
+    the smallest such bound. [max_int] when no channel can shrink a
+    delay. *)
+val channel_floor_us : 'm t -> int

@@ -626,6 +626,8 @@ let create ?store cfg net ~me =
   t
 
 let start t =
+  (* Everything scheduled below is created by this process. *)
+  Sim.Engine.set_rank t.engine t.me;
   Sim.Timer.set (timer_exn t) t.cfg.Config.initial_timeout;
   (* Processes start their sending tasks at unrelated instants (§3: no
      relation between send times of different processes). *)
@@ -638,6 +640,7 @@ let start t =
    crash untouched; only [r_rn] is re-seated by the catch-up rule above.
    The caller must un-crash the transport first ([Net.Network.recover]). *)
 let recover t =
+  Sim.Engine.set_rank t.engine t.me;
   t.catch_up <- true;
   t.sending_epoch <- t.sending_epoch + 1;
   Sim.Timer.set (timer_exn t) t.cfg.Config.initial_timeout;

@@ -40,6 +40,7 @@ let make ?params ?lossy ?(classify = Omega.Message.info)
   { config; params; regime; scenario_seed; lossy; classify }
 
 let config t = t.config
+let is_lossy t = Option.is_some t.lossy
 let params t = t.params
 let regime t = t.regime
 let scenario_seed t = t.scenario_seed
@@ -87,9 +88,9 @@ let build ?(flight_pool = true) ?(topology = Net.Topology.Complete)
         (* The lossless path also hands the network the unboxed oracle
            flavour ([delay_oracle_us]): same draws, same delays, but no
            [Deliver_after] box per message. *)
-        let oracle_us ~now ~seq ~src ~dst msg =
+        let oracle_us ~now ~seq ~at ~src ~dst msg =
           Scenario.oracle_us scenario ~round_of:Scenario.round_rn_of_omega
-            ~now ~seq ~src ~dst msg
+            ~now ~seq ~at ~src ~dst msg
         in
         Net.Network.of_spec
           (spec |> Net.Spec.with_oracle oracle

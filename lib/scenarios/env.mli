@@ -39,6 +39,13 @@ val make :
   t
 
 val config : t -> Omega.Config.t
+
+(** Whether {!build} wraps the oracle in the legacy {!Net.Lossy} layer.
+    Its drop coins come from one stream drawn in global send order —
+    interleaving-dependent, so intra-run parallel execution falls back to
+    sequential on lossy environments (DESIGN.md §18; the fair-lossy
+    {e channel} classes draw per-executor and parallelize fine). *)
+val is_lossy : t -> bool
 val params : t -> Scenario.params
 val regime : t -> Scenario.regime
 val scenario_seed : t -> int64

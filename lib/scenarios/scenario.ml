@@ -86,7 +86,15 @@ type t = {
   p : params;
   regime : regime;
   plan_rng : Dstruct.Rng.t;  (* dedicated stream: draws happen in rn order *)
-  delay_rng : Dstruct.Rng.t;  (* jitter stream: order-insensitive use *)
+  (* Jitter streams, one per executor ([delay_rngs.(at)]): a message's
+     delay draw comes from the stream of the process whose code performs
+     it — the sender on the direct path, the relay on a routed hop — so
+     each stream's draw sequence is a pure function of that process's
+     local computation, never of how processes interleave. This is the
+     interleaving-invariance DESIGN.md §18's intra-run parallel mode
+     rests on; plans ([plan_rng]) stay a single stream because their
+     draws are forced into round order by the high-water marks below. *)
+  delay_rngs : Dstruct.Rng.t array;
   fixed_q : (pid * mode) array;  (* for fixed-set regimes *)
   plans : (int, round_plan) Hashtbl.t;
   mutable memo_rn : int;  (* round of [memo_plan]; 0 = the rn < 1 plan *)
@@ -156,7 +164,14 @@ let create p regime ~seed =
       | Some _ | None -> ()));
   let root = Dstruct.Rng.create seed in
   let plan_rng = Dstruct.Rng.split root in
-  let delay_rng = Dstruct.Rng.split root in
+  (* Split in pid order, so the streams are a function of (seed, n). *)
+  let delay_rngs =
+    let a = Array.make p.n (Dstruct.Rng.split root) in
+    for i = 1 to p.n - 1 do
+      a.(i) <- Dstruct.Rng.split root
+    done;
+    a
+  in
   let fixed_q =
     match regime with
     | T_source { center } | Moving_source { center } ->
@@ -183,7 +198,7 @@ let create p regime ~seed =
     p;
     regime;
     plan_rng;
-    delay_rng;
+    delay_rngs;
     fixed_q;
     plans = Hashtbl.create 256;
     memo_rn = 0;
@@ -431,12 +446,14 @@ let winning_lag t rn =
 (* Timely delays sample the top quarter of the allowed interval: still
    within the promised bound, but maximally adversarial — a generous oracle
    would hide the difference between delta and delta + g(rn). *)
-let timely_delay t rn =
+(* The delay helpers draw from [rng] — the executor's jitter stream,
+   selected once per message in [delay_us_of]. *)
+let timely_delay t rng rn =
   let bound = us t.p.delta + us (g_function t rn) in
   let lo = max (us t.p.min_delay) (bound * 3 / 4) in
-  lo + Dstruct.Rng.int t.delay_rng (max 1 (bound - lo))
+  lo + Dstruct.Rng.int rng (max 1 (bound - lo))
 
-let async_delay t ~now =
+let async_delay t rng ~now =
   let cap =
     (* The float conversions run per message; the default (no growth)
        skips them. *)
@@ -446,7 +463,7 @@ let async_delay t ~now =
       + int_of_float (t.p.async_growth *. float_of_int (us now))
   in
   let lo = us t.p.min_delay in
-  lo + Dstruct.Rng.int t.delay_rng (max 1 cap)
+  lo + Dstruct.Rng.int rng (max 1 cap)
 
 (* Center's winning ALIVE(rn): arrive exactly at the target U(rn)+B(rn),
    which is both late (not timely) and earlier than every competitor. *)
@@ -458,10 +475,10 @@ let winning_center_delay t ~now rn =
    target plus the order gap (plus jitter so competitors are not
    simultaneous). [base] is the delay the competitor would have had anyway
    (possibly a victim delay, which dominates and preserves the order). *)
-let winning_competitor_delay t ~now ~base rn =
+let winning_competitor_delay t rng ~now ~base rn =
   let target =
     u_bound t rn + winning_lag t rn + us t.p.order_gap
-    + Dstruct.Rng.int t.delay_rng (max 1 (us t.p.order_gap))
+    + Dstruct.Rng.int rng (max 1 (us t.p.order_gap))
   in
   max base (target - us now)
 
@@ -476,24 +493,26 @@ let mode_of_point plan dst = Char.code (Bytes.get plan.points dst)
 (* Unconstrained ALIVE(rn): victims look crashed, everyone else is merely
    asynchronous. [center] is [-1] for the center-less regimes (the option
    box would cost two words per message on the oracle path). *)
-let background_delay t ~now ~src ~center rn =
+let background_delay t rng ~now ~src ~center rn =
   if t.victim_override >= 0 then
     if src = t.victim_override then victim_delay_us t rn
-    else async_delay t ~now
+    else async_delay t rng ~now
   else if rn < t.p.rn0 then
-    if src = victim_all t rn then victim_delay_us t rn else async_delay t ~now
+    if src = victim_all t rn then victim_delay_us t rn
+    else async_delay t rng ~now
   else if center < 0 then
-    if src = victim_all t rn then victim_delay_us t rn else async_delay t ~now
+    if src = victim_all t rn then victim_delay_us t rn
+    else async_delay t rng ~now
   else if src <> center && src = victim_among_others t ~center rn then
     victim_delay_us t rn
-  else async_delay t ~now
+  else async_delay t rng ~now
 
-let alive_delay t ~now ~src ~dst rn =
+let alive_delay t rng ~now ~src ~dst rn =
   match t.regime with
   | Full_timely ->
-      if rn >= t.p.rn0 then timely_delay t rn
-      else background_delay t ~now ~src ~center:(-1) rn
-  | Chaos -> background_delay t ~now ~src ~center:(-1) rn
+      if rn >= t.p.rn0 then timely_delay t rng rn
+      else background_delay t rng ~now ~src ~center:(-1) rn
+  | Chaos -> background_delay t rng ~now ~src ~center:(-1) rn
   | T_source _ | Moving_source _ | Message_pattern _ | Combined _
   | Rotating_star _ | Intermittent_star _ | Growing_star _ | Growing_gaps _
   | Failover _ -> (
@@ -501,12 +520,12 @@ let alive_delay t ~now ~src ~dst rn =
       let plan = plan_for t rn in
       if plan.in_s then begin
         let point = mode_of_point plan dst in
-        if point = point_timely && src = center then timely_delay t rn
+        if point = point_timely && src = center then timely_delay t rng rn
         else if point = point_winning && src = center then
           winning_center_delay t ~now rn
         else if point = point_winning then
-          let base = background_delay t ~now ~src ~center rn in
-          winning_competitor_delay t ~now ~base rn
+          let base = background_delay t rng ~now ~src ~center rn in
+          winning_competitor_delay t rng ~now ~base rn
         else if src = center then begin
           if t.victim_override = center then
             (* Adaptive adversary targeting the center: only its
@@ -521,41 +540,52 @@ let alive_delay t ~now ~src ~dst rn =
                    closure still reaches n-t ALIVEs: the receiver itself
                    plus the n-2-t other non-victim senders.) *)
                 victim_delay_us t rn
-            | _ -> async_delay t ~now
+            | _ -> async_delay t rng ~now
         end
-        else background_delay t ~now ~src ~center rn
+        else background_delay t rng ~now ~src ~center rn
       end
       else if rn >= t.p.rn0 && src = center then
         (* Outside S the assumption is silent about the center: the adversary
            victimizes it, which is exactly what separates A from A'. *)
         victim_delay_us t rn
-      else background_delay t ~now ~src ~center rn)
+      else background_delay t rng ~now ~src ~center rn)
 
 (* [rn] is the message's round tag, or [-1] for unconstrained messages —
    the unboxed rendering of [round_of]'s [int option] (ALIVE rounds start
    at 1, so -1 is free). Factored out so both oracle flavours draw exactly
-   the same randomness for the same message. *)
-let delay_us_of t ~now ~src ~dst rn =
+   the same randomness for the same message. [at] selects the executor's
+   jitter stream; the boxed compatibility oracles pass [src] (they never
+   serve routed or intra-parallel runs). *)
+let delay_us_of t ~at ~now ~src ~dst rn =
   if src = dst then us t.p.min_delay
-  else if rn < 0 then
-    match t.regime with
-    | Full_timely -> timely_delay t 0
-    | _ -> async_delay t ~now
-  else alive_delay t ~now ~src ~dst rn
+  else
+    let rng = t.delay_rngs.(at) in
+    if rn < 0 then
+      match t.regime with
+      | Full_timely -> timely_delay t rng 0
+      | _ -> async_delay t rng ~now
+    else alive_delay t rng ~now ~src ~dst rn
 
 let oracle_rn t ~round_of ~now ~seq ~src ~dst msg =
   ignore seq;
   Net.Network.Deliver_after
-    (Sim.Time.of_us (delay_us_of t ~now ~src ~dst (round_of msg)))
+    (Sim.Time.of_us (delay_us_of t ~at:src ~now ~src ~dst (round_of msg)))
 
-let oracle_us t ~round_of ~now ~seq ~src ~dst msg =
+let oracle_us t ~round_of ~now ~seq ~at ~src ~dst msg =
   ignore seq;
-  delay_us_of t ~now ~src ~dst (round_of msg)
+  delay_us_of t ~at ~now ~src ~dst (round_of msg)
 
 let oracle t ~round_of ~now ~seq ~src ~dst msg =
   ignore seq;
   let rn = match round_of msg with None -> -1 | Some rn -> rn in
-  Net.Network.Deliver_after (Sim.Time.of_us (delay_us_of t ~now ~src ~dst rn))
+  Net.Network.Deliver_after
+    (Sim.Time.of_us (delay_us_of t ~at:src ~now ~src ~dst rn))
+
+(* Every delay path above floors at [min_delay]: [timely_delay] and
+   [async_delay] take [max]/[lo] against it, the winning targets clamp
+   with it, victim delays dwarf it, and self-sends are exactly it. That
+   floor is what certifies the conservative window (DESIGN.md §18). *)
+let lookahead_us t = us t.p.min_delay
 
 let arrival_bound ?(hops = 1) t rn =
   if hops < 1 then invalid_arg "Scenario.arrival_bound: hops must be >= 1";

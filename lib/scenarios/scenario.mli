@@ -149,10 +149,11 @@ val g_function : t -> int -> Sim.Time.t
     per-round gap bound. *)
 val f_function : t -> int -> int
 
-(** [oracle t ~round_of] is the delay oracle to plug into
-    {!Net.Network.create}. [round_of m] must return [Some rn] when [m] is a
+(** [oracle t ~round_of] is the boxed delay oracle to plug into a
+    {!Net.Spec}. [round_of m] must return [Some rn] when [m] is a
     round-tagged, assumption-constrained message (an ALIVE), [None]
-    otherwise. *)
+    otherwise. Jitter comes from per-executor streams keyed on the
+    sender; the boxed flavours serve direct-dispatch runs only. *)
 val oracle :
   t -> round_of:('m -> int option) -> 'm Net.Network.delay_oracle
 
@@ -160,14 +161,16 @@ val oracle :
     return the message's round, or [-1] when [m] is unconstrained. The two
     flavours draw identical randomness for identical messages — [oracle]'s
     [Some] box costs two minor words per message, which matters only on the
-    simulator's hot path ({!Env} uses this one with {!round_rn_of_omega}). *)
+    simulator's hot path. *)
 val oracle_rn : t -> round_of:('m -> int) -> 'm Net.Network.delay_oracle
 
 (** [oracle_us] is {!oracle_rn} with the verdict unboxed too (microseconds,
     never negative — scenario oracles never drop): the
-    {!Net.Network.delay_oracle_us} fast path. Identical randomness, so a
-    network driven through it produces the same event stream as one driven
-    through {!oracle} or {!oracle_rn}. *)
+    {!Net.Network.delay_oracle_us} fast path {!Env} installs. Its jitter
+    stream is the {e executor}'s ([at] — the sender on the direct path,
+    the relay on a routed hop), so on direct dispatch it draws identically
+    to the boxed flavours; on routed runs it is the only flavour the
+    network consults (the Spec precedence rule). *)
 val oracle_us : t -> round_of:('m -> int) -> 'm Net.Network.delay_oracle_us
 
 (** [arrival_bound t rn] is an upper bound on the arrival time of any
@@ -180,6 +183,13 @@ val oracle_us : t -> round_of:('m -> int) -> 'm Net.Network.delay_oracle_us
     The bound is monotone in [rn] for every fixed [hops] (the property
     test pins this) and monotone in [hops]. *)
 val arrival_bound : ?hops:int -> t -> int -> Sim.Time.t
+
+(** Certified lower bound, in µs, on every delay this scenario's oracles
+    can return (= [min_delay]; every delay policy floors at it, and the
+    qcheck property test pins that). The intra-run parallel driver's
+    conservative window is the [min] of this and the network's
+    {!Net.Network.channel_floor_us} (DESIGN.md §18). *)
+val lookahead_us : t -> int
 
 (** [round_of] for the core algorithm's messages. *)
 val round_of_omega : Omega.Message.t -> int option

@@ -19,22 +19,35 @@
 
 type handle = { mutable cancelled : bool; mutable fired : bool }
 
+(* Canonical event order (DESIGN.md §18): every event is keyed by
+   [(time_us << rank_bits) | rank], with a per-rank creation index [ccidx]
+   as the residual tie-break. The rank is the {e creator}'s identity —
+   process pid + 1 for events created while that process's code runs
+   ([set_rank]), 0 for harness/system events — so the total order
+   [(ckey, ccidx)] is a pure function of the simulated computation, never
+   of scheduler internals or (in the intra-run parallel mode) of which
+   domain executed what. Same-µs ties order by rank, then by per-creator
+   creation order; rank 0 sorts first, so harness events at a timestamp
+   run before process events at the same timestamp in both modes. *)
+let rank_bits = 11
+let rank_mask = (1 lsl rank_bits) - 1
+let max_pid = rank_mask - 1
+
 type cell = {
-  mutable time : Time.t;
+  mutable ckey : int;  (* (time_us << rank_bits) | creator rank *)
+  mutable ccidx : int;  (* per-creator creation index *)
   mutable cfn : Obj.t -> unit;
   mutable carg : Obj.t;
   mutable ch : handle;
 }
 
-(* Two interchangeable scheduler backends. The wheel keys on [Time.to_us]
-   (Time's full resolution, so no two distinct times share a key) and is
-   monotone — pushes below the last popped time would be rejected, but the
-   engine already rejects scheduling in the past, and [exec] advances [now]
-   to every popped time, so the engine's own precondition implies the
-   wheel's. Both backends order by nondecreasing time with FIFO tie-break
-   (insertion tickets in the heap, bucket append order in the wheel):
-   test_wheel checks them against each other, and the pinned digests check
-   the wheel against the heap-era event streams. *)
+(* Two interchangeable scheduler backends. The wheel keys on the packed
+   [ckey] (µs times rank: no two distinct (time, creator) pairs share a
+   key) and is monotone — pushes below the last popped key are clamped to
+   it (see [enqueue]). Both backends order by nondecreasing [ckey] with
+   [ccidx] (= creation order) breaking residual ties: test_wheel checks
+   them against each other, and the pinned digests check the wheel against
+   the heap-era event streams. *)
 type queue =
   | Heap of cell Dstruct.Pqueue.t
   | Wheel of cell Dstruct.Wheel.t
@@ -47,6 +60,20 @@ type t = {
   mutable live : int;  (* scheduled, not fired and not cancelled *)
   mutable sink : Obs.Sink.t;
   anon : handle;  (* shared by all fire-and-forget events *)
+  (* Creation context: [cur_rank] is the rank stamped on events scheduled
+     right now (0 = harness; pid + 1 while that process's code runs), and
+     [counters.(r)] is rank r's next creation index. [last_key] is the key
+     of the last executed event — the floor future keys are clamped to, so
+     the wheel's monotonicity holds by construction. *)
+  mutable cur_rank : int;
+  mutable last_key : int;
+  mutable counters : int array;
+  (* Execution context, latched by [exec] from the popped cell: the
+     canonical identity of the event currently running. Intra-run shard
+     buffers tag emissions with it so a barrier merge can re-fold the
+     global stream in canonical order (DESIGN.md §18). *)
+  mutable exec_key : int;
+  mutable exec_cidx : int;
   (* Cell freelist (wheel backend only): [exec] latches a popped cell's
      fields, clears it and releases it here before running the event, so
      the event's own schedules draw recycled cells. *)
@@ -57,7 +84,9 @@ type t = {
 let ignore_obj (_ : Obj.t) = ()
 let unit_obj = Obj.repr ()
 
-let compare_cell a b = Time.compare a.time b.time
+let compare_cell a b =
+  let c = Int.compare a.ckey b.ckey in
+  if c <> 0 then c else Int.compare a.ccidx b.ccidx
 
 let create ?(queue = `Wheel) ~seed () =
   let anon = { cancelled = false; fired = false } in
@@ -66,7 +95,7 @@ let create ?(queue = `Wheel) ~seed () =
     | `Heap -> Heap (Dstruct.Pqueue.create ~compare:compare_cell)
     | `Wheel ->
         let dummy =
-          { time = Time.zero; cfn = ignore_obj; carg = unit_obj; ch = anon }
+          { ckey = 0; ccidx = 0; cfn = ignore_obj; carg = unit_obj; ch = anon }
         in
         Wheel (Dstruct.Wheel.create ~dummy ())
   in
@@ -78,6 +107,11 @@ let create ?(queue = `Wheel) ~seed () =
     live = 0;
     sink = Obs.Sink.null;
     anon;
+    cur_rank = 0;
+    last_key = 0;
+    counters = Array.make 8 0;
+    exec_key = 0;
+    exec_cidx = 0;
     cpool = [||];
     cpool_n = 0;
   }
@@ -86,6 +120,23 @@ let now t = t.now
 let rng t = t.rng
 let sink t = t.sink
 let set_sink t sink = t.sink <- sink
+
+(* [set_rank t pid] declares that subsequently scheduled events are created
+   by process [pid] — called at every entry point into process code whose
+   executing event does not already carry the process's rank (message
+   delivery at the receiver, hop forwarding at the relay, start/recover).
+   Events executed from the queue re-establish their own creator's rank
+   automatically ([exec]). *)
+let set_rank t pid =
+  if pid < 0 || pid > max_pid then
+    invalid_arg "Engine.set_rank: pid out of range";
+  let r = pid + 1 in
+  if r >= Array.length t.counters then begin
+    let a = Array.make (2 * (r + 1)) 0 in
+    Array.blit t.counters 0 a 0 (Array.length t.counters);
+    t.counters <- a
+  end;
+  t.cur_rank <- r
 
 (* Like the network's flight pool: grow with the released cell itself as
    the [Array.make] filler. The released cell is cleared first so the pool
@@ -103,34 +154,59 @@ let release_cell t c =
   t.cpool.(k) <- c;
   t.cpool_n <- k + 1
 
+(* Key/index assignment, shared by both scheduling paths. The clamp to
+   [last_key] covers one legal corner: scheduling at the current µs from a
+   context whose rank is below the executing event's (e.g. a test
+   scheduling at [now] between runs) — the event then sorts right after
+   the current one, which is exactly the old FIFO behaviour. The clamp
+   never changes the µs part (times in the past are rejected first). *)
+(* Two separate int-returning helpers rather than one returning a pair:
+   the hot path is allocation-free by contract and without flambda a
+   tuple return boxes three minor words per scheduled event. *)
+let next_key t time =
+  let us = Time.to_us time in
+  let key = (us lsl rank_bits) lor t.cur_rank in
+  if key < t.last_key then t.last_key else key
+
+let next_cidx t =
+  let r = t.cur_rank in
+  let cidx = t.counters.(r) in
+  t.counters.(r) <- cidx + 1;
+  cidx
+
 let enqueue : type a. t -> Time.t -> (a -> unit) -> a -> handle -> unit =
  fun t time fn arg h ->
   if Time.(time < t.now) then
     invalid_arg
       (Format.asprintf "Engine.schedule: %a is before now (%a)" Time.pp time
          Time.pp t.now);
+  let key = next_key t time in
+  let cidx = next_cidx t in
   (* The only erasure point: [fn] and [arg] arrive at a common type [a], so
      applying the erased function to the erased payload is well-typed by
      construction. *)
   let fn : Obj.t -> unit = Obj.magic fn in
   let arg = Obj.repr arg in
   (match t.queue with
-  | Heap q -> Dstruct.Pqueue.push q { time; cfn = fn; carg = arg; ch = h }
+  | Heap q ->
+      Dstruct.Pqueue.push q { ckey = key; ccidx = cidx; cfn = fn; carg = arg; ch = h }
   | Wheel w ->
       let c =
-        if t.cpool_n = 0 then { time; cfn = fn; carg = arg; ch = h }
+        if t.cpool_n = 0 then
+          { ckey = key; ccidx = cidx; cfn = fn; carg = arg; ch = h }
         else begin
           let k = t.cpool_n - 1 in
           t.cpool_n <- k;
           let c = t.cpool.(k) in
-          c.time <- time;
+          c.ckey <- key;
+          c.ccidx <- cidx;
           c.cfn <- fn;
           c.carg <- arg;
           c.ch <- h;
           c
         end
       in
-      Dstruct.Wheel.push w ~key:(Time.to_us time) c);
+      Dstruct.Wheel.push w ~key c);
   t.live <- t.live + 1;
   if Obs.Sink.wants t.sink Obs.Event.c_engine then
     Obs.Sink.emit t.sink
@@ -158,8 +234,8 @@ let schedule_call_after t delay fn arg =
 (* Batched fire-and-forget scheduling: a broadcast fan-out stages its n-1
    events and splices them into the wheel in one [batch_commit]
    ({!Dstruct.Wheel.stage} / [commit]). Everything observable — live count,
-   Sched emission, FIFO order among equal times — happens exactly as the
-   equivalent [call_after] sequence would produce it; only the bucket
+   Sched emission, canonical order among equal keys — happens exactly as
+   the equivalent [call_after] sequence would produce it; only the bucket
    bookkeeping is amortized. The heap backend has no batch path (it is the
    allocate-per-event A/B reference), so it degrades to [call_after] and
    [batch_commit] is a no-op — the two backends still produce identical
@@ -176,22 +252,26 @@ let batch_call_after : type a. t -> Time.t -> (a -> unit) -> a -> unit =
         invalid_arg
           (Format.asprintf "Engine.schedule: %a is before now (%a)" Time.pp
              time Time.pp t.now);
+      let key = next_key t time in
+      let cidx = next_cidx t in
       let fn : Obj.t -> unit = Obj.magic fn in
       let arg = Obj.repr arg in
       let c =
-        if t.cpool_n = 0 then { time; cfn = fn; carg = arg; ch = t.anon }
+        if t.cpool_n = 0 then
+          { ckey = key; ccidx = cidx; cfn = fn; carg = arg; ch = t.anon }
         else begin
           let k = t.cpool_n - 1 in
           t.cpool_n <- k;
           let c = t.cpool.(k) in
-          c.time <- time;
+          c.ckey <- key;
+          c.ccidx <- cidx;
           c.cfn <- fn;
           c.carg <- arg;
           c.ch <- t.anon;
           c
         end
       in
-      Dstruct.Wheel.stage w ~key:(Time.to_us time) c;
+      Dstruct.Wheel.stage w ~key c;
       t.live <- t.live + 1;
       if Obs.Sink.wants t.sink Obs.Event.c_engine then
         Obs.Sink.emit t.sink
@@ -201,6 +281,76 @@ let batch_commit t =
   match t.queue with
   | Heap _ -> ()
   | Wheel w -> Dstruct.Wheel.commit w
+
+(* ---- Intra-run sharded execution support (DESIGN.md §18) ----
+   A cross-shard event creation splits [call_after] in two: the creating
+   shard [stamp]s the event — drawing the exact canonical (key, cidx) and
+   emitting the Sched that the local path would have emitted — and ships
+   the pair with the payload; at the window barrier the owning shard
+   [enqueue_committed]s it silently (no second Sched, no counter bump).
+   The union of both shards' observable actions is bit-identical to the
+   sequential [call_after]. *)
+
+let stamp t time =
+  if Time.(time < t.now) then
+    invalid_arg
+      (Format.asprintf "Engine.stamp: %a is before now (%a)" Time.pp time
+         Time.pp t.now);
+  let key = next_key t time in
+  let cidx = next_cidx t in
+  if Obs.Sink.wants t.sink Obs.Event.c_engine then
+    Obs.Sink.emit t.sink
+      (Obs.Event.Sched { now = Time.to_us t.now; at = Time.to_us time });
+  (key, cidx)
+
+let enqueue_committed : type a. t -> key:int -> cidx:int -> (a -> unit) -> a -> unit
+    =
+ fun t ~key ~cidx fn arg ->
+  let fn : Obj.t -> unit = Obj.magic fn in
+  let arg = Obj.repr arg in
+  (match t.queue with
+  | Heap q ->
+      Dstruct.Pqueue.push q
+        { ckey = key; ccidx = cidx; cfn = fn; carg = arg; ch = t.anon }
+  | Wheel w ->
+      let c =
+        if t.cpool_n = 0 then
+          { ckey = key; ccidx = cidx; cfn = fn; carg = arg; ch = t.anon }
+        else begin
+          let k = t.cpool_n - 1 in
+          t.cpool_n <- k;
+          let c = t.cpool.(k) in
+          c.ckey <- key;
+          c.ccidx <- cidx;
+          c.cfn <- fn;
+          c.carg <- arg;
+          c.ch <- t.anon;
+          c
+        end
+      in
+      Dstruct.Wheel.push w ~key c);
+  t.live <- t.live + 1
+
+let executing_key t = t.exec_key
+let executing_cidx t = t.exec_cidx
+
+(* Earliest pending event's µs, or -1 when the queue is empty. Peeks only:
+   the wheel's cursor must not advance (the engine may legally decide not
+   to pop at a window horizon). *)
+let next_pending_us t =
+  match t.queue with
+  | Heap q ->
+      if Dstruct.Pqueue.is_empty q then -1
+      else (Dstruct.Pqueue.peek_exn q).ckey asr rank_bits
+  | Wheel w ->
+      if Dstruct.Wheel.is_empty w then -1
+      else Dstruct.Wheel.min_key_exn w asr rank_bits
+
+(* Advance the clock over an idle gap without running anything: barrier
+   code (recovery, resync, fault application) computes relative delays
+   from [now], which must read the barrier instant, not the last executed
+   event's time. *)
+let fast_forward t time = t.now <- Time.max t.now time
 
 let cancel t h =
   if not (h.cancelled || h.fired) then begin
@@ -216,15 +366,24 @@ let executed t = t.executed
 
 (* [exec t c ~recycle] latches every field, optionally releases the cell
    (wheel backend — the heap's cells are garbage once popped), then fires.
-   Latch-then-release, so the event's own schedules may reuse the cell. *)
+   Latch-then-release, so the event's own schedules may reuse the cell.
+   The executing event's creator rank becomes the creation context for
+   whatever it schedules; deliver/forward override it to the receiving
+   process's rank ([set_rank]) before running process code. *)
 let exec t c ~recycle =
-  let time = c.time and fn = c.cfn and arg = c.carg and h = c.ch in
+  let key = c.ckey and cidx = c.ccidx in
+  let fn = c.cfn and arg = c.carg and h = c.ch in
   if recycle then release_cell t c;
   if not h.cancelled then begin
     h.fired <- true;
     t.live <- t.live - 1;
+    let time = Time.of_us (key asr rank_bits) in
     assert (Time.(time >= t.now));
     t.now <- time;
+    t.cur_rank <- key land rank_mask;
+    t.last_key <- key;
+    t.exec_key <- key;
+    t.exec_cidx <- cidx;
     t.executed <- t.executed + 1;
     if Obs.Sink.wants t.sink Obs.Event.c_engine then
       Obs.Sink.emit t.sink (Obs.Event.Fire { now = Time.to_us t.now });
@@ -235,14 +394,19 @@ let exec t c ~recycle =
    hoisted out of the loop. The wheel loop decides from [min_key_exn]
    (memoized, non-mutating) before popping: peeking must not advance the
    wheel's cursor past [limit], or a later legal schedule below the cursor
-   would be rejected. *)
+   would be rejected. A time limit translates to the largest key at that
+   µs — every rank at time [limit] is included, matching the old
+   time-inclusive contract. *)
+let limit_key limit = ((Time.to_us limit + 1) lsl rank_bits) - 1
+
 let run_until t limit =
   (match t.queue with
   | Heap q ->
+      let lim = limit_key limit in
       let rec loop () =
         if not (Dstruct.Pqueue.is_empty q) then begin
           let c = Dstruct.Pqueue.peek_exn q in
-          if Time.(c.time <= limit) then begin
+          if c.ckey <= lim then begin
             Dstruct.Pqueue.drop_exn q;
             exec t c ~recycle:false;
             loop ()
@@ -251,7 +415,7 @@ let run_until t limit =
       in
       loop ()
   | Wheel w ->
-      let lim = Time.to_us limit in
+      let lim = limit_key limit in
       let rec loop () =
         if not (Dstruct.Wheel.is_empty w) then
           if Dstruct.Wheel.min_key_exn w <= lim then begin
@@ -261,6 +425,38 @@ let run_until t limit =
       in
       loop ());
   t.now <- Time.max t.now limit
+
+(* One conservative window (DESIGN.md §18): execute every event with time
+   STRICTLY below [limit_us] — the window end is exclusive of all ranks,
+   unlike [run_until]'s inclusive time limit, because events at the
+   barrier instant belong to the next window (rank-0 barrier work runs
+   between the two). The clock is left at the last executed event, not
+   advanced to the limit: the driver [fast_forward]s explicitly when
+   barrier-time code needs [now] at the barrier instant. *)
+let run_window t ~limit_us =
+  let lim = limit_us lsl rank_bits in
+  match t.queue with
+  | Heap q ->
+      let rec loop () =
+        if not (Dstruct.Pqueue.is_empty q) then begin
+          let c = Dstruct.Pqueue.peek_exn q in
+          if c.ckey < lim then begin
+            Dstruct.Pqueue.drop_exn q;
+            exec t c ~recycle:false;
+            loop ()
+          end
+        end
+      in
+      loop ()
+  | Wheel w ->
+      let rec loop () =
+        if not (Dstruct.Wheel.is_empty w) then
+          if Dstruct.Wheel.min_key_exn w < lim then begin
+            exec t (Dstruct.Wheel.pop_exn w) ~recycle:true;
+            loop ()
+          end
+      in
+      loop ()
 
 (* ---------------------------------------------------- snapshot / restore *)
 
@@ -325,32 +521,34 @@ let restore : type a. Bytes.t -> t * a =
 let run_until_idle ?limit t =
   match t.queue with
   | Heap q ->
+      let lim = match limit with Some l -> limit_key l | None -> max_int in
       let rec loop () =
         if Dstruct.Pqueue.is_empty q then `Idle
         else begin
           let c = Dstruct.Pqueue.peek_exn q in
-          match limit with
-          | Some l when Time.(c.time > l) ->
-              t.now <- Time.max t.now l;
-              `Limit
-          | Some _ | None ->
-              Dstruct.Pqueue.drop_exn q;
-              exec t c ~recycle:false;
-              loop ()
+          if c.ckey > lim then begin
+            (match limit with Some l -> t.now <- Time.max t.now l | None -> ());
+            `Limit
+          end
+          else begin
+            Dstruct.Pqueue.drop_exn q;
+            exec t c ~recycle:false;
+            loop ()
+          end
         end
       in
       loop ()
   | Wheel w ->
+      let lim = match limit with Some l -> limit_key l | None -> max_int in
       let rec loop () =
         if Dstruct.Wheel.is_empty w then `Idle
-        else
-          let key = Dstruct.Wheel.min_key_exn w in
-          match limit with
-          | Some l when key > Time.to_us l ->
-              t.now <- Time.max t.now l;
-              `Limit
-          | Some _ | None ->
-              exec t (Dstruct.Wheel.pop_exn w) ~recycle:true;
-              loop ()
+        else if Dstruct.Wheel.min_key_exn w > lim then begin
+          (match limit with Some l -> t.now <- Time.max t.now l | None -> ());
+          `Limit
+        end
+        else begin
+          exec t (Dstruct.Wheel.pop_exn w) ~recycle:true;
+          loop ()
+        end
       in
       loop ()

@@ -1,8 +1,14 @@
 (** Deterministic discrete-event engine.
 
-    Events are actions scheduled at virtual times. Events with equal times
-    fire in scheduling order (FIFO), so a run is a pure function of the seed
-    and the program — the property every test and experiment relies on.
+    Events are actions scheduled at virtual times and totally ordered by
+    the canonical key [(time, creator rank, creation index)] (DESIGN.md
+    §18): same-time events order by the rank of the code that created them
+    (0 = harness/system, pid + 1 = that process), then by per-creator
+    creation order. For events created under one rank this degenerates to
+    the classic FIFO tie-break; because the order is a pure function of
+    the simulated computation — not of scheduler internals — it is the
+    same under sequential and intra-run parallel execution, so a run is a
+    pure function of the seed and the program under either.
 
     Two scheduling families share one queue and one FIFO order:
 
@@ -47,6 +53,20 @@ val sink : t -> Obs.Sink.t
 (** [set_sink t s] replaces the sink. Sinks are engine-local state like the
     RNG: a parallel run farm must give each task its own. *)
 val set_sink : t -> Obs.Sink.t -> unit
+
+(** [set_rank t pid] declares process [pid] the creator of subsequently
+    scheduled events, until the next [set_rank] or the next event pops
+    (executing an event restores its own creator's rank). Called at every
+    entry point into process code whose executing event does not already
+    carry that process's rank: message delivery at the receiver, hop
+    forwarding at the relay, node start/recover. Outside process code the
+    creation context is the harness rank 0, which sorts first among
+    same-time events. Raises [Invalid_argument] if [pid] exceeds the key
+    encoding's capacity ({!max_pid}). *)
+val set_rank : t -> int -> unit
+
+(** Largest process id the canonical key encoding supports (2046). *)
+val max_pid : int
 
 (** [schedule_at t time f] runs [f ()] when the clock reaches [time].
     Raises [Invalid_argument] if [time] is in the past. *)
@@ -129,4 +149,53 @@ val run_until_idle : ?limit:Time.t -> t -> [ `Idle | `Limit ]
 
 val snapshot : t -> 'a -> Bytes.t
 val restore : Bytes.t -> t * 'a
+
+(** {2 Intra-run sharded execution (DESIGN.md §18)}
+
+    A conservative-window parallel run gives each shard of processes its
+    own engine and splits every cross-shard event creation in two: the
+    creating shard calls {!stamp} — which draws the canonical (key,
+    creation index) pair exactly as the local scheduling path would, and
+    emits the same [Sched] event — and ships the pair with the payload to
+    the owning shard, which enqueues it at the window barrier with
+    {!enqueue_committed}. Together the two halves are observationally
+    identical to a local {!call_after} on a single sequential engine. *)
+
+(** [stamp t time] reserves the canonical identity of an event created in
+    the current context and arriving at [time], emitting the [Sched] the
+    local path would emit. The event itself must then be enqueued exactly
+    once via {!enqueue_committed} (on any engine of the same run). Raises
+    [Invalid_argument] if [time] is in the past. *)
+val stamp : t -> Time.t -> int * int
+
+(** [enqueue_committed t ~key ~cidx fn arg] enqueues an already-stamped
+    event silently: no [Sched] emission, no creation-counter movement.
+    [key] must not lie below the last popped key (wheel monotonicity);
+    barrier commits satisfy this by construction because stamped arrivals
+    lie at or beyond the window end. *)
+val enqueue_committed : t -> key:int -> cidx:int -> ('a -> unit) -> 'a -> unit
+
+(** Canonical key / creation index of the event currently executing —
+    the tag under which shard buffers record this event's emissions so a
+    barrier merge can re-fold the global stream in canonical order. *)
+val executing_key : t -> int
+
+val executing_cidx : t -> int
+
+(** Earliest pending event's time in µs, or [-1] when the queue is empty.
+    Peek-only: the wheel's cursor does not advance. *)
+val next_pending_us : t -> int
+
+(** [fast_forward t time] advances the clock to [time] (no-op if already
+    there) without executing anything: barrier-time code computes relative
+    delays from [now], which must read the barrier instant rather than the
+    shard's last executed event time. *)
+val fast_forward : t -> Time.t -> unit
+
+(** [run_window t ~limit_us] executes every event with time {e strictly}
+    below [limit_us] — one conservative window. Exclusive of all ranks at
+    the limit (events at the barrier instant belong to the next window),
+    and the clock stays at the last executed event; use {!fast_forward}
+    for barrier-time code. *)
+val run_window : t -> limit_us:int -> unit
 

@@ -89,7 +89,7 @@ let digest_of ~plan ~seed =
 let test_plan_free_matches_pr3_pin () =
   (* The empty plan must not add, remove or reorder a single event: this is
      the exact digest test_obs pinned before the fault API existed. *)
-  check str_t "empty plan = pre-fault-API stream" "e1280e13ce38d45d"
+  check str_t "empty plan = pre-fault-API stream" "d04e0b6bb1a89956"
     (Obs.Digest.to_hex (digest_of ~plan:Fault.Plan.empty ~seed:7L))
 
 let test_faulted_digest_deterministic () =
@@ -104,7 +104,7 @@ let test_faulted_digest_pinned () =
   (* Faulted regression pin, same contract as the plan-free one: a change
      means fault actions fire at different times or alter the simulation —
      deliberate changes must update the pin. *)
-  check str_t "pinned faulted digest for seed 7" "ade8f3026d9f2689"
+  check str_t "pinned faulted digest for seed 7" "6974643acde923c2"
     (Obs.Digest.to_hex (digest_of ~plan:busy_plan ~seed:7L))
 
 let test_faulted_digest_jobs_invariant () =

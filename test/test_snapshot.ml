@@ -139,7 +139,7 @@ let test_pinned_plain () =
   let spec =
     Harness.Run.Spec.(default |> with_horizon (sec 2) |> with_digest true)
   in
-  check str_t "plain pin through a snapshot" "e1280e13ce38d45d"
+  check str_t "plain pin through a snapshot" "d04e0b6bb1a89956"
     (restored_digest ~spec ~env ~cut:(ms 800))
 
 let test_pinned_faulted () =
@@ -160,7 +160,7 @@ let test_pinned_faulted () =
       default |> with_horizon (sec 2) |> with_digest true
       |> with_plan busy_plan)
   in
-  check str_t "faulted pin through a snapshot" "ade8f3026d9f2689"
+  check str_t "faulted pin through a snapshot" "6974643acde923c2"
     (restored_digest ~spec ~env ~cut:(ms 800))
 
 let test_pinned_relay () =
@@ -178,7 +178,7 @@ let test_pinned_relay () =
       default |> with_check false |> with_algo `Relay
       |> with_horizon (sec 2) |> with_digest true)
   in
-  check str_t "relay pin through a snapshot" "82a9c40982bed37a"
+  check str_t "relay pin through a snapshot" "dc1babe982945dd5"
     (restored_digest ~spec ~env ~cut:(ms 800))
 
 (* ------------------------------------------------------- file round trip *)
@@ -208,7 +208,7 @@ let test_file_round_trip () =
       close_in ic;
       check int_t "length round-trips" (Bytes.length bytes) len;
       let restored = Harness.Run.restore read in
-      check str_t "digest through the file" "e1280e13ce38d45d"
+      check str_t "digest through the file" "d04e0b6bb1a89956"
         (digest_hex (Harness.Run.finish restored)))
 
 (* ----------------------------------------------------------- refusals *)

@@ -251,7 +251,7 @@ let test_spec_path_keeps_pin () =
       |> with_link_channel Net.Topology.Reliable)
   in
   let result = Harness.Run.run ~spec ~env:(fixture_env ()) ~seed:7L () in
-  check str_t "explicit Complete/Reliable keeps the pin" "e1280e13ce38d45d"
+  check str_t "explicit Complete/Reliable keeps the pin" "d04e0b6bb1a89956"
     (digest_hex result)
 
 let test_spec_path_keeps_faulted_pin () =
@@ -272,7 +272,7 @@ let test_spec_path_keeps_faulted_pin () =
       |> with_link_channel Net.Topology.Reliable)
   in
   let result = Harness.Run.run ~spec ~env:(fixture_env ()) ~seed:7L () in
-  check str_t "faulted pin through the Spec path" "ade8f3026d9f2689"
+  check str_t "faulted pin through the Spec path" "6974643acde923c2"
     (digest_hex result)
 
 let test_spec_path_keeps_relay_pin () =
@@ -295,7 +295,7 @@ let test_spec_path_keeps_relay_pin () =
       |> with_link_channel Net.Topology.Reliable)
   in
   let result = Harness.Run.run ~spec ~env ~seed:7L () in
-  check str_t "relay pin through the Spec path" "82a9c40982bed37a"
+  check str_t "relay pin through the Spec path" "dc1babe982945dd5"
     (digest_hex result)
 
 let ring_env () =
@@ -312,7 +312,7 @@ let test_routed_wheel_heap_agree () =
   let heap = Harness.Run.run ~spec:(ring_spec `Heap) ~env:(ring_env ()) ~seed:7L () in
   check str_t "routed run: wheel and heap streams agree" (digest_hex wheel)
     (digest_hex heap);
-  check str_t "routed ring digest pinned" "24cb64a722dd2d32" (digest_hex wheel)
+  check str_t "routed ring digest pinned" "18c64c0ae9271f56" (digest_hex wheel)
 
 let test_routed_deterministic () =
   let once () =
