@@ -33,6 +33,18 @@ let jobs_term =
            domain count of this machine). Tables are byte-identical for \
            every N; $(docv)=1 is the plain sequential path.")
 
+let intra_jobs_term =
+  Cmdliner.Arg.(
+    value & opt int 1
+    & info [ "intra-jobs" ] ~docv:"K"
+        ~doc:
+          "Shard every simulation over $(docv) domains with \
+           conservative-window execution (DESIGN.md §18) — parallelism \
+           $(i,inside) a run, orthogonal to --jobs' parallelism between \
+           runs. Tables are byte-identical for every $(docv); $(docv)=1 \
+           is the plain sequential path. Incompatible with --trace and \
+           --checkpoint-dir (both need the run on one engine).")
+
 let metrics_term =
   Cmdliner.Arg.(
     value & flag
@@ -142,7 +154,7 @@ let ids_term =
     & info [] ~docv:"EXPERIMENT"
         ~doc:"Experiment ids to run (e1..e13). Default: all.")
 
-let run list quick jobs metrics trace sched topology checkpoint_dir
+let run list quick jobs intra_jobs metrics trace sched topology checkpoint_dir
     checkpoint_every shard shard_out ids =
   if list then begin
     List.iter
@@ -151,6 +163,12 @@ let run list quick jobs metrics trace sched topology checkpoint_dir
     `Ok ()
   end
   else if jobs < 1 then `Error (false, "--jobs must be >= 1")
+  else if intra_jobs < 1 then `Error (false, "--intra-jobs must be >= 1")
+  else if intra_jobs > 1 && Option.is_some trace then
+    `Error (false, "--intra-jobs needs the run on one engine; drop --trace")
+  else if intra_jobs > 1 && Option.is_some checkpoint_dir then
+    `Error
+      (false, "--intra-jobs needs the run on one engine; drop --checkpoint-dir")
   else if Option.is_some trace && Option.is_some shard then
     `Error (false, "--trace and --shard are mutually exclusive")
   else if Option.is_some trace && Option.is_some checkpoint_dir then
@@ -200,6 +218,7 @@ let run list quick jobs metrics trace sched topology checkpoint_dir
             checkpoint;
             farm;
             topology;
+            intra = intra_jobs;
           }
         in
         (* The JSONL writer is one shared out-channel: events from
@@ -233,8 +252,9 @@ let cmd =
     (Cmdliner.Cmd.info "experiments" ~doc)
     Cmdliner.Term.(
       ret
-        (const run $ list_term $ quick_term $ jobs_term $ metrics_term
-       $ trace_term $ sched_term $ topology_term $ checkpoint_dir_term
-       $ checkpoint_every_term $ shard_term $ shard_out_term $ ids_term))
+        (const run $ list_term $ quick_term $ jobs_term $ intra_jobs_term
+       $ metrics_term $ trace_term $ sched_term $ topology_term
+       $ checkpoint_dir_term $ checkpoint_every_term $ shard_term
+       $ shard_out_term $ ids_term))
 
 let () = exit (Cmdliner.Cmd.eval cmd)

@@ -21,7 +21,7 @@ type 'v t =
 
 val ballot_of : 'v t -> int
 
-(** Observability classifier for {!Net.Network.create}: kind
+(** Observability classifier for {!Net.Spec.with_classify}: kind
     ["prepare"]/["promise"]/…, no assumption round, sizes under the same
     nominal binary encoding as {!Omega.Message.wire_size} (the polymorphic
     value counted as 4 bytes). *)

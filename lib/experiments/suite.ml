@@ -75,6 +75,9 @@ type obs = {
   topology : Net.Topology.kind option;
       (* session-wide graph override (--topology): applied to every run
          that did not pick a topology itself (E13's rows keep theirs) *)
+  intra : int;
+      (* --intra-jobs: conservative-window shards inside each run
+         (DESIGN.md §18); the tables are byte-identical for every value *)
 }
 
 let no_obs =
@@ -85,6 +88,7 @@ let no_obs =
     checkpoint = None;
     farm = local_farm ();
     topology = None;
+    intra = 1;
   }
 
 (* ------------------------------------------------- on-disk checkpoints *)
@@ -178,6 +182,7 @@ let obs_run ~obs ~label ?(spec = Run.Spec.default) ~env ~seed () =
       Run.Spec.metrics = obs.metrics;
       digest = obs.metrics;
       sched = obs.sched;
+      intra_domains = obs.intra;
     }
   in
   let spec =
@@ -1455,6 +1460,7 @@ let e13 ~pool ~quick ~obs =
       ("ring", Net.Topology.Ring);
       ("grid", Net.Topology.Grid);
       ("fattree", Net.Topology.Fat_tree { rack = 4 });
+      ("wan", Net.Topology.Wan_of_lans { lan = 4 });
     ]
   in
   let channels =
@@ -1485,96 +1491,116 @@ let e13 ~pool ~quick ~obs =
     Net.Topology.diameter
       (Net.Topology.build kind ~n ~rng:(Dstruct.Rng.create 0L))
   in
-  let results =
-    on ~obs pool
-    @@ List.concat_map
-         (fun n ->
-           let t = (n - 1) / 2 in
-           let center = n - 2 in
-           let cfg = fault_config ~n ~t Omega.Config.Fig3 in
-           List.concat_map
-             (fun (tlabel, kind) ->
-               let diam = diameter_of kind n in
-               (* Same adversary for both algorithms in a row; the block
-                  length scales with the topology's slack (above). *)
-               let params =
-                 {
-                   (Scenario.default_params ~n ~t ~beta) with
-                   Scenario.rn0 = 2;
-                   victim_block0 = block diam;
-                   victim_block_step = 0;
-                 }
-               in
-               List.concat_map
-                 (fun (clabel, chan) ->
-                   List.map
-                     (fun (alabel, algo) ->
-                       let label =
-                         Printf.sprintf "e13 n=%d %s %s %s" n tlabel clabel
-                           alabel
-                       in
-                       {
-                         label;
-                         (* Every message crosses ~diam links, so routed
-                            traffic scales the cost estimate. *)
-                         cost =
-                           float_of_int diam
-                           *. cost_of ~n ~algo ~check:false (horizon n diam);
-                         exec =
-                           (fun () ->
-                             let result =
-                               obs_run ~obs ~label
-                                 ~spec:
-                                   Run.Spec.(
-                                     default |> with_horizon (horizon n diam)
-                                     |> with_min_stable min_stable
-                                     |> with_check false |> with_algo algo
-                                     |> with_topology kind
-                                     |> with_link_channel chan)
-                                 ~env:
-                                   (Scenarios.Env.make ~params cfg
-                                      (Scenario.Rotating_star { center }))
-                                 ~seed:7L ()
-                             in
-                             let rounds =
-                               max 1 result.Run.min_sending_round
-                             in
-                             let per_round =
-                               result.Run.messages_sent / rounds
-                             in
-                             let stab_round =
-                               match result.Run.stabilized_at with
-                               | Some at ->
-                                   Table.intc
-                                     (Sim.Time.to_us at / Sim.Time.to_us beta)
-                               | None -> "-"
-                             in
-                             obs_cells obs result
-                               [
-                                 Table.intc n;
-                                 tlabel;
-                                 Table.intc diam;
-                                 clabel;
-                                 alabel;
-                                 stab_cell result;
-                                 stab_round;
-                                 leader_cell result;
-                                 Table.yesno
-                                   (result.Run.final_leader = Some center);
-                                 Table.intc result.Run.messages_sent;
-                                 Table.intc per_round;
-                               ]);
-                       })
-                     algos)
-                 channels)
-             topologies)
-         ns
+  (* One row, shared between the stabilization sweep and the scaling
+     tier below; [horizon] is the only knob that differs. *)
+  let mk_row ~n ~tlabel ~kind ~diam ~clabel ~chan ~alabel ~algo ~horizon =
+    let t = (n - 1) / 2 in
+    let center = n - 2 in
+    let cfg = fault_config ~n ~t Omega.Config.Fig3 in
+    (* Same adversary for both algorithms in a row; the block length
+       scales with the topology's slack (above). *)
+    let params =
+      {
+        (Scenario.default_params ~n ~t ~beta) with
+        Scenario.rn0 = 2;
+        victim_block0 = block diam;
+        victim_block_step = 0;
+      }
+    in
+    let label = Printf.sprintf "e13 n=%d %s %s %s" n tlabel clabel alabel in
+    {
+      label;
+      (* Every message crosses ~diam links, so routed traffic scales the
+         cost estimate. *)
+      cost = float_of_int diam *. cost_of ~n ~algo ~check:false horizon;
+      exec =
+        (fun () ->
+          let result =
+            obs_run ~obs ~label
+              ~spec:
+                Run.Spec.(
+                  default |> with_horizon horizon
+                  |> with_min_stable min_stable
+                  |> with_check false |> with_algo algo
+                  |> with_topology kind |> with_link_channel chan)
+              ~env:
+                (Scenarios.Env.make ~params cfg
+                   (Scenario.Rotating_star { center }))
+              ~seed:7L ()
+          in
+          let rounds = max 1 result.Run.min_sending_round in
+          let per_round = result.Run.messages_sent / rounds in
+          let stab_round =
+            match result.Run.stabilized_at with
+            | Some at ->
+                Table.intc (Sim.Time.to_us at / Sim.Time.to_us beta)
+            | None -> "-"
+          in
+          obs_cells obs result
+            [
+              Table.intc n;
+              tlabel;
+              Table.intc diam;
+              clabel;
+              alabel;
+              stab_cell result;
+              stab_round;
+              leader_cell result;
+              Table.yesno (result.Run.final_leader = Some center);
+              Table.intc result.Run.messages_sent;
+              Table.intc per_round;
+            ]);
+    }
   in
+  let sweep_rows =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun (tlabel, kind) ->
+            let diam = diameter_of kind n in
+            List.concat_map
+              (fun (clabel, chan) ->
+                List.map
+                  (fun (alabel, algo) ->
+                    mk_row ~n ~tlabel ~kind ~diam ~clabel ~chan ~alabel
+                      ~algo ~horizon:(horizon n diam))
+                  algos)
+              channels)
+          topologies)
+      ns
+  in
+  (* Routed scaling tier (full mode only; ROADMAP's "routed runs cap at
+     n = 16" item): the routed hot path — one pooled flight per hop,
+     staged fan-out, per-hop oracle draws — under E11-class load. A
+     rotation-scaled horizon is unaffordable at this size, so as in
+     E11/E12's large tiers the rows run a fixed two simulated seconds
+     and measure throughput, not stabilization. Fat-tree keeps its
+     diameter at 3 while racks multiply, so per-send hop cost stays
+     flat as n grows — which is exactly what makes it the rack-scale
+     graph worth scaling. *)
+  let scale_rows =
+    if quick then []
+    else
+      List.concat_map
+        (fun n ->
+          let kind = Net.Topology.Fat_tree { rack = 4 } in
+          let diam = diameter_of kind n in
+          List.map
+            (fun (alabel, algo) ->
+              mk_row ~n ~tlabel:"fattree" ~kind ~diam ~clabel:"reliable"
+                ~chan:Net.Topology.Reliable ~alabel ~algo
+                ~horizon:(ms 2_000))
+            algos)
+        [ 64; 256 ]
+  in
+  let results = on ~obs pool (sweep_rows @ scale_rows) in
   Table.print
     ~title:
       "E13: topology x channel class x algorithm (routed graphs, tight \
        config, diameter-scaled victim blocks, same seeds as E12; 'msgs' \
-       counts sends, each crossing up to 'diam' links) [DESIGN.md 17]"
+       counts sends, each crossing up to 'diam' links; n>=64 fattree \
+       full-mode only, fixed 2 s horizon, throughput not stabilization) \
+       [DESIGN.md 17]"
     ~header:
       (obs_header obs
          [

@@ -63,6 +63,10 @@ type obs = {
           [Complete] topology; rows that pick their own (E13) are
           untouched. Routed tables differ from the default ones but stay
           deterministic and [--jobs]-invariant. *)
+  intra : int;
+      (** bin/experiments.exe [--intra-jobs]: conservative-window shards
+          inside each run (DESIGN.md §18), orthogonal to the between-runs
+          pool. Tables are byte-identical for every value. *)
 }
 
 (** No tracing, no metrics, local farm: the zero-cost default. *)

@@ -84,7 +84,7 @@ module Spec : sig
             benchmarking (see {!Sim.Engine.create}) *)
     flight_pool : bool;
         (** recycle network flight records (default [true]); [false] is
-            the A/B allocation baseline (see {!Net.Network.create}) *)
+            the A/B allocation baseline (see {!Net.Spec.with_pool}) *)
     algo : [ `Gossip | `Relay ];
         (** Ω algorithm behind the {!Omega.Iface} surface (default
             [`Gossip], the Figure-1/2/3 family selected by
@@ -99,6 +99,14 @@ module Spec : sig
         (** channel class applied uniformly to every edge (default
             [Reliable]); a non-default class also switches the network to
             the routed path, even on [Complete] *)
+    intra_domains : int;
+        (** shard one run's event execution over this many domains under
+            conservative windows (default 1 = the sequential engine, the
+            only path with zero overhead; DESIGN.md §18). The event
+            stream, digest and result are byte-identical for every value.
+            Runs that need mid-window observability — an external [sink],
+            an adaptive-adversary plan — silently fall back to sequential
+            execution; {!start} (and so snapshots) rejects values > 1. *)
   }
 
   val default : t
@@ -117,6 +125,10 @@ module Spec : sig
   val with_algo : [ `Gossip | `Relay ] -> t -> t
   val with_topology : Net.Topology.kind -> t -> t
   val with_link_channel : Net.Topology.channel -> t -> t
+
+  (** Raises [Invalid_argument] below 1. Values above the process count
+      are clamped to one process per shard. *)
+  val with_intra_domains : int -> t -> t
 end
 
 (** [run ~env ~seed ()] executes one simulation of [env] under [spec]

@@ -271,14 +271,6 @@ let of_spec (spec : 'm Spec.t) engine ~n =
     siblings = [||];
   }
 
-(* Deprecated shim (one PR): [Spec]/[of_spec] is the construction API. *)
-let create ?(classify = default_classify) ?(pool = true) ?oracle_us engine ~n
-    ~oracle =
-  let spec =
-    { Spec.default with Spec.classify; pool; oracle = Some oracle; oracle_us }
-  in
-  of_spec spec engine ~n
-
 let n t = t.n
 let engine t = t.engine
 

@@ -113,18 +113,6 @@ end
     reliable default splits nothing, so legacy digests are unchanged. *)
 val of_spec : 'm Spec.t -> Sim.Engine.t -> n:int -> 'm t
 
-(** [create engine ~n ~oracle] — deprecated shim over {!of_spec}, kept one
-    PR for the migration: equivalent to [Spec.default] with the given
-    options and [with_oracle oracle]. New code should build a {!Spec.t}. *)
-val create :
-  ?classify:('m -> Obs.Event.msg_info) ->
-  ?pool:bool ->
-  ?oracle_us:'m delay_oracle_us ->
-  Sim.Engine.t ->
-  n:int ->
-  oracle:'m delay_oracle ->
-  'm t
-
 val n : 'm t -> int
 val engine : 'm t -> Sim.Engine.t
 

@@ -8,7 +8,7 @@
     [Sim] in the dependency order, because the engine itself emits events.
 
     Polymorphic network messages are projected into a {!msg_info} by a
-    per-network classifier (see {!Net.Network.create}): a static [kind]
+    per-network classifier (see {!Net.Spec.with_classify}): a static [kind]
     string, the assumption-relevant round ([-1] when none — the same
     convention as [round_of] returning [None]), and the wire size. *)
 

@@ -14,7 +14,16 @@ let create cfg net =
   let nodes = Array.init n (fun me -> Node.create ~store cfg net ~me) in
   { nodes; net; engine = Net.Network.engine net }
 
-let start t = Array.iter Node.start t.nodes
+(* [owned] filters which nodes start — a sharded replica builds all [n]
+   nodes (construction splits each node's RNG off the engine stream, so
+   building the full set keeps replicas' streams aligned) but runs only
+   its own. Each start stamps events under the node's own rank, so
+   starting a subset in pid order draws exactly the sequential keys. *)
+let start ?owned t =
+  match owned with
+  | None -> Array.iter Node.start t.nodes
+  | Some mine ->
+      Array.iteri (fun i nd -> if mine i then Node.start nd) t.nodes
 let node t i = t.nodes.(i)
 let net t = t.net
 let engine t = t.engine

@@ -8,7 +8,12 @@ type t
 (** [create cfg net] builds one node per process id of [net]. *)
 val create : Config.t -> Message.t Net.Network.t -> t
 
-val start : t -> unit
+(** [start t] starts every node; [start ~owned t] only those with
+    [owned i = true] — the intra-run parallel driver builds a full
+    cluster per shard replica (construction keeps RNG streams aligned)
+    but runs only the shard's own processes (DESIGN.md §18). *)
+val start : ?owned:(pid -> bool) -> t -> unit
+
 val node : t -> pid -> Node.t
 val net : t -> Message.t Net.Network.t
 val engine : t -> Sim.Engine.t

@@ -388,6 +388,8 @@ let create cfg net =
   { nodes; net }
 
 let arm (t : t) =
+  (* Both tasks below are created by this process. *)
+  Sim.Engine.set_rank t.engine t.me;
   let beta_us = Sim.Time.to_us t.cfg.Config.beta in
   (* Processes start at unrelated instants (§3), like the gossip family. *)
   let offset = Dstruct.Rng.int t.rng (max 1 beta_us) in
@@ -397,7 +399,13 @@ let arm (t : t) =
   Sim.Engine.call_after t.engine (Sim.Time.of_us mon_offset) monitor_task
     { node = t; epoch = t.epoch }
 
-let start c = Array.iter arm c.nodes
+(* [owned] — see {!Cluster.start}: a sharded replica arms only the relay
+   nodes it owns; [arm] draws from the node's private stream under the
+   node's own rank, so a pid-ordered subset draws the sequential keys. *)
+let start ?owned c =
+  match owned with
+  | None -> Array.iter arm c.nodes
+  | Some mine -> Array.iteri (fun i nd -> if mine i then arm nd) c.nodes
 
 (* Crash–recovery: levels and heartbeat counters are persisted state and
    survive untouched; only the monitor restarts from a clean slate (its

@@ -32,8 +32,10 @@ type cluster
 val create : Config.t -> Message.t Net.Network.t -> cluster
 
 (** Arms every process's heartbeat and monitor tasks at independent random
-    offsets (§3: no relation between send times). *)
-val start : cluster -> unit
+    offsets (§3: no relation between send times). [owned] restricts the
+    armed set to one shard's processes, as in {!Cluster.start}
+    (DESIGN.md §18). *)
+val start : ?owned:(pid -> bool) -> cluster -> unit
 
 val node : cluster -> pid -> t
 

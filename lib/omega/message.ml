@@ -25,7 +25,7 @@ let wire_size = function
   | Aggregate { levels; _ } -> 1 + 4 + (4 * Array.length levels)
   | Accuse _ -> 1 + 4 + 4 + 4
 
-(* Observability classifier for {!Net.Network.create}. [round] is only set
+(* Observability classifier for {!Net.Spec.with_classify}. [round] is only set
    for ALIVE, matching {!Scenarios.Scenario.round_of_omega}: SUSPICION
    carries a round number but no assumption constrains its delivery, and the
    checker must not mistake it for an ALIVE arrival. The lean variant's

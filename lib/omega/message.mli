@@ -44,7 +44,7 @@ val is_alive : t -> bool
     1-byte tag); used by experiment E5 for cost accounting. *)
 val wire_size : t -> int
 
-(** Classifier for {!Net.Network.create}: kind
+(** Classifier for {!Net.Spec.with_classify}: kind
     ["alive"]/["susp"]/["hb"]/["agg"]/["accuse"], [round = rn] for ALIVE
     only (the checker's convention, matching
     {!Scenarios.Scenario.round_of_omega}), [bytes = wire_size]. *)

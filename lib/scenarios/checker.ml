@@ -32,7 +32,7 @@ type t = {
 let create scenario = { scenario; arrivals = Hashtbl.create 1024 }
 
 (* The checker consumes [Deliver] events whose [round >= 0] — by the
-   classifier contract (see {!Net.Network.create}) exactly the
+   classifier contract (see {!Net.Spec.with_classify}) exactly the
    assumption-bearing messages, i.e. what [round_of] used to tag. *)
 let on_event t = function
   | Obs.Event.Deliver { now; sent_at; src; dst; round = rn; _ } when rn >= 0

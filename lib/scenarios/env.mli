@@ -6,7 +6,7 @@
     rejects inconsistent combinations ([params.n <> config.n],
     [alpha <> n - t], mismatched [beta], out-of-range loss, bad regime
     centers) up front — the checks hand-wired setups kept scattering over
-    [Network.create] + [Lossy.wrap] + oracle plumbing in three different
+    [Network.of_spec] + [Lossy.wrap] + oracle plumbing in three different
     orders. An [Env.t] is immutable and shareable; [build] instantiates
     the run-local scenario and network for one engine (pool tasks each
     build their own, per the engine-local-state rule).

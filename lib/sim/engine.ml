@@ -1,6 +1,6 @@
-(* [live] counts scheduled, not-yet-fired, not-cancelled events. [fired]
-   guards the idempotence cases: cancel after the event ran (or after a
-   prior cancel) must not decrement again.
+(* [live] counts scheduled, not-yet-fired, not-cancelled events. The
+   handle's fired state guards the idempotence cases: cancel after the
+   event ran (or after a prior cancel) must not decrement again.
 
    Events are packed [(fn, arg)] pairs rather than closures: a closure
    capturing k variables costs k+2 words per schedule, while [call_after]
@@ -17,29 +17,57 @@
    exposed, never cancelled), so only cancellable schedules allocate a
    handle. *)
 
-type handle = { mutable cancelled : bool; mutable fired : bool }
+(* [hstate]: 0 = live, 1 = fired, 2 = cancelled — one word instead of two
+   bools, because a handle is allocated per cancellable schedule (every
+   {!Timer} re-arm) and [hcidx] below already costs the word back. *)
+type handle = {
+  mutable hstate : int;
+  (* The event's creation index, mirrored here so the cell's [cx] word can
+     hold the handle alone (see [cell]). Handles are per-schedule, so the
+     field is written once, by [enqueue]. *)
+  mutable hcidx : int;
+}
 
 (* Canonical event order (DESIGN.md §18): every event is keyed by
    [(time_us << rank_bits) | rank], with a per-rank creation index [ccidx]
    as the residual tie-break. The rank is the {e creator}'s identity —
    process pid + 1 for events created while that process's code runs
-   ([set_rank]), 0 for harness/system events — so the total order
-   [(ckey, ccidx)] is a pure function of the simulated computation, never
-   of scheduler internals or (in the intra-run parallel mode) of which
-   domain executed what. Same-µs ties order by rank, then by per-creator
-   creation order; rank 0 sorts first, so harness events at a timestamp
-   run before process events at the same timestamp in both modes. *)
+   ([set_rank]), 0 for setup/system chains, [harness_rank] (the top of the
+   rank space, reserved — no pid maps to it) for post-start harness work
+   such as the sampler — so the total order [(ckey, ccidx)] is a pure
+   function of the simulated computation, never of scheduler internals or
+   (in the intra-run parallel mode) of which domain executed what. Same-µs
+   ties order by rank, then by per-creator creation order: setup chains at
+   a timestamp run before process events at the same timestamp, harness
+   chains after them, in both modes. The reservation also keeps every
+   rank's counter owned by exactly one replica when a run is sharded —
+   pids draw on their owning shard, ranks 0 and [harness_rank] only on
+   the control replica. *)
 let rank_bits = 11
 let rank_mask = (1 lsl rank_bits) - 1
-let max_pid = rank_mask - 1
+let harness_rank = rank_mask
+let max_pid = rank_mask - 2
 
 type cell = {
   mutable ckey : int;  (* (time_us << rank_bits) | creator rank *)
-  mutable ccidx : int;  (* per-creator creation index *)
   mutable cfn : Obj.t -> unit;
   mutable carg : Obj.t;
-  mutable ch : handle;
+  (* The creation index and the cancellation handle share one word: an
+     immediate int — the per-creator creation index — for the
+     fire-and-forget majority (which can never be cancelled), or the
+     [handle], which then carries the index in [hcidx], for cancellable
+     schedules. Fusing them keeps the cell at its historical five words:
+     the fresh-cell cost of a run is peak-concurrency × cell size (the
+     freelist only flattens the steady state), so a sixth word here is a
+     measurable per-run allocation regression at scale. *)
+  mutable cx : Obj.t;
 }
+
+(* [cx] decoding. [cell_cidx] is only on heap-compare and latch paths —
+   everything is an immediate, so the function boundary boxes nothing. *)
+let cell_cidx c =
+  let r = c.cx in
+  if Obj.is_int r then (Obj.obj r : int) else (Obj.obj r : handle).hcidx
 
 (* Two interchangeable scheduler backends. The wheel keys on the packed
    [ckey] (µs times rank: no two distinct (time, creator) pairs share a
@@ -86,16 +114,16 @@ let unit_obj = Obj.repr ()
 
 let compare_cell a b =
   let c = Int.compare a.ckey b.ckey in
-  if c <> 0 then c else Int.compare a.ccidx b.ccidx
+  if c <> 0 then c else Int.compare (cell_cidx a) (cell_cidx b)
 
 let create ?(queue = `Wheel) ~seed () =
-  let anon = { cancelled = false; fired = false } in
+  let anon = { hstate = 0; hcidx = 0 } in
   let queue =
     match queue with
     | `Heap -> Heap (Dstruct.Pqueue.create ~compare:compare_cell)
     | `Wheel ->
         let dummy =
-          { ckey = 0; ccidx = 0; cfn = ignore_obj; carg = unit_obj; ch = anon }
+          { ckey = 0; cfn = ignore_obj; carg = unit_obj; cx = Obj.repr 0 }
         in
         Wheel (Dstruct.Wheel.create ~dummy ())
   in
@@ -138,13 +166,25 @@ let set_rank t pid =
   end;
   t.cur_rank <- r
 
+(* Switch to the reserved harness rank: called by the run driver after
+   node start-up, before scheduling harness-side chains (the sampler), so
+   those chains never share a creation counter with the last pid. *)
+let set_harness_rank t =
+  let r = harness_rank in
+  if r >= Array.length t.counters then begin
+    let a = Array.make (r + 1) 0 in
+    Array.blit t.counters 0 a 0 (Array.length t.counters);
+    t.counters <- a
+  end;
+  t.cur_rank <- r
+
 (* Like the network's flight pool: grow with the released cell itself as
    the [Array.make] filler. The released cell is cleared first so the pool
    never keeps an event's payload (or its handle) reachable. *)
 let release_cell t c =
   c.cfn <- ignore_obj;
   c.carg <- unit_obj;
-  c.ch <- t.anon;
+  c.cx <- Obj.repr 0;
   let k = t.cpool_n in
   if k = Array.length t.cpool then begin
     let a = Array.make (if k = 0 then 64 else 2 * k) c in
@@ -187,22 +227,26 @@ let enqueue : type a. t -> Time.t -> (a -> unit) -> a -> handle -> unit =
      construction. *)
   let fn : Obj.t -> unit = Obj.magic fn in
   let arg = Obj.repr arg in
+  let cx =
+    if h == t.anon then Obj.repr cidx
+    else begin
+      h.hcidx <- cidx;
+      Obj.repr h
+    end
+  in
   (match t.queue with
-  | Heap q ->
-      Dstruct.Pqueue.push q { ckey = key; ccidx = cidx; cfn = fn; carg = arg; ch = h }
+  | Heap q -> Dstruct.Pqueue.push q { ckey = key; cfn = fn; carg = arg; cx }
   | Wheel w ->
       let c =
-        if t.cpool_n = 0 then
-          { ckey = key; ccidx = cidx; cfn = fn; carg = arg; ch = h }
+        if t.cpool_n = 0 then { ckey = key; cfn = fn; carg = arg; cx }
         else begin
           let k = t.cpool_n - 1 in
           t.cpool_n <- k;
           let c = t.cpool.(k) in
           c.ckey <- key;
-          c.ccidx <- cidx;
           c.cfn <- fn;
           c.carg <- arg;
-          c.ch <- h;
+          c.cx <- cx;
           c
         end
       in
@@ -216,7 +260,7 @@ let enqueue : type a. t -> Time.t -> (a -> unit) -> a -> handle -> unit =
 let call_thunk (f : unit -> unit) = f ()
 
 let schedule_at t time action =
-  let h = { cancelled = false; fired = false } in
+  let h = { hstate = 0; hcidx = 0 } in
   enqueue t time call_thunk action h;
   h
 
@@ -227,7 +271,7 @@ let call_at t time fn arg = enqueue t time fn arg t.anon
 let call_after t delay fn arg = enqueue t (Time.add t.now delay) fn arg t.anon
 
 let schedule_call_after t delay fn arg =
-  let h = { cancelled = false; fired = false } in
+  let h = { hstate = 0; hcidx = 0 } in
   enqueue t (Time.add t.now delay) fn arg h;
   h
 
@@ -258,16 +302,15 @@ let batch_call_after : type a. t -> Time.t -> (a -> unit) -> a -> unit =
       let arg = Obj.repr arg in
       let c =
         if t.cpool_n = 0 then
-          { ckey = key; ccidx = cidx; cfn = fn; carg = arg; ch = t.anon }
+          { ckey = key; cfn = fn; carg = arg; cx = Obj.repr cidx }
         else begin
           let k = t.cpool_n - 1 in
           t.cpool_n <- k;
           let c = t.cpool.(k) in
           c.ckey <- key;
-          c.ccidx <- cidx;
           c.cfn <- fn;
           c.carg <- arg;
-          c.ch <- t.anon;
+          c.cx <- Obj.repr cidx;
           c
         end
       in
@@ -311,20 +354,19 @@ let enqueue_committed : type a. t -> key:int -> cidx:int -> (a -> unit) -> a -> 
   (match t.queue with
   | Heap q ->
       Dstruct.Pqueue.push q
-        { ckey = key; ccidx = cidx; cfn = fn; carg = arg; ch = t.anon }
+        { ckey = key; cfn = fn; carg = arg; cx = Obj.repr cidx }
   | Wheel w ->
       let c =
         if t.cpool_n = 0 then
-          { ckey = key; ccidx = cidx; cfn = fn; carg = arg; ch = t.anon }
+          { ckey = key; cfn = fn; carg = arg; cx = Obj.repr cidx }
         else begin
           let k = t.cpool_n - 1 in
           t.cpool_n <- k;
           let c = t.cpool.(k) in
           c.ckey <- key;
-          c.ccidx <- cidx;
           c.cfn <- fn;
           c.carg <- arg;
-          c.ch <- t.anon;
+          c.cx <- Obj.repr cidx;
           c
         end
       in
@@ -346,6 +388,17 @@ let next_pending_us t =
       if Dstruct.Wheel.is_empty w then -1
       else Dstruct.Wheel.min_key_exn w asr rank_bits
 
+(* Earliest pending event's full canonical key (µs and creator rank), or
+   -1 when the queue is empty — the intra-run driver interleaves the
+   control replica's events with shard events by key, not just by µs. *)
+let next_pending_key t =
+  match t.queue with
+  | Heap q ->
+      if Dstruct.Pqueue.is_empty q then -1
+      else (Dstruct.Pqueue.peek_exn q).ckey
+  | Wheel w ->
+      if Dstruct.Wheel.is_empty w then -1 else Dstruct.Wheel.min_key_exn w
+
 (* Advance the clock over an idle gap without running anything: barrier
    code (recovery, resync, fault application) computes relative delays
    from [now], which must read the barrier instant, not the last executed
@@ -353,14 +406,14 @@ let next_pending_us t =
 let fast_forward t time = t.now <- Time.max t.now time
 
 let cancel t h =
-  if not (h.cancelled || h.fired) then begin
-    h.cancelled <- true;
+  if h.hstate = 0 then begin
+    h.hstate <- 2;
     t.live <- t.live - 1;
     if Obs.Sink.wants t.sink Obs.Event.c_engine then
       Obs.Sink.emit t.sink (Obs.Event.Cancel { now = Time.to_us t.now })
   end
 
-let is_cancelled h = h.cancelled
+let is_cancelled h = h.hstate = 2
 let pending t = t.live
 let executed t = t.executed
 
@@ -370,24 +423,34 @@ let executed t = t.executed
    The executing event's creator rank becomes the creation context for
    whatever it schedules; deliver/forward override it to the receiving
    process's rank ([set_rank]) before running process code. *)
+let fire t key cidx fn arg =
+  t.live <- t.live - 1;
+  let time = Time.of_us (key asr rank_bits) in
+  assert (Time.(time >= t.now));
+  t.now <- time;
+  t.cur_rank <- key land rank_mask;
+  t.last_key <- key;
+  t.exec_key <- key;
+  t.exec_cidx <- cidx;
+  t.executed <- t.executed + 1;
+  if Obs.Sink.wants t.sink Obs.Event.c_engine then
+    Obs.Sink.emit t.sink (Obs.Event.Fire { now = Time.to_us t.now });
+  fn arg
+
 let exec t c ~recycle =
-  let key = c.ckey and cidx = c.ccidx in
-  let fn = c.cfn and arg = c.carg and h = c.ch in
+  let key = c.ckey in
+  let fn = c.cfn and arg = c.carg and cx = c.cx in
   if recycle then release_cell t c;
-  if not h.cancelled then begin
-    h.fired <- true;
-    t.live <- t.live - 1;
-    let time = Time.of_us (key asr rank_bits) in
-    assert (Time.(time >= t.now));
-    t.now <- time;
-    t.cur_rank <- key land rank_mask;
-    t.last_key <- key;
-    t.exec_key <- key;
-    t.exec_cidx <- cidx;
-    t.executed <- t.executed + 1;
-    if Obs.Sink.wants t.sink Obs.Event.c_engine then
-      Obs.Sink.emit t.sink (Obs.Event.Fire { now = Time.to_us t.now });
-    fn arg
+  if Obj.is_int cx then
+    (* Fire-and-forget: [cx] is the creation index and the event cannot
+       have been cancelled. *)
+    fire t key (Obj.obj cx : int) fn arg
+  else begin
+    let h : handle = Obj.obj cx in
+    if h.hstate = 0 then begin
+      h.hstate <- 1;
+      fire t key h.hcidx fn arg
+    end
   end
 
 (* The run loops are specialized per backend so the per-event dispatch is
@@ -426,15 +489,18 @@ let run_until t limit =
       loop ());
   t.now <- Time.max t.now limit
 
-(* One conservative window (DESIGN.md §18): execute every event with time
-   STRICTLY below [limit_us] — the window end is exclusive of all ranks,
-   unlike [run_until]'s inclusive time limit, because events at the
-   barrier instant belong to the next window (rank-0 barrier work runs
-   between the two). The clock is left at the last executed event, not
-   advanced to the limit: the driver [fast_forward]s explicitly when
-   barrier-time code needs [now] at the barrier instant. *)
-let run_window t ~limit_us =
-  let lim = limit_us lsl rank_bits in
+(* One conservative window (DESIGN.md §18): execute every event with
+   canonical key STRICTLY below [limit_key] — key-exclusive, unlike
+   [run_until]'s inclusive time limit, because a window boundary can fall
+   {e inside} an instant: the driver cuts a window at the control
+   replica's next pending key, so shard events at the barrier µs whose
+   rank sorts below the barrier event's still run first, exactly as the
+   one-queue sequential order has it. The clock is left at the last
+   executed event, not advanced to the limit: the driver [fast_forward]s
+   explicitly when barrier-time code needs [now] at the barrier
+   instant. *)
+let run_window_key t ~limit_key =
+  let lim = limit_key in
   match t.queue with
   | Heap q ->
       let rec loop () =
@@ -457,6 +523,9 @@ let run_window t ~limit_us =
           end
       in
       loop ()
+
+(* µs-exclusive window: every event strictly before [limit_us], any rank. *)
+let run_window t ~limit_us = run_window_key t ~limit_key:(limit_us lsl rank_bits)
 
 (* ---------------------------------------------------- snapshot / restore *)
 

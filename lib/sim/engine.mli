@@ -60,13 +60,26 @@ val set_sink : t -> Obs.Sink.t -> unit
     entry point into process code whose executing event does not already
     carry that process's rank: message delivery at the receiver, hop
     forwarding at the relay, node start/recover. Outside process code the
-    creation context is the harness rank 0, which sorts first among
+    creation context is the setup rank 0, which sorts first among
     same-time events. Raises [Invalid_argument] if [pid] exceeds the key
     encoding's capacity ({!max_pid}). *)
 val set_rank : t -> int -> unit
 
-(** Largest process id the canonical key encoding supports (2046). *)
+(** [set_harness_rank t] switches creation to the reserved harness rank —
+    the top of the rank space, above every pid — so post-start harness
+    chains (the sampler) sort after process events at the same µs and
+    never share a per-rank creation counter with a process. The run
+    driver calls it once node start-up is done. *)
+val set_harness_rank : t -> unit
+
+(** Largest process id the canonical key encoding supports (2045; the
+    value above it is the reserved harness rank). *)
 val max_pid : int
+
+(** Number of low key bits holding the creator rank: a canonical key is
+    [(time_us lsl rank_bits) lor rank]. Exposed for the intra-run driver,
+    which converts between keys and µs. *)
+val rank_bits : int
 
 (** [schedule_at t time f] runs [f ()] when the clock reaches [time].
     Raises [Invalid_argument] if [time] is in the past. *)
@@ -186,6 +199,11 @@ val executing_cidx : t -> int
     Peek-only: the wheel's cursor does not advance. *)
 val next_pending_us : t -> int
 
+(** Earliest pending event's full canonical key, or [-1] when the queue is
+    empty. Peek-only. The intra-run driver cuts windows at the control
+    replica's next key so same-µs rank order survives the barrier. *)
+val next_pending_key : t -> int
+
 (** [fast_forward t time] advances the clock to [time] (no-op if already
     there) without executing anything: barrier-time code computes relative
     delays from [now], which must read the barrier instant rather than the
@@ -198,4 +216,11 @@ val fast_forward : t -> Time.t -> unit
     and the clock stays at the last executed event; use {!fast_forward}
     for barrier-time code. *)
 val run_window : t -> limit_us:int -> unit
+
+(** [run_window_key t ~limit_key] is the key-granular window: every event
+    with canonical key {e strictly} below [limit_key]. A window boundary
+    may fall inside an instant — shard events at the barrier µs whose rank
+    sorts below the control replica's pending event still belong to the
+    closing window. *)
+val run_window_key : t -> limit_key:int -> unit
 

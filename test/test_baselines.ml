@@ -14,7 +14,11 @@ let instant ~now:_ ~seq:_ ~src:_ ~dst:_ _ =
 
 let heartbeat_cluster ?(n = 4) ?(oracle = instant) () =
   let engine = Sim.Engine.create ~seed:4L () in
-  let net = Net.Network.create engine ~n ~oracle in
+  let net =
+    Net.Network.of_spec
+      Net.Spec.(default |> with_oracle oracle)
+      engine ~n
+  in
   let cluster =
     HB.create_cluster net ~beta:(Sim.Time.of_ms 10)
       ~initial_timeout:(Sim.Time.of_ms 25)

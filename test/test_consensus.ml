@@ -14,7 +14,11 @@ let instant ~now:_ ~seq:_ ~src:_ ~dst:_ _ = Net.Network.Deliver_after (us 1)
 let cluster ?(n = 5) ?(t = 2) ?(oracle = fun _p () -> 0)
     ?(net_oracle = instant) ?(seed = 9L) () =
   let engine = Sim.Engine.create ~seed () in
-  let net = Net.Network.create engine ~n ~oracle:net_oracle in
+  let net =
+    Net.Network.of_spec
+      Net.Spec.(default |> with_oracle net_oracle)
+      engine ~n
+  in
   let c =
     Consensus.Single.create net ~oracle ~retry_every:(ms 30) ~crash_bound:t
   in
@@ -47,7 +51,11 @@ let test_decided_value_is_a_proposal () =
 let test_leader_crash_failover () =
   (* The oracle switches from 0 to 1 at 500ms; 0 crashes then. *)
   let engine = Sim.Engine.create ~seed:9L () in
-  let net = Net.Network.create engine ~n:5 ~oracle:instant in
+  let net =
+    Net.Network.of_spec
+      Net.Spec.(default |> with_oracle instant)
+      engine ~n:5
+  in
   let current_leader = ref 0 in
   let c =
     Consensus.Single.create net
@@ -113,7 +121,11 @@ let prop_consensus_safety =
       let net_oracle ~now:_ ~seq:_ ~src:_ ~dst:_ _ =
         Net.Network.Deliver_after (us (Dstruct.Rng.int delay_rng 50_000))
       in
-      let net = Net.Network.create engine ~n ~oracle:net_oracle in
+      let net =
+        Net.Network.of_spec
+          Net.Spec.(default |> with_oracle net_oracle)
+          engine ~n
+      in
       let oracle_rng = Dstruct.Rng.create (Int64.of_int (oracle_seed + 1)) in
       let c =
         Consensus.Single.create net
@@ -150,7 +162,11 @@ let test_quorum_requires_majority () =
   let raised =
     try
       let engine = Sim.Engine.create ~seed:1L () in
-      let net = Net.Network.create engine ~n:4 ~oracle:instant in
+      let net =
+        Net.Network.of_spec
+          Net.Spec.(default |> with_oracle instant)
+          engine ~n:4
+      in
       ignore
         (Consensus.Single.create net
            ~oracle:(fun _ () -> 0)
@@ -164,7 +180,11 @@ let test_quorum_requires_majority () =
 
 let broadcast_cluster ?(n = 5) ?(t = 2) ?(leader = fun () -> 0) () =
   let engine = Sim.Engine.create ~seed:13L () in
-  let net = Net.Network.create engine ~n ~oracle:instant in
+  let net =
+    Net.Network.of_spec
+      Net.Spec.(default |> with_oracle instant)
+      engine ~n
+  in
   let nodes =
     Array.init n (fun me ->
         Consensus.Broadcast.create net ~me ~oracle:leader
@@ -197,7 +217,11 @@ let test_broadcast_total_order () =
 
 let test_broadcast_survives_leader_crash () =
   let engine = Sim.Engine.create ~seed:13L () in
-  let net = Net.Network.create engine ~n:5 ~oracle:instant in
+  let net =
+    Net.Network.of_spec
+      Net.Spec.(default |> with_oracle instant)
+      engine ~n:5
+  in
   let current = ref 0 in
   let nodes =
     Array.init 5 (fun me ->

@@ -199,13 +199,20 @@ let test_consensus_over_real_omega () =
       ~seed:42L
   in
   let omega_net =
-    Net.Network.create engine ~n
-      ~oracle:(Scenario.oracle scenario ~round_of:Scenario.round_of_omega)
+    Net.Network.of_spec
+      Net.Spec.(
+        default
+        |> with_oracle
+             (Scenario.oracle scenario ~round_of:Scenario.round_of_omega))
+      engine ~n
   in
   let omega = Omega.Cluster.create config omega_net in
   let cons_net =
-    Net.Network.create engine ~n
-      ~oracle:(Scenario.oracle scenario ~round_of:(fun _ -> None))
+    Net.Network.of_spec
+      Net.Spec.(
+        default
+        |> with_oracle (Scenario.oracle scenario ~round_of:(fun _ -> None)))
+      engine ~n
   in
   let cons =
     Consensus.Single.create cons_net

@@ -16,7 +16,11 @@ let test_lossy_drops_and_delivers () =
   let engine = Sim.Engine.create ~seed:1L () in
   let rng = Dstruct.Rng.create 5L in
   let oracle = Net.Lossy.wrap ~loss:0.5 ~burst:10 ~rng ~n:2 (flat 10) in
-  let net = Net.Network.create engine ~n:2 ~oracle in
+  let net =
+    Net.Network.of_spec
+      Net.Spec.(default |> with_oracle oracle)
+      engine ~n:2
+  in
   let received = ref 0 in
   Net.Network.set_handler net 1 (fun ~src:_ _ -> incr received);
   for i = 1 to 1000 do
@@ -34,7 +38,11 @@ let test_lossy_burst_bound () =
   let engine = Sim.Engine.create ~seed:1L () in
   let rng = Dstruct.Rng.create 5L in
   let oracle = Net.Lossy.wrap ~loss:0.95 ~burst:3 ~rng ~n:2 (flat 10) in
-  let net = Net.Network.create engine ~n:2 ~oracle in
+  let net =
+    Net.Network.of_spec
+      Net.Spec.(default |> with_oracle oracle)
+      engine ~n:2
+  in
   let received = ref 0 in
   Net.Network.set_handler net 1 (fun ~src:_ _ -> incr received);
   for i = 1 to 400 do

@@ -13,7 +13,11 @@ let constant_delay d ~now:_ ~seq:_ ~src:_ ~dst:_ _ =
 
 let make ?(n = 3) ?(oracle = constant_delay 10) () =
   let engine = Sim.Engine.create ~seed:1L () in
-  let net = Net.Network.create engine ~n ~oracle in
+  let net =
+    Net.Network.of_spec
+      Net.Spec.(default |> with_oracle oracle)
+      engine ~n
+  in
   (engine, net)
 
 let inbox net p =
@@ -131,7 +135,10 @@ let test_bad_args () =
   let raised =
     try
       let engine = Sim.Engine.create ~seed:1L () in
-      ignore (Net.Network.create engine ~n:0 ~oracle:(constant_delay 1));
+      ignore
+        (Net.Network.of_spec
+           Net.Spec.(default |> with_oracle (constant_delay 1))
+           engine ~n:0);
       false
     with Invalid_argument _ -> true
   in
@@ -164,7 +171,11 @@ let prop_reliable_no_loss =
             Net.Network.Deliver_after (us d)
         | [] -> Net.Network.Deliver_after (us 0)
       in
-      let net = Net.Network.create engine ~n:2 ~oracle in
+      let net =
+        Net.Network.of_spec
+          Net.Spec.(default |> with_oracle oracle)
+          engine ~n:2
+      in
       let received = ref 0 in
       Net.Network.set_handler net 1 (fun ~src:_ _ -> incr received);
       List.iteri (fun i _ -> Net.Network.send net ~src:0 ~dst:1 (Ping i)) delays;

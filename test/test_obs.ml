@@ -68,7 +68,11 @@ let test_metrics_counts () =
     if dst = 2 then Net.Network.Drop else Net.Network.Deliver_after (us 10)
   in
   let classify (Ping _) = { Obs.Event.kind = "ping"; round = -1; bytes = 8 } in
-  let net = Net.Network.create ~classify engine ~n:3 ~oracle in
+  let net =
+    Net.Network.of_spec
+      Net.Spec.(default |> with_classify classify |> with_oracle oracle)
+      engine ~n:3
+  in
   let m = Obs.Metrics.create () in
   Sim.Engine.set_sink engine (Obs.Metrics.sink m);
   Net.Network.set_handler net 1 (fun ~src:_ _ -> ());

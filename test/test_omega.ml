@@ -16,7 +16,11 @@ let instant ~now:_ ~seq:_ ~src:_ ~dst:_ _ = Net.Network.Deliver_after (us 1)
    be exercised in isolation. *)
 let solo ?(n = 4) ?(t = 1) ?(closure = Omega.Config.Conjunction) variant =
   let engine = Sim.Engine.create ~seed:1L () in
-  let net = Net.Network.create engine ~n ~oracle:instant in
+  let net =
+    Net.Network.of_spec
+      Net.Spec.(default |> with_oracle instant)
+      engine ~n
+  in
   let config = { (Omega.Config.default ~n ~t variant) with closure } in
   let node = Omega.Node.create config net ~me:0 in
   (engine, net, node)
@@ -196,7 +200,11 @@ let test_leader_lexicographic () =
 let cluster ?(n = 4) ?(t = 1) ?(closure = Omega.Config.Conjunction)
     ?(oracle = instant) variant =
   let engine = Sim.Engine.create ~seed:2L () in
-  let net = Net.Network.create engine ~n ~oracle in
+  let net =
+    Net.Network.of_spec
+      Net.Spec.(default |> with_oracle oracle)
+      engine ~n
+  in
   let config = { (Omega.Config.default ~n ~t variant) with closure } in
   let i = Omega.Cluster.iface (Omega.Cluster.create config net) in
   Omega.Iface.start i;
@@ -334,7 +342,11 @@ let test_cluster_agreed_leader_semantics () =
 
 let test_cluster_size_mismatch_rejected () =
   let engine = Sim.Engine.create ~seed:1L () in
-  let net = Net.Network.create engine ~n:4 ~oracle:instant in
+  let net =
+    Net.Network.of_spec
+      Net.Spec.(default |> with_oracle instant)
+      engine ~n:4
+  in
   let raised =
     try
       ignore
@@ -363,7 +375,11 @@ let test_round_memory_bounded_long_run () =
      frontier gap reaches the thousands; physically retained entries must
      stay two orders of magnitude below it, flat in elapsed time. *)
   let engine = Sim.Engine.create ~seed:2L () in
-  let net = Net.Network.create engine ~n:4 ~oracle:instant in
+  let net =
+    Net.Network.of_spec
+      Net.Spec.(default |> with_oracle instant)
+      engine ~n:4
+  in
   let config = Omega.Config.default ~n:4 ~t:1 Omega.Config.Fig3 in
   let cl = Omega.Cluster.create config net in
   Omega.Iface.start (Omega.Cluster.iface cl);

@@ -137,7 +137,11 @@ let prop_broadcast_total_order =
       let oracle ~now:_ ~seq:_ ~src:_ ~dst:_ _ =
         Net.Network.Deliver_after (Sim.Time.of_us 500)
       in
-      let net = Net.Network.create engine ~n ~oracle in
+      let net =
+        Net.Network.of_spec
+          Net.Spec.(default |> with_oracle oracle)
+          engine ~n
+      in
       let current = ref 1 in
       let nodes =
         Array.init n (fun me ->

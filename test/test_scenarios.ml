@@ -301,8 +301,13 @@ let test_checker_detects_violations () =
   let chaos = make Scenario.Chaos in
   let engine = Sim.Engine.create ~seed:3L () in
   let net =
-    Net.Network.create ~classify:Omega.Message.info engine ~n:8
-      ~oracle:(Scenario.oracle chaos ~round_of:Scenario.round_of_omega)
+    Net.Network.of_spec
+      Net.Spec.(
+        default
+        |> with_classify Omega.Message.info
+        |> with_oracle
+             (Scenario.oracle chaos ~round_of:Scenario.round_of_omega))
+      engine ~n:8
   in
   let checker = Checker.create star in
   Sim.Engine.set_sink engine (Checker.sink checker);
